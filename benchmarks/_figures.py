@@ -1,0 +1,91 @@
+"""Shared series builders for the figure benchmarks (Figs 1–8)."""
+
+from __future__ import annotations
+
+from repro.perfmodel.coarse import analysis_time, serial_time
+from repro.perfmodel.machines import MACHINES, MachineSpec
+from repro.perfmodel.profiles import profile_for
+from repro.perfmodel.sweep import best_per_core_count, sweep_cores, thread_curves
+from repro.util.tables import format_table
+
+#: Core counts of the Dash plots (Figs 1–6).
+DASH_CORES = (1, 2, 4, 8, 16, 32, 40, 64, 80)
+#: Core counts of the Triton plot (Fig 7) — node width 32.
+TRITON_CORES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def speedup_series(patterns: int, machine_key: str, n_bootstraps: int = 100,
+                   core_counts=DASH_CORES):
+    """Constant-thread speedup curves, exactly as plotted in Figs 1/2/5-7."""
+    machine = MACHINES[machine_key]
+    points = sweep_cores(profile_for(patterns), machine, n_bootstraps, core_counts)
+    return thread_curves(points)
+
+
+def efficiency_rows(curves):
+    """Flatten thread curves into printable (threads, cores, speedup, eff)."""
+    rows = []
+    for t in sorted(curves):
+        for p in curves[t]:
+            rows.append((t, p.cores, p.speedup, p.efficiency))
+    return rows
+
+
+def render_curves(title: str, curves, plot_metric: str = "speedup") -> str:
+    """Table plus an ASCII chart of the constant-thread curves."""
+    from repro.util.asciiplot import Series, line_plot
+
+    table = format_table(
+        ["Threads", "Cores", "Speedup", "Parallel efficiency"],
+        efficiency_rows(curves),
+        formats=[None, None, ".2f", ".3f"],
+        title=title,
+    )
+    series = [
+        Series(
+            f"{t} threads",
+            tuple(
+                (p.cores, p.speedup if plot_metric == "speedup" else p.efficiency)
+                for p in curve
+            ),
+        )
+        for t, curve in sorted(curves.items())
+    ]
+    chart = line_plot(
+        series,
+        title=f"{plot_metric} vs cores (log x)",
+        xlabel="cores",
+        logx=True,
+    )
+    return f"{table}\n\n{chart}"
+
+
+def stage_component_series(patterns: int, n_threads: int, machine_key: str = "dash",
+                           n_bootstraps: int = 100, core_counts=DASH_CORES):
+    """Run-time components versus cores at a fixed thread count (Figs 3/4)."""
+    machine = MACHINES[machine_key]
+    prof = profile_for(patterns)
+    rows = []
+    for cores in core_counts:
+        if cores % n_threads:
+            continue
+        p = cores // n_threads
+        st = analysis_time(prof, machine, n_bootstraps, p, n_threads)
+        rows.append((cores, p, st.bootstrap, st.fast, st.slow, st.thorough, st.total))
+    return rows
+
+
+def render_components(title: str, rows) -> str:
+    return format_table(
+        ["Cores", "Procs", "Bootstrap s", "Fast s", "Slow s", "Thorough s", "Total s"],
+        rows,
+        formats=[None, None, ".0f", ".0f", ".0f", ".0f", ".0f"],
+        title=title,
+    )
+
+
+def best_threads_by_cores(patterns: int, machine_key: str,
+                          core_counts, n_bootstraps: int = 100):
+    machine = MACHINES[machine_key]
+    points = sweep_cores(profile_for(patterns), machine, n_bootstraps, core_counts)
+    return {c: p for c, p in best_per_core_count(points).items()}

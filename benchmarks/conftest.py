@@ -1,0 +1,43 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper: it computes
+the same rows/series the paper reports, prints them, writes them to
+``benchmarks/output/``, asserts the *shape* claims (who wins, by what
+rough factor, where crossovers fall), and times the computation via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a rendered table/series and persist it under output/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def dash():
+    from repro.perfmodel.machines import MACHINES
+
+    return MACHINES["dash"]
+
+
+@pytest.fixture(scope="session")
+def triton():
+    from repro.perfmodel.machines import MACHINES
+
+    return MACHINES["triton"]

@@ -1,0 +1,66 @@
+"""Ablation: barriers between the last three stages.
+
+Paper Section 5.1: "the MPI implementation has no barriers between the
+last three stages, so the times for those stages vary depending upon the
+MPI process".  This ablation runs the real hybrid driver and compares the
+actual makespan (no barriers: max over ranks of summed stage times)
+against the counterfactual barrier-synchronised schedule (sum over stages
+of the per-stage maxima).  Barriers can only slow the run down.
+"""
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+from repro.util.tables import format_table
+
+QUICK = StageParams(
+    bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+    thorough_max_rounds=2, brlen_passes=1,
+)
+
+LATE_STAGES = ("fast", "slow", "thorough", "finalize")
+
+
+def run_and_compare():
+    pal, _ = make_test_dataset(n_taxa=7, n_sites=110, seed=555)
+    cc = ComprehensiveConfig(n_bootstraps=6, cat_categories=3, stage_params=QUICK)
+    result = run_hybrid_analysis(
+        pal, HybridConfig(n_processes=3, n_threads=2, comprehensive=cc)
+    )
+    # Actual (barrier-free) late-stage makespan: max over ranks of sums.
+    no_barrier = max(
+        sum(r.stage_seconds.get(s, 0.0) for s in LATE_STAGES) for r in result.ranks
+    )
+    # Counterfactual with a barrier after every stage: sum of maxima.
+    with_barrier = sum(
+        max(r.stage_seconds.get(s, 0.0) for r in result.ranks) for s in LATE_STAGES
+    )
+    return result, no_barrier, with_barrier
+
+
+def test_ablation_no_barriers(benchmark, emit):
+    result, no_barrier, with_barrier = benchmark.pedantic(
+        run_and_compare, rounds=1, iterations=1
+    )
+    per_rank = [
+        (r.rank,) + tuple(round(r.stage_seconds.get(s, 0.0), 5) for s in LATE_STAGES)
+        for r in result.ranks
+    ]
+    emit(
+        "ablation_barriers",
+        format_table(
+            ["Rank", "Fast s", "Slow s", "Thorough s", "Finalize s"],
+            per_rank,
+            title=(
+                "ABLATION: BARRIER-FREE LATE STAGES\n"
+                f"makespan without barriers: {no_barrier:.5f} s; "
+                f"with barriers: {with_barrier:.5f} s"
+            ),
+        ),
+    )
+    # Barriers never help; typically they cost a little.
+    assert no_barrier <= with_barrier + 1e-12
+    # Stage times do vary across ranks (the load is not perfectly balanced).
+    thorough_times = [r.stage_seconds["thorough"] for r in result.ranks]
+    assert max(thorough_times) > min(thorough_times)

@@ -1,0 +1,79 @@
+"""Ablation: fine-grained load-balancing strategies over the pattern axis.
+
+RAxML assigns patterns to threads cyclically precisely because per-pattern
+cost varies (weights, rate categories); a naive equal-count contiguous
+split leaves the thread that owns the expensive stretch as the straggler.
+This ablation quantifies the imbalance of three strategies on bootstrap-
+replicate weight vectors (highly skewed: ~37 % of patterns drawn zero
+times) and shows cost-aware splitting recovering near-perfect balance.
+"""
+
+import numpy as np
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.seq.bootstrap import bootstrap_pattern_weights
+from repro.threads.partition import (
+    contiguous_chunks,
+    cyclic_assignment,
+    imbalance,
+    weighted_chunks,
+)
+from repro.util.rng import RAxMLRandom
+from repro.util.tables import format_table
+
+N_THREADS = 8
+N_REPLICATES = 20
+
+
+def measure():
+    pal, _ = make_test_dataset(n_taxa=10, n_sites=600, seed=77)
+    stats = {"equal-count contiguous": [], "cyclic (RAxML)": [], "cost-weighted": []}
+    lower_bounds = []
+    for rep in range(N_REPLICATES):
+        w = bootstrap_pattern_weights(pal, RAxMLRandom(1000 + rep)).astype(float)
+        m = w.shape[0]
+        stats["equal-count contiguous"].append(
+            imbalance(w, contiguous_chunks(m, N_THREADS))
+        )
+        cyc = cyclic_assignment(m, N_THREADS)
+        loads = [float(w[idx].sum()) for idx in cyc]
+        stats["cyclic (RAxML)"].append(max(loads) / (sum(loads) / len(loads)))
+        stats["cost-weighted"].append(imbalance(w, weighted_chunks(w, N_THREADS)))
+        # Items are indivisible: one pattern heavier than total/T bounds
+        # the best achievable imbalance from below.
+        lower_bounds.append(max(1.0, float(w.max()) / (float(w.sum()) / N_THREADS)))
+    out = {k: (float(np.mean(v)), float(np.max(v))) for k, v in stats.items()}
+    out["lower bound (indivisible items)"] = (
+        float(np.mean(lower_bounds)),
+        float(np.max(lower_bounds)),
+    )
+    return out
+
+
+def test_ablation_partition_strategies(benchmark, emit):
+    results = benchmark(measure)
+    rows = [(k, mean, worst) for k, (mean, worst) in results.items()]
+    rows.sort(key=lambda r: r[1], reverse=True)
+    emit(
+        "ablation_partition",
+        format_table(
+            ["Strategy", "Mean imbalance", "Worst imbalance"],
+            rows,
+            formats=[None, ".4f", ".4f"],
+            title=(
+                "ABLATION: PATTERN-AXIS LOAD BALANCING "
+                f"({N_THREADS} threads, {N_REPLICATES} bootstrap replicates)"
+            ),
+        ),
+    )
+    naive_mean = results["equal-count contiguous"][0]
+    cyclic_mean = results["cyclic (RAxML)"][0]
+    weighted_mean = results["cost-weighted"][0]
+    bound_mean = results["lower bound (indivisible items)"][0]
+    # Both cost-aware strategies beat the naive split...
+    assert cyclic_mean < naive_mean
+    assert weighted_mean < naive_mean
+    # ...and explicit cost-weighting gets within 25 % of the indivisible-
+    # item lower bound (a single heavy pattern caps what any split can do).
+    assert weighted_mean < bound_mean * 1.25
+    assert weighted_mean <= cyclic_mean * 1.05

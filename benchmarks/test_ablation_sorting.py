@@ -1,0 +1,71 @@
+"""Ablation: local versus global sorting between fast and slow stages.
+
+Paper Section 2.2: each rank sorts only its own fast searches, which
+"avoids communication, but is in general less optimal than sorting all of
+the searches at once.  In practice, any loss of optimality seems to be
+more than offset by the additional thorough searching."
+
+This ablation quantifies the selection difference: over seeded replicate
+experiments, compare the mean fast-search lnL of the trees that continue
+under local sorting vs under a global sort of the same pool.
+"""
+
+import statistics
+
+from repro.search.hillclimb import SearchResult
+from repro.search.comprehensive import select_best
+from repro.search.schedule import make_schedule
+from repro.util.rng import RAxMLRandom
+from repro.util.tables import format_table
+
+
+def selection_experiment(n_bootstraps=100, p=10, trials=200, seed=97):
+    """Monte-Carlo comparison of local vs global slow-start selection.
+
+    Fast-search scores are drawn i.i.d. per rank; local selection takes
+    each rank's best `slow_per_process`, global selection the overall top
+    `total_slow`.  Returns mean selected score under both policies.
+    """
+    rng = RAxMLRandom(seed)
+    sched = make_schedule(n_bootstraps, p)
+    local_means, global_means = [], []
+    for _ in range(trials):
+        pools = [
+            [SearchResult(None, -1000.0 + 10.0 * rng.gauss())
+             for _ in range(sched.fast_per_process)]
+            for _ in range(p)
+        ]
+        local_pick = [
+            r.lnl
+            for pool in pools
+            for r in select_best(pool, sched.slow_per_process)
+        ]
+        everything = [r for pool in pools for r in pool]
+        global_pick = [
+            r.lnl for r in select_best(everything, sched.total_slow)
+        ]
+        local_means.append(statistics.mean(local_pick))
+        global_means.append(statistics.mean(global_pick))
+    return statistics.mean(local_means), statistics.mean(global_means)
+
+
+def test_ablation_local_vs_global_sorting(benchmark, emit):
+    local, global_ = benchmark.pedantic(
+        selection_experiment, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_sorting",
+        format_table(
+            ["Policy", "Mean selected fast-search lnL"],
+            [("local per-rank sort (MPI code)", local),
+             ("global sort (non-MPI code)", global_)],
+            formats=[None, ".3f"],
+            title="ABLATION: LOCAL vs GLOBAL SORTING BETWEEN FAST AND SLOW STAGES",
+        ),
+    )
+    # Global selection is (weakly) better — that's the paper's "in general
+    # less optimal" admission...
+    assert global_ >= local
+    # ...but the loss is modest (within one intra-pool standard deviation),
+    # consistent with "more than offset by the additional thorough searching".
+    assert global_ - local < 10.0

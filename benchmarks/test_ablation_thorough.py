@@ -1,0 +1,72 @@
+"""Ablation: p thorough searches versus one (paper Section 2.1).
+
+The MPI code "lets each process continue with a thorough search ... Doing
+several thorough searches instead of just one as in the serial code
+increases the total work, but does not increase the run time very much",
+and Section 6 credits it for better final likelihoods.  This ablation runs
+the real hybrid driver and compares best-of-p against each individual
+rank (the "one thorough search" counterfactual), plus the modelled time
+cost of the extra searches.
+"""
+
+import statistics
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.perfmodel.coarse import analysis_time
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.profiles import profile_for
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+from repro.util.tables import format_table
+
+QUICK = StageParams(
+    bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+    thorough_max_rounds=2, brlen_passes=1,
+)
+
+
+def run_ablation():
+    pal, _ = make_test_dataset(n_taxa=7, n_sites=110, seed=888)
+    cc = ComprehensiveConfig(n_bootstraps=4, cat_categories=3, stage_params=QUICK)
+    result = run_hybrid_analysis(
+        pal, HybridConfig(n_processes=4, n_threads=1, comprehensive=cc)
+    )
+    return result
+
+
+def test_ablation_p_thorough_searches(benchmark, emit):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lnls = result.rank_lnls()
+    best = max(lnls)
+    mean_single = statistics.mean(lnls)
+
+    # Time side (model): the thorough stage is one search per rank run in
+    # parallel, so its wall time is (imbalance aside) the single-search
+    # time — "does not increase the run time very much".
+    prof = profile_for(1846)
+    dash = MACHINES["dash"]
+    t_thorough_p10 = analysis_time(prof, dash, 100, 10, 8).thorough
+    t_thorough_p1 = analysis_time(prof, dash, 100, 1, 8).thorough
+
+    emit(
+        "ablation_thorough",
+        format_table(
+            ["Quantity", "Value"],
+            [
+                ("per-rank thorough lnL (4 ranks)", ", ".join(f"{x:.3f}" for x in lnls)),
+                ("best-of-4 (hybrid output)", f"{best:.3f}"),
+                ("mean single-search lnL (serial counterfactual)", f"{mean_single:.3f}"),
+                ("modelled thorough time, p=1 (s)", f"{t_thorough_p1:.0f}"),
+                ("modelled thorough time, p=10 (s)", f"{t_thorough_p10:.0f}"),
+            ],
+            title="ABLATION: p THOROUGH SEARCHES vs ONE",
+        ),
+    )
+    # Quality: the max of p searches is at least any individual one, and
+    # strictly better than the average unless all ranks tie.
+    assert best >= mean_single
+    assert best == result.best_lnl
+    # Time: p parallel thorough searches cost ~the same wall time as one
+    # (within the modelled load-imbalance factor).
+    assert t_thorough_p10 < 1.5 * t_thorough_p1

@@ -1,0 +1,80 @@
+"""Discussion (Section 7): memory forces threads for future data sets.
+
+    "not enough memory per core will be available to analyze a single
+    tree using one MPI process per core.  Instead the memory of multiple
+    cores, perhaps even the entire node, will be needed for each MPI
+    process."
+
+Regenerates the claim quantitatively: for the paper's data sets one
+process per core fits everywhere, while for a projected pattern-rich data
+set the memory-feasible layouts on each machine require multiple threads
+per process.
+"""
+
+from repro.datasets.registry import BENCHMARK_DATASETS
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.memory import (
+    feasible_node_layouts,
+    max_processes_per_node,
+    min_threads_per_process,
+    process_memory,
+)
+from repro.util.tables import format_table
+
+#: A "data set of tomorrow": 10x the pattern count of the largest Table 3 set.
+FUTURE_TAXA = 2048
+FUTURE_PATTERNS = 200_000
+
+
+def build_rows():
+    rows = []
+    shapes = [(d.taxa, d.patterns, d.name) for d in BENCHMARK_DATASETS]
+    shapes.append((FUTURE_TAXA, FUTURE_PATTERNS, "future"))
+    for taxa, patterns, name in shapes:
+        est = process_memory(taxa, patterns)
+        for key, machine in MACHINES.items():
+            fits = max_processes_per_node(machine, est)
+            min_t = min_threads_per_process(machine, est) if fits else None
+            rows.append(
+                (name, taxa, patterns, machine.name, est.total_gb, fits, min_t)
+            )
+    return rows
+
+
+def test_discussion_memory_pressure(benchmark, emit):
+    rows = benchmark(build_rows)
+    emit(
+        "discussion_memory",
+        format_table(
+            ["Data set", "Taxa", "Patterns", "Machine", "GB/process",
+             "Max procs/node", "Min threads/proc"],
+            rows,
+            formats=[None, None, None, None, ".2f", None, None],
+            title="DISCUSSION: MEMORY-FEASIBLE NODE LAYOUTS",
+        ),
+    )
+    by = {(r[0], r[3]): r for r in rows}
+    # Today's data sets: one process per core fits on the 2009 machines
+    # with >= 2 GB/core; on memory-poor Abe (1 GB/core) the two largest
+    # sets already shave a process or two off — the leading edge of the
+    # Discussion's trend.
+    for d in BENCHMARK_DATASETS:
+        for key in ("dash", "ranger", "triton"):
+            machine = MACHINES[key]
+            procs = by[(d.name, machine.name)][5]
+            assert procs == machine.cores_per_node, (d.name, machine.name)
+        abe_procs = by[(d.name, "Abe")][5]
+        assert abe_procs >= MACHINES["abe"].cores_per_node * 3 // 4
+
+    # Tomorrow's data set: the 8 GB/node machine (Abe) cannot run one
+    # process per core — threads per process become mandatory.
+    abe_row = by[("future", "Abe")]
+    assert abe_row[5] < MACHINES["abe"].cores_per_node
+    assert abe_row[6] is None or abe_row[6] > 1
+
+    # On the big-memory Triton PDAF node, hybrid layouts still exist.
+    est = process_memory(FUTURE_TAXA, FUTURE_PATTERNS)
+    layouts = feasible_node_layouts(MACHINES["triton"], est)
+    assert layouts, "the future data set must fit on a 256 GB node"
+    # The all-threads layout (1 process per node) is always feasible there.
+    assert (1, 32) in layouts

@@ -1,0 +1,37 @@
+"""Fig 1: speedup vs cores for the 1,846-pattern data set on Dash.
+
+Shape claims: "good scaling up to 80 cores. There the speedup is 35 using
+10 processes and 8 threads."
+"""
+
+import _figures as F
+
+
+def test_fig1_speedup(benchmark, emit):
+    curves = benchmark(F.speedup_series, 1846, "dash", 100)
+    emit(
+        "fig1_speedup",
+        F.render_curves(
+            "FIG 1. SPEEDUP, 1,846 PATTERNS, DASH, 100 BOOTSTRAPS", curves
+        ),
+    )
+    by = {(p.n_threads, p.cores): p for c in curves.values() for p in c}
+    # The 80-core, 10x8 headline point: paper 35.54.
+    s80 = by[(8, 80)].speedup
+    assert 28 <= s80 <= 43
+
+    # Speedup grows monotonically with cores along each thread curve as
+    # long as the process count stays in the useful range — beyond ~20
+    # processes extra ranks only add work and imbalance ("using more than
+    # 10 or 20 processes is seldom justified", Section 2.3).
+    for t, series in curves.items():
+        speeds = [p.speedup for p in series if p.n_processes <= 20]
+        assert speeds == sorted(speeds), f"non-monotone speedup at T={t}"
+
+    # The single-process (Pthreads-only) curve is capped by the node.
+    single_process = [p for c in curves.values() for p in c if p.n_processes == 1]
+    assert max(p.speedup for p in single_process) < 8
+
+    # Multi-node hybrid clearly beats everything a single node can do.
+    one_node_best = min(p.seconds for c in curves.values() for p in c if p.cores <= 8)
+    assert one_node_best / by[(8, 80)].seconds > 4

@@ -1,0 +1,28 @@
+"""Fig 3: run-time components vs cores, 1,846 patterns, 4 threads, Dash.
+
+Shape claims: "The time for the first three stages ... decreases up to 40
+cores using 4 threads ... the time for the last stage (thorough searches)
+is roughly constant, since the only parallelism exploited for its speedup
+is that via Pthreads."
+"""
+
+import _figures as F
+
+
+def test_fig3_components_4threads(benchmark, emit):
+    rows = benchmark(F.stage_component_series, 1846, 4)
+    emit(
+        "fig3_components_4t",
+        F.render_components(
+            "FIG 3. RUN-TIME COMPONENTS, 1,846 PATTERNS, DASH, 4 THREADS", rows
+        ),
+    )
+    by_cores = {r[0]: r for r in rows}
+    # First three stages shrink from 4 -> 40 cores (1 -> 10 processes).
+    for stage_idx, name in ((2, "bootstrap"), (3, "fast"), (4, "slow")):
+        assert by_cores[40][stage_idx] < by_cores[4][stage_idx] / 4, name
+    # Thorough time roughly constant across process counts at fixed T.
+    thorough = [r[5] for r in rows if r[0] >= 4]
+    assert max(thorough) / min(thorough) < 1.5
+    # At low core counts the bootstrap stage dominates.
+    assert by_cores[4][2] > by_cores[4][5]

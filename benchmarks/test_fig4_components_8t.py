@@ -1,0 +1,39 @@
+"""Fig 4: run-time components vs cores, 1,846 patterns, 8 threads, Dash.
+
+Shape claims vs Fig 3: "the time for the thorough searches is almost twice
+as long using 4 threads as with 8. By contrast, the times for the other
+stages are slightly shorter using 4 threads" — producing the total-time
+crossover between the 4- and 8-thread configurations.
+"""
+
+import _figures as F
+
+
+def build_both():
+    return (
+        F.stage_component_series(1846, 4),
+        F.stage_component_series(1846, 8),
+    )
+
+
+def test_fig4_components_8threads(benchmark, emit):
+    rows4, rows8 = benchmark(build_both)
+    emit(
+        "fig4_components_8t",
+        F.render_components(
+            "FIG 4. RUN-TIME COMPONENTS, 1,846 PATTERNS, DASH, 8 THREADS", rows8
+        ),
+    )
+    t4 = {r[0]: r for r in rows4}
+    t8 = {r[0]: r for r in rows8}
+    # Thorough stage: ~2x longer with 4 threads than with 8.
+    ratio = t4[8][5] / t8[8][5]
+    assert 1.4 <= ratio <= 2.4
+
+    # The other stages are slightly *shorter* with 4 threads (same cores).
+    common = sorted(set(t4) & set(t8) - {1})
+    for cores in common:
+        assert t4[cores][2] < t8[cores][2] * 1.05  # bootstrap
+    # Crossover: 4 threads wins the total at 8 cores, 8 threads at 80.
+    assert t4[8][6] < t8[8][6]
+    assert t8[80][6] < t4[80][6]

@@ -1,0 +1,26 @@
+"""Fig 5: parallel efficiency for the 7,429-pattern data set on Dash.
+
+Shape claim: "For these data sets, runs on 16 or more cores of Dash should
+use 8 threads, the maximum possible, for optimal performance."
+"""
+
+import _figures as F
+
+
+def test_fig5_efficiency_7429(benchmark, emit):
+    curves = benchmark(F.speedup_series, 7429, "dash", 100)
+    emit(
+        "fig5_efficiency_7429",
+        F.render_curves(
+            "FIG 5. PARALLEL EFFICIENCY, 7,429 PATTERNS, DASH, 100 BOOTSTRAPS",
+            curves,
+            plot_metric="efficiency",
+        ),
+    )
+    best = F.best_threads_by_cores(7429, "dash", F.DASH_CORES)
+    for cores in (16, 32, 40, 64, 80):
+        assert best[cores].n_threads == 8, f"{cores}c: {best[cores].n_threads} threads"
+    # Scaling is better than for the 1,846-pattern set (Table 5: 39.86 vs
+    # 35.54 at 80 cores).
+    best_1846 = F.best_threads_by_cores(1846, "dash", F.DASH_CORES)
+    assert best[80].speedup > best_1846[80].speedup

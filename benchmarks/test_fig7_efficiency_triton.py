@@ -1,0 +1,32 @@
+"""Fig 7: parallel efficiency, 19,436 patterns, Triton PDAF (32 cores/node).
+
+Shape claims: "optimal performance is achieved using all 32 threads
+available, and the scaling at high core counts is better than on Dash."
+"""
+
+import _figures as F
+
+
+def test_fig7_efficiency_triton(benchmark, emit):
+    curves = benchmark(F.speedup_series, 19436, "triton", 100, F.TRITON_CORES)
+    emit(
+        "fig7_efficiency_triton",
+        F.render_curves(
+            "FIG 7. PARALLEL EFFICIENCY, 19,436 PATTERNS, TRITON PDAF, 100 BS",
+            curves,
+            plot_metric="efficiency",
+        ),
+    )
+    best = F.best_threads_by_cores(19436, "triton", F.TRITON_CORES)
+    # All 32 threads optimal once a full node (or more) is used.
+    assert best[32].n_threads == 32
+    assert best[64].n_threads == 32
+
+    # Table 5: Triton speedups 24.15 (32c) and 38.52 (64c).
+    assert 20 <= best[32].speedup <= 29
+    assert 31 <= best[64].speedup <= 46
+
+    # Better scaling than Dash at high core counts (Table 5: 38.52 vs
+    # Dash's 21.03 at comparable core counts).
+    best_dash = F.best_threads_by_cores(19436, "dash", F.DASH_CORES)
+    assert best[64].speedup > 1.4 * best_dash[64].speedup

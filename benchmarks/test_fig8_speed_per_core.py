@@ -1,0 +1,83 @@
+"""Fig 8: best speed per core on all four computers, 19,436 patterns.
+
+Shape claims: "From 1 to 4 cores, all of the computers except Dash show
+superlinear speedup ... because their cache utilization is improving. By
+contrast, Dash exhibits ideal, linear speedup up to 8 cores ... efficiency
+drops off fastest for Abe and then Dash ... even though Dash is fastest up
+to 16 cores, Triton PDAF becomes faster at higher core counts."
+"""
+
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.metrics import speed_per_core
+from repro.perfmodel.profiles import profile_for
+from repro.perfmodel.coarse import serial_time
+from repro.perfmodel.sweep import best_per_core_count, sweep_cores
+from repro.util.tables import format_table
+
+CORES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def build_series():
+    prof = profile_for(19436)
+    abe_serial = serial_time(prof, MACHINES["abe"], 100)
+    series = {}
+    for key in ("abe", "dash", "ranger", "triton"):
+        machine = MACHINES[key]
+        pts = sweep_cores(prof, machine, 100, CORES)
+        best = best_per_core_count(pts)
+        series[key] = {
+            c: (speed_per_core(abe_serial, b.seconds, c), b.n_threads)
+            for c, b in best.items()
+        }
+    return series
+
+
+def test_fig8_speed_per_core(benchmark, emit):
+    series = benchmark(build_series)
+    rows = []
+    for key, per_core in series.items():
+        for c in sorted(per_core):
+            spc, threads = per_core[c]
+            rows.append((MACHINES[key].name, c, spc, threads))
+    from repro.util.asciiplot import Series, line_plot
+
+    table = format_table(
+        ["Computer", "Cores", "Speed/core (Abe 1c = 1)", "Best threads"],
+        rows,
+        formats=[None, None, ".3f", None],
+        title="FIG 8. BEST SPEED PER CORE, 19,436 PATTERNS, ALL COMPUTERS",
+    )
+    plot = line_plot(
+        [
+            Series(
+                MACHINES[key].name,
+                tuple((c, series[key][c][0]) for c in sorted(series[key])),
+            )
+            for key in ("abe", "dash", "ranger", "triton")
+        ],
+        title="best speed per core vs cores (log x)",
+        xlabel="cores",
+        logx=True,
+    )
+    emit("fig8_speed_per_core", f"{table}\n\n{plot}")
+
+    def spc(machine, cores):
+        return series[machine][cores][0]
+
+    # Superlinear 1 -> 4 cores on Abe, Ranger, Triton; flat (linear) Dash.
+    for key in ("abe", "ranger", "triton"):
+        assert spc(key, 4) > spc(key, 1), key
+    assert abs(spc("dash", 4) / spc("dash", 1) - 1.0) < 0.02
+    assert spc("dash", 8) / spc("dash", 1) > 0.93  # "ideal ... up to 8 cores"
+
+    # Efficiency drops fastest for Abe, then Dash.
+    drop = {k: spc(k, 64) / spc(k, 8) for k in series}
+    assert drop["abe"] == min(drop.values())
+    assert drop["dash"] < drop["ranger"]
+    assert drop["dash"] < drop["triton"]
+
+    # Dash fastest up to 16 cores; Triton faster at 32+.
+    for c in (1, 2, 4, 8, 16):
+        assert spc("dash", c) == max(spc(k, c) for k in series), f"{c} cores"
+    for c in (32, 64):
+        assert spc("triton", c) > spc("dash", c), f"{c} cores"

@@ -1,0 +1,86 @@
+"""The abstract's headline numbers, as one consolidated benchmark.
+
+* 218 taxa / 1,846 patterns / 100 bootstraps on Dash: speedup 35 on 80
+  cores (10 procs x 8 threads) vs serial, and 6.5 vs Pthreads-only on one
+  8-core node;
+* hybrid 2 procs x 4 threads is ~1.3x faster than Pthreads-only 8 threads
+  on a single Dash node;
+* 125 taxa / 19,436 patterns on Triton PDAF: speedup 38 on two nodes (64
+  cores, 2 procs x 32 threads) vs serial;
+* Discussion: node-referenced efficiency justifies 40-core runs even when
+  core-referenced efficiency is below 1/2.
+"""
+
+from repro.perfmodel.coarse import analysis_time, serial_time
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.metrics import parallel_efficiency
+from repro.perfmodel.profiles import profile_for
+from repro.util.tables import format_table
+
+
+def compute_claims():
+    dash, triton = MACHINES["dash"], MACHINES["triton"]
+    p1846 = profile_for(1846)
+    p19436 = profile_for(19436)
+
+    serial_dash = serial_time(p1846, dash, 100)
+    t_80 = analysis_time(p1846, dash, 100, 10, 8).total
+    t_pthreads = analysis_time(p1846, dash, 100, 1, 8).total
+    t_hybrid_node = analysis_time(p1846, dash, 100, 2, 4).total
+    t_mpi_node = analysis_time(p1846, dash, 100, 8, 1).total
+
+    serial_triton = serial_time(p19436, triton, 100)
+    t_triton64 = analysis_time(p19436, triton, 100, 2, 32).total
+
+    p348 = profile_for(348)
+    t_348_40c = analysis_time(p348, dash, 100, 10, 4).total
+    serial_348 = serial_time(p348, dash, 100)
+    # Node reference: the best configuration on one 8-core Dash node.
+    t_348_node = min(
+        analysis_time(p348, dash, 100, 8 // t, t).total for t in (1, 2, 4, 8)
+    )
+
+    return {
+        "speedup_80c": serial_dash / t_80,
+        "speedup_vs_node": t_pthreads / t_80,
+        "hybrid_vs_pthreads_node": t_pthreads / t_hybrid_node,
+        "hybrid_vs_mpi_node": t_mpi_node / t_hybrid_node,
+        "triton_speedup_64c": serial_triton / t_triton64,
+        "eff348_40c_core": parallel_efficiency(serial_348, t_348_40c, 40),
+        "eff348_40c_node": parallel_efficiency(
+            t_348_node, t_348_40c, 40, reference_cores=8
+        ),
+    }
+
+
+def test_headline_claims(benchmark, emit):
+    claims = benchmark(compute_claims)
+    paper = {
+        "speedup_80c": 35.54,
+        "speedup_vs_node": 6.5,
+        "hybrid_vs_pthreads_node": 1.3,
+        "hybrid_vs_mpi_node": 1.4,
+        "triton_speedup_64c": 38.52,
+        "eff348_40c_core": 0.29,
+        "eff348_40c_node": 0.51,
+    }
+    rows = [(k, paper[k], claims[k], claims[k] / paper[k]) for k in paper]
+    emit(
+        "headline_claims",
+        format_table(
+            ["Claim", "Paper", "Model", "Ratio"],
+            rows,
+            formats=[None, ".2f", ".2f", ".3f"],
+            title="HEADLINE CLAIMS (abstract + discussion): paper vs model",
+        ),
+    )
+    assert 28 <= claims["speedup_80c"] <= 43
+    assert 5.0 <= claims["speedup_vs_node"] <= 8.0
+    assert 1.10 <= claims["hybrid_vs_pthreads_node"] <= 1.50
+    assert 1.2 <= claims["hybrid_vs_mpi_node"] <= 1.9
+    assert 31 <= claims["triton_speedup_64c"] <= 46
+    # Discussion: core-referenced efficiency below 1/2 but node-referenced
+    # efficiency around (or above) 1/2 — "using 40 cores ... seems justified".
+    assert claims["eff348_40c_core"] < 0.5
+    assert claims["eff348_40c_node"] > 0.45
+    assert claims["eff348_40c_node"] > 1.4 * claims["eff348_40c_core"]

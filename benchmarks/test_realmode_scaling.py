@@ -1,0 +1,70 @@
+"""Real-mode scaling: the full stack producing speedup from real runs.
+
+Unlike the model-based figure benchmarks, this one runs the *actual*
+hybrid driver (real bootstraps, real SPR searches, real Newton steps) on
+a small simulated alignment and measures the virtual-clock run times
+across (p, T) layouts.  The qualitative laws of the paper must emerge from
+the real execution: more processes shrink the MPI-parallel stages, more
+threads shrink everything, and the thorough stage ignores the process
+count.
+"""
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+from repro.util.tables import format_table
+
+QUICK = StageParams(
+    bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+    thorough_max_rounds=1, brlen_passes=1,
+)
+
+LAYOUTS = ((1, 1), (1, 2), (2, 1), (2, 2), (4, 2))
+
+
+def run_grid():
+    pal, _ = make_test_dataset(n_taxa=6, n_sites=90, seed=2121)
+    cc = ComprehensiveConfig(n_bootstraps=8, cat_categories=3, stage_params=QUICK)
+    out = {}
+    for p, t in LAYOUTS:
+        out[(p, t)] = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=p, n_threads=t, comprehensive=cc)
+        )
+    return out
+
+
+def test_realmode_scaling(benchmark, emit):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    serial = results[(1, 1)].total_seconds
+    rows = [
+        (p, t, p * t, r.total_seconds, serial / r.total_seconds,
+         r.stage_seconds["bootstrap"], r.stage_seconds["thorough"])
+        for (p, t), r in sorted(results.items())
+    ]
+    emit(
+        "realmode_scaling",
+        format_table(
+            ["Procs", "Threads", "Cores", "Virtual s", "Speedup",
+             "Bootstrap s", "Thorough s"],
+            rows,
+            formats=[None, None, None, ".4f", ".2f", ".4f", ".4f"],
+            title="REAL-MODE SCALING (actual searches, virtual clocks)",
+        ),
+    )
+    t = {k: r.total_seconds for k, r in results.items()}
+    # More threads help at fixed processes.
+    assert t[(1, 2)] < t[(1, 1)]
+    assert t[(2, 2)] < t[(2, 1)]
+    # More processes help at fixed threads.
+    assert t[(2, 1)] < t[(1, 1)]
+    assert t[(2, 2)] < t[(1, 2)]
+    # The hybrid 4x2 layout is the fastest of the grid.
+    assert t[(4, 2)] == min(t.values())
+
+    # The thorough stage does not benefit from processes (threads only).
+    th = {k: r.stage_seconds["thorough"] for k, r in results.items()}
+    assert th[(2, 1)] > 0.7 * th[(1, 1)]
+    # The bootstrap stage scales with processes.
+    bs = {k: r.stage_seconds["bootstrap"] for k, r in results.items()}
+    assert bs[(2, 1)] < 0.8 * bs[(1, 1)]

@@ -1,0 +1,80 @@
+"""Sensitivity analysis: are the paper's conclusions calibration-fragile?
+
+The performance model's constants carry fitting error, so the shape
+conclusions should not hinge on their exact values.  This benchmark
+perturbs the two most influential constants — the barrier coefficient
+(fine grain) and the jitter cv (coarse-grain imbalance) — by ±40 % and
+checks that the paper's headline shapes survive every perturbation:
+
+* hybrid 2x4 beats Pthreads-only 8T on one Dash node;
+* 8 threads are optimal at 80 Dash cores for the 1,846-pattern set;
+* Triton PDAF beats Dash at 64 cores on the 19,436-pattern set.
+"""
+
+import dataclasses
+
+from repro.perfmodel.coarse import analysis_time
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.profiles import profile_for
+from repro.util.tables import format_table
+
+PERTURBATIONS = (0.6, 0.8, 1.0, 1.2, 1.4)
+
+
+def run_sensitivity():
+    rows = []
+    prof1846 = profile_for(1846)
+    prof19436 = profile_for(19436)
+    for sync_scale in PERTURBATIONS:
+        for cv_scale in PERTURBATIONS:
+            dash = dataclasses.replace(
+                MACHINES["dash"],
+                sync_pattern_units=MACHINES["dash"].sync_pattern_units * sync_scale,
+            )
+            triton = dataclasses.replace(
+                MACHINES["triton"],
+                sync_pattern_units=MACHINES["triton"].sync_pattern_units * sync_scale,
+            )
+            p1846 = dataclasses.replace(
+                prof1846, jitter_cv=prof1846.jitter_cv * cv_scale
+            )
+            p19436 = dataclasses.replace(
+                prof19436, jitter_cv=prof19436.jitter_cv * cv_scale
+            )
+
+            hybrid_wins = (
+                analysis_time(p1846, dash, 100, 1, 8).total
+                > analysis_time(p1846, dash, 100, 2, 4).total
+            )
+            best_t80 = min(
+                (1, 2, 4, 8),
+                key=lambda t: analysis_time(p1846, dash, 100, 80 // t, t).total,
+            )
+            triton_wins = (
+                analysis_time(p19436, triton, 100, 2, 32).total
+                < analysis_time(p19436, dash, 100, 8, 8).total
+            )
+            rows.append(
+                (sync_scale, cv_scale, hybrid_wins, best_t80, triton_wins)
+            )
+    return rows
+
+
+def test_sensitivity_of_shape_conclusions(benchmark, emit):
+    rows = benchmark(run_sensitivity)
+    emit(
+        "sensitivity_model",
+        format_table(
+            ["sync x", "cv x", "hybrid>pthreads (1 node)",
+             "best T @ 80c", "Triton>Dash @ 64c"],
+            rows,
+            title="SENSITIVITY: shape conclusions under +/-40 % constant perturbation",
+        ),
+    )
+    for sync_scale, cv_scale, hybrid_wins, best_t80, triton_wins in rows:
+        assert hybrid_wins, (sync_scale, cv_scale)
+        assert best_t80 in (4, 8), (sync_scale, cv_scale, best_t80)
+        assert triton_wins, (sync_scale, cv_scale)
+    # At the nominal point the thread optimum is exactly the paper's 8.
+    nominal = [r for r in rows if r[0] == 1.0 and r[1] == 1.0][0]
+    assert nominal[3] == 8

@@ -1,0 +1,33 @@
+"""Table 1: evolution of parallel RAxML versions.
+
+Regenerates the paper's historical overview from the structured registry
+and checks the hybrid lineage facts the paper's narrative relies on.
+"""
+
+from repro.perfmodel.history import RAXML_HISTORY
+from repro.util.tables import format_table
+
+
+def build_rows():
+    return [r.as_row() for r in RAXML_HISTORY]
+
+
+def test_table1_history(benchmark, emit):
+    rows = benchmark(build_rows)
+    emit(
+        "table1_history",
+        format_table(
+            ["Year", "Version", "Coarse-grained", "Fine-grained",
+             "Multi-grained", "Hybrid", "Ref"],
+            rows,
+            title="TABLE 1. EVOLUTION OF PARALLEL VERSIONS OF RAXML",
+        ),
+    )
+    assert len(rows) == 9
+    # 7.2.4 — "the first version to include the hybrid parallelization".
+    v724 = [r for r in RAXML_HISTORY if r.version == "7.2.4"][0]
+    assert v724.hybrid and v724.multi_grained
+    assert v724.coarse_grained == "MPI" and v724.fine_grained == "Pthreads"
+    # Before 7.2.4 only the experimental Cell version was hybrid.
+    earlier_hybrids = [r for r in RAXML_HISTORY if r.hybrid and r.version != "7.2.4"]
+    assert [r.version for r in earlier_hybrids] == ["Cell"]

@@ -1,0 +1,27 @@
+"""Table 2: numbers of bootstraps and searches versus number of processes.
+
+The work-partition rules must reproduce every row of the paper's Table 2
+exactly — this is the hybrid algorithm's core bookkeeping.
+"""
+
+from repro.search.schedule import TABLE2_CONFIGS, TABLE2_EXPECTED, make_schedule
+from repro.util.tables import format_table
+
+
+def build_rows():
+    return [make_schedule(n, p).as_table_row() for (n, p) in TABLE2_CONFIGS]
+
+
+def test_table2_schedule(benchmark, emit):
+    rows = benchmark(build_rows)
+    emit(
+        "table2_schedule",
+        format_table(
+            ["Procs", "Bootstraps", "Fast", "Slow", "Thorough",
+             "BS/p", "Fast/p", "Slow/p", "Thorough/p"],
+            rows,
+            title="TABLE 2. BOOTSTRAPS AND SEARCHES VS NUMBER OF PROCESSES",
+        ),
+    )
+    for row, expected in zip(rows, TABLE2_EXPECTED):
+        assert row[:5] == expected, f"schedule row {row[:5]} != paper {expected}"

@@ -1,0 +1,40 @@
+"""Table 4: the benchmark computers.
+
+Prints the machine registry and validates the paper's qualitative
+machine characterisations as encoded in the calibrated model constants.
+"""
+
+from repro.perfmodel.finegrain import serial_pattern_cost
+from repro.perfmodel.machines import MACHINES
+from repro.util.tables import format_table
+
+
+def build_rows():
+    return [
+        (m.name, m.location, m.processor, m.cores_per_node,
+         m.core_speed, m.cache_factor)
+        for m in MACHINES.values()
+    ]
+
+
+def test_table4_machines(benchmark, emit):
+    rows = benchmark(build_rows)
+    emit(
+        "table4_machines",
+        format_table(
+            ["Computer", "Location", "Processor", "Cores/node",
+             "Rel. core speed", "Cache factor"],
+            rows,
+            formats=[None, None, None, None, ".3f", ".2f"],
+            title="TABLE 4. BENCHMARK COMPUTERS (with calibrated model constants)",
+        ),
+    )
+    assert {m.cores_per_node for m in MACHINES.values()} == {8, 16, 32}
+    # "the newer Nehalem ... expected to perform better": Dash fastest core.
+    costs = {k: serial_pattern_cost(m, 19436) for k, m in MACHINES.items()}
+    assert costs["dash"] == min(costs.values())
+    # "the bus-based memory subsystem of the Clovertown [Abe] is generally
+    # slower": largest cache/memory penalty of all machines.
+    assert MACHINES["abe"].cache_factor == max(m.cache_factor for m in MACHINES.values())
+    # Dash's "newer cache design is more effective": no miss penalty.
+    assert MACHINES["dash"].cache_factor == 1.0

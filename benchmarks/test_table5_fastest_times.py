@@ -1,0 +1,72 @@
+"""Table 5: fastest times (and optimal thread counts) for each data set.
+
+Regenerates the full table from the calibrated model: for every data set,
+machine and bootstrap regime the paper reports, the model's best time over
+thread counts at each core count is compared against the measured value.
+Shape requirement: every cell within a 1.30x band, median error ~6 %.
+"""
+
+import math
+
+from repro.perfmodel.calibrate import TABLE5_ANCHORS
+from repro.perfmodel.coarse import analysis_time, serial_time
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.profiles import profile_for
+from repro.util.tables import format_table
+
+BAND = 1.30
+
+
+def build_table():
+    rows = []
+    for a in TABLE5_ANCHORS:
+        prof = profile_for(a.patterns)
+        mach = MACHINES[a.machine]
+        if a.cores == 1:
+            model_best, model_threads = serial_time(prof, mach, a.n_bootstraps), 1
+        else:
+            candidates = [
+                (analysis_time(prof, mach, a.n_bootstraps, a.cores // t, t).total, t)
+                for t in (1, 2, 4, 8, 16, 32)
+                if t <= mach.cores_per_node and a.cores % t == 0
+            ]
+            model_best, model_threads = min(candidates)
+        rows.append(
+            (a.patterns, a.machine, a.n_bootstraps, a.cores,
+             a.seconds, a.threads, model_best, model_threads,
+             model_best / a.seconds)
+        )
+    return rows
+
+
+def test_table5_fastest_times(benchmark, emit):
+    rows = benchmark(build_table)
+    emit(
+        "table5_fastest_times",
+        format_table(
+            ["Patterns", "Machine", "N", "Cores", "Paper s", "Paper T",
+             "Model s", "Model T", "Ratio"],
+            rows,
+            formats=[None, None, None, None, ".0f", None, ".0f", None, ".3f"],
+            title="TABLE 5. FASTEST TIMES FOR EACH DATA SET (paper vs model)",
+        ),
+    )
+    errors = []
+    for row in rows:
+        patterns, machine, n, cores, paper_s, paper_t, model_s, model_t, ratio = row
+        # Note: model_best is the *best over threads*, which can undershoot
+        # the paper's reported best configuration — allow the band both ways.
+        assert 1 / BAND <= ratio <= BAND, (
+            f"{patterns}p {machine} N={n} {cores}c: model {model_s:.0f}s "
+            f"vs paper {paper_s:.0f}s"
+        )
+        errors.append(abs(math.log(ratio)))
+    errors.sort()
+    assert errors[len(errors) // 2] < 0.08  # median within ~8 %
+
+    # Optimal-thread agreement on the decisive high-core cells:
+    by_key = {(r[0], r[1], r[2], r[3]): r for r in rows}
+    assert by_key[(1846, "dash", 100, 80)][7] == 8  # paper: /8
+    assert by_key[(19436, "dash", 100, 80)][7] == 8  # paper: /8
+    assert by_key[(19436, "triton", 100, 64)][7] == 32  # paper: /32
+    assert by_key[(348, "dash", 1200, 80)][7] <= 4  # paper: /2 (few threads)

@@ -1,0 +1,63 @@
+"""The paper's core use case: a comprehensive phylogenetic analysis.
+
+Reproduces, at laptop scale, the workflow the paper benchmarks: many rapid
+bootstraps followed by fast/slow/thorough ML searches, run once with the
+serial (non-MPI) algorithm and once with the hybrid driver at several
+process counts.  Demonstrates the three benefits the Summary lists:
+
+1. multiple nodes shrink the (virtual) turnaround time;
+2. the threads-per-process mix matters for efficiency;
+3. the additional thorough searches often find a better solution.
+
+Run:  python examples/comprehensive_analysis.py
+"""
+
+from repro import (
+    ComprehensiveConfig,
+    HybridConfig,
+    StageParams,
+    run_comprehensive,
+    run_hybrid_analysis,
+    test_dataset,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    pal, _ = test_dataset(n_taxa=9, n_sites=250, seed=777)
+    print(f"alignment: {pal.n_taxa} taxa, {pal.n_sites} sites, "
+          f"{pal.n_patterns} patterns\n")
+
+    cc = ComprehensiveConfig(
+        n_bootstraps=8,
+        stage_params=StageParams(slow_max_rounds=2, thorough_max_rounds=3),
+    )
+
+    print("serial comprehensive analysis (non-MPI reference) ...")
+    serial = run_comprehensive(pal, cc)
+    print(f"  final lnL {serial.best_lnl:.4f}; stage pattern-ops: "
+          f"{ {k: f'{v:.2e}' for k, v in serial.stage_ops.items()} }\n")
+
+    rows = []
+    for p, t in ((1, 8), (2, 4), (4, 2), (4, 8)):
+        result = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=p, n_threads=t, comprehensive=cc)
+        )
+        rows.append(
+            (f"{p} x {t}", p * t, result.n_bootstraps_done,
+             result.best_lnl, result.best_lnl - serial.best_lnl,
+             result.total_seconds)
+        )
+    print(format_table(
+        ["procs x threads", "cores", "bootstraps", "final lnL",
+         "delta vs serial", "virtual time (s)"],
+        rows,
+        formats=[None, None, None, ".4f", "+.4f", ".4f"],
+        title="Hybrid layouts on the simulated Dash cluster",
+    ))
+    print("\nNote how multi-process layouts never lose quality (Table 6's"
+          "\nobservation) and how the (p, T) mix changes the virtual time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Hypothesis testing: score competing topologies under a fixed model.
+
+The ``-f e`` evaluation mode (fixed topology, optimised model and branch
+lengths) is how competing phylogenetic hypotheses are compared.  This
+example simulates data under a known tree, then scores: the true tree, the
+ML search's result, and two deliberately perturbed alternatives (one NNI
+step away, and a random topology).
+
+Run:  python examples/evaluate_hypotheses.py
+"""
+
+from repro import ComprehensiveConfig, StageParams, evaluate_tree, run_comprehensive, test_dataset
+from repro.search.starting_tree import random_starting_tree
+from repro.util.rng import RAxMLRandom
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    pal, true_tree = test_dataset(n_taxa=8, n_sites=400, seed=20100419)
+    print(f"alignment: {pal.n_taxa} taxa, {pal.n_patterns} patterns\n")
+
+    # Candidate 1: the ML search result.
+    searched = run_comprehensive(
+        pal,
+        ComprehensiveConfig(
+            n_bootstraps=4,
+            stage_params=StageParams(slow_max_rounds=1, thorough_max_rounds=2),
+        ),
+    ).best_tree
+
+    # Candidate 2: the generating tree.
+    # Candidate 3: the true tree, one NNI step away.
+    nni_tree = true_tree.copy()
+    nni_tree.nni(nni_tree.internal_edges()[0], 0)
+    # Candidate 4: a random topology.
+    random_tree = random_starting_tree(pal, RAxMLRandom(5))
+
+    rows = []
+    for name, tree in (
+        ("ML search result", searched),
+        ("true (generating) tree", true_tree),
+        ("true tree +1 NNI", nni_tree),
+        ("random topology", random_tree),
+    ):
+        result = evaluate_tree(pal, tree, model_rounds=1, brlen_passes=4)
+        rows.append((name, result.lnl, result.alpha))
+    best = max(r[1] for r in rows)
+    table_rows = [(n, lnl, lnl - best, a) for n, lnl, a in rows]
+    print(format_table(
+        ["hypothesis", "lnL", "delta to best", "fitted alpha"],
+        table_rows,
+        formats=[None, ".3f", "+.3f", ".3f"],
+        title="Fixed-topology evaluation (-f e) of four hypotheses",
+    ))
+    print("\nExpected ordering: search result ~ true tree > +1 NNI >> random.")
+
+
+if __name__ == "__main__":
+    main()

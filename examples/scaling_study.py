@@ -1,0 +1,74 @@
+"""Scaling study: regenerate the paper's Dash scaling picture (Figs 1-4).
+
+Uses the calibrated performance model to sweep (cores, threads) for the
+218-taxa / 1,846-pattern benchmark data set on Dash, printing the speedup
+and parallel-efficiency series of Figs 1-2 and the per-stage run-time
+components of Figs 3-4.
+
+Run:  python examples/scaling_study.py [patterns]
+"""
+
+import sys
+
+from repro.perfmodel import MACHINES, analysis_time, profile_for
+from repro.perfmodel.sweep import best_per_core_count, sweep_cores, thread_curves
+from repro.util.tables import format_table
+
+CORES = (1, 2, 4, 8, 16, 32, 40, 64, 80)
+
+
+def main(patterns: int = 1846) -> None:
+    dash = MACHINES["dash"]
+    prof = profile_for(patterns)
+    print(f"data set: {prof.dataset.taxa} taxa, {patterns} patterns; "
+          f"serial time {prof.serial_seconds_100:.0f} s at 100 bootstraps\n")
+
+    points = sweep_cores(prof, dash, 100, CORES)
+    curves = thread_curves(points)
+
+    from repro.util.asciiplot import Series, line_plot
+
+    series = [
+        Series(f"{t} threads", tuple((p.cores, p.speedup) for p in c))
+        for t, c in sorted(curves.items())
+    ]
+    print(line_plot(series, title="Fig 1: speedup vs cores (log x)",
+                    xlabel="cores", logx=True))
+    print()
+
+    rows = []
+    for t in sorted(curves):
+        for p in curves[t]:
+            rows.append((t, p.cores, p.n_processes, p.seconds, p.speedup, p.efficiency))
+    print(format_table(
+        ["threads", "cores", "procs", "time (s)", "speedup", "efficiency"],
+        rows,
+        formats=[None, None, None, ".0f", ".2f", ".3f"],
+        title=f"Figs 1-2: speedup / parallel efficiency on Dash ({patterns} patterns)",
+    ))
+
+    best = best_per_core_count(points)
+    print("\n" + format_table(
+        ["cores", "best time (s)", "threads", "speedup"],
+        [(c, b.seconds, b.n_threads, b.speedup) for c, b in sorted(best.items())],
+        formats=[None, ".0f", None, ".2f"],
+        title="Table 5 row: fastest configuration per core count",
+    ))
+
+    for t in (4, 8):
+        rows = []
+        for cores in CORES:
+            if cores % t:
+                continue
+            st = analysis_time(prof, dash, 100, cores // t, t)
+            rows.append((cores, st.bootstrap, st.fast, st.slow, st.thorough, st.total))
+        print("\n" + format_table(
+            ["cores", "bootstrap", "fast", "slow", "thorough", "total"],
+            rows,
+            formats=[None, ".0f", ".0f", ".0f", ".0f", ".0f"],
+            title=f"Fig {3 if t == 4 else 4}: run-time components (s), {t} threads",
+        ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1846)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All real metadata lives in ``pyproject.toml``.  This file exists only so
+that ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (PEP-517 editable installs need ``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

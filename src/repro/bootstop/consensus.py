@@ -1,0 +1,88 @@
+"""Majority-rule consensus trees from bipartition frequencies."""
+
+from __future__ import annotations
+
+from repro.bootstop.table import BipartitionTable
+from repro.tree.topology import Node, Tree
+
+
+def majority_consensus(
+    table: BipartitionTable,
+    taxa: tuple[str, ...],
+    threshold: float = 0.5,
+    extended: bool = False,
+) -> Tree:
+    """The majority-rule consensus tree of the trees in ``table``.
+
+    Bipartitions with support strictly greater than ``threshold`` (>= 0.5
+    guarantees mutual compatibility) are resolved; everything else stays
+    polytomous.  Internal nodes carry their support value.
+
+    ``extended=True`` gives the *extended* majority-rule consensus (RAxML
+    ``-J MRE``): after the majority splits, the remaining splits are
+    greedily added in decreasing-support order whenever they are
+    compatible with the tree built so far.
+    """
+    if threshold < 0.5:
+        raise ValueError("threshold below 0.5 can select incompatible splits")
+    if len(taxa) != table.n_taxa:
+        raise ValueError("taxa tuple does not match the table")
+    n = len(taxa)
+    freqs = table.frequencies()
+    if extended:
+        # Majority splits first (they always fit), then minority splits by
+        # decreasing support; the insertion loop below rejects conflicts.
+        chosen = sorted(
+            freqs.items(),
+            key=lambda bf: (-bf[1], bin(bf[0].mask).count("1")),
+        )
+    else:
+        chosen = sorted(
+            ((b, f) for b, f in freqs.items() if f > threshold),
+            key=lambda bf: bin(bf[0].mask).count("1"),
+        )
+
+    # Start from a star tree; insert splits smallest-side first, grouping
+    # the children of the node that currently holds the split's leaves.
+    root = Node()
+    leaf_nodes = []
+    for i, name in enumerate(taxa):
+        leaf = Node(name=name, leaf_index=i)
+        root.add_child(leaf)
+        leaf_nodes.append(leaf)
+    masks: dict[int, int] = {id(l): 1 << l.leaf_index for l in leaf_nodes}
+    masks[id(root)] = (1 << n) - 1
+
+    for bip, freq in chosen:
+        target_mask = bip.mask
+        # Find the node whose children cover the split side.
+        holder = root
+        descended = True
+        while descended:
+            descended = False
+            for ch in holder.children:
+                child_mask = masks[id(ch)]
+                if child_mask & target_mask == target_mask and not ch.is_leaf:
+                    holder = ch
+                    descended = True
+                    break
+        group = [c for c in holder.children if masks[id(c)] & target_mask]
+        covered = 0
+        for c in group:
+            covered |= masks[id(c)]
+        if covered != target_mask or len(group) == len(holder.children):
+            # Incompatible with already-inserted splits (can only happen
+            # for threshold == 0.5 exact ties); skip it.
+            continue
+        if len(group) < 2:
+            continue
+        new_node = Node()
+        new_node.support = freq
+        for c in group:
+            holder.children.remove(c)
+            new_node.add_child(c)
+        holder.add_child(new_node)
+        masks[id(new_node)] = covered
+
+    tree = Tree(root, taxa)
+    return tree

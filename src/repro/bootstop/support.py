@@ -1,0 +1,30 @@
+"""Mapping bootstrap support values onto a best-known tree.
+
+The comprehensive analysis's final output is the best ML tree annotated
+with the fraction of bootstrap trees containing each of its bipartitions
+("confidence values ... assigned to the interior branches", paper
+Section 1).
+"""
+
+from __future__ import annotations
+
+from repro.bootstop.table import BipartitionTable
+from repro.tree.bipartitions import bipartition_of_edge
+from repro.tree.topology import Tree
+
+
+def map_support(tree: Tree, table: BipartitionTable) -> Tree:
+    """Annotate a copy of ``tree`` with support values from ``table``.
+
+    Every internal edge's child node receives ``support`` = the frequency
+    of its bipartition among the table's trees (0.0 when never seen).
+    """
+    if len(tree.taxa) != table.n_taxa:
+        raise ValueError("tree and table taxon counts differ")
+    if table.n_trees == 0:
+        raise ValueError("support table holds no trees")
+    annotated = tree.copy()
+    for edge_child in annotated.internal_edges():
+        bip = bipartition_of_edge(annotated, edge_child)
+        edge_child.support = table.frequency(bip)
+    return annotated

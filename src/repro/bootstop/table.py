@@ -1,0 +1,99 @@
+"""The bipartition hash table (with optional shard partitioning).
+
+RAxML stores the bipartitions of all bootstrap trees in a hash table to
+compute support values and bootstopping statistics.  The paper identifies
+a parallel version of this table as the prerequisite for hybrid
+bootstopping; :class:`BipartitionTable` supports that usage by letting
+each simulated MPI rank keep a *shard* (bipartitions whose hash maps to
+the rank) and merging shards with :func:`merge_tables`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tree.bipartitions import Bipartition, tree_bipartitions
+from repro.tree.topology import Tree
+
+
+@dataclass
+class BipartitionTable:
+    """Occurrence counts of bipartitions over a collection of trees.
+
+    ``shard``/``n_shards`` restrict the table to bipartitions whose hash
+    value falls in the shard — the partitioning scheme a distributed hash
+    table across MPI ranks would use.  The default (one shard) accepts
+    everything.
+    """
+
+    n_taxa: int
+    shard: int = 0
+    n_shards: int = 1
+    counts: dict[Bipartition, int] = field(default_factory=dict)
+    n_trees: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_taxa < 4:
+            raise ValueError("need at least 4 taxa")
+        if not (0 <= self.shard < self.n_shards):
+            raise ValueError(f"shard {self.shard} out of range for {self.n_shards} shards")
+
+    def owns(self, bip: Bipartition) -> bool:
+        """Whether this shard is responsible for ``bip``."""
+        return (bip.mask % 4_294_967_291) % self.n_shards == self.shard
+
+    def add_tree(self, tree: Tree) -> None:
+        """Count the (owned) bipartitions of one tree."""
+        if len(tree.taxa) != self.n_taxa:
+            raise ValueError("tree has a different taxon count")
+        for bip in tree_bipartitions(tree):
+            if self.n_shards == 1 or self.owns(bip):
+                self.counts[bip] = self.counts.get(bip, 0) + 1
+        self.n_trees += 1
+
+    def add_trees(self, trees: list[Tree]) -> None:
+        for t in trees:
+            self.add_tree(t)
+
+    def frequency(self, bip: Bipartition) -> float:
+        """Support of ``bip`` in [0, 1] over the added trees."""
+        if self.n_trees == 0:
+            raise ValueError("no trees added yet")
+        return self.counts.get(bip, 0) / self.n_trees
+
+    def frequencies(self) -> dict[Bipartition, float]:
+        if self.n_trees == 0:
+            raise ValueError("no trees added yet")
+        return {b: c / self.n_trees for b, c in self.counts.items()}
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def merge_tables(tables: list[BipartitionTable]) -> BipartitionTable:
+    """Merge shard tables (or per-rank tables) into one global table.
+
+    Shards of one logical table share ``n_trees``; per-rank tables over
+    disjoint tree sets sum their tree counts.  The distinction is made by
+    ``n_shards``: tables with ``n_shards > 1`` are treated as shards.
+    """
+    if not tables:
+        raise ValueError("need at least one table")
+    n_taxa = tables[0].n_taxa
+    if any(t.n_taxa != n_taxa for t in tables):
+        raise ValueError("tables must share the taxon count")
+    sharded = tables[0].n_shards > 1
+    if sharded:
+        if len(tables) != tables[0].n_shards:
+            raise ValueError("must merge exactly n_shards shard tables")
+        if len({t.n_trees for t in tables}) != 1:
+            raise ValueError("shards of one table must have seen the same trees")
+        n_trees = tables[0].n_trees
+    else:
+        n_trees = sum(t.n_trees for t in tables)
+    merged = BipartitionTable(n_taxa)
+    merged.n_trees = n_trees
+    for t in tables:
+        for bip, c in t.counts.items():
+            merged.counts[bip] = merged.counts.get(bip, 0) + c
+    return merged

@@ -1,0 +1,116 @@
+"""The WC (weighted-consensus) bootstopping criterion.
+
+Pattengale et al. ("How Many Bootstrap Replicates Are Necessary?",
+RECOMB 2009 — reference [13] of the paper) stop bootstrapping when the
+support values computed from two random halves of the replicate set agree:
+for each of ``n_permutations`` random splits, the weighted Robinson–Foulds
+distance between the two halves' support vectors is computed; if the
+average, normalised to its maximum, falls below 3 %, the replicates are
+deemed sufficient.  Table 3's "recommended bootstraps" column comes from
+exactly this test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.bipartitions import tree_bipartitions
+from repro.tree.topology import Tree
+from repro.util.rng import RAxMLRandom
+
+#: Pattengale et al.'s default convergence threshold (3 %).
+DEFAULT_THRESHOLD = 0.03
+#: The test is evaluated every this-many replicates.
+DEFAULT_STEP = 50
+
+
+def _support_vector(trees: list[Tree], universe: list) -> np.ndarray:
+    """Support of each bipartition of ``universe`` over ``trees``."""
+    index = {b: i for i, b in enumerate(universe)}
+    v = np.zeros(len(universe))
+    for t in trees:
+        for b in tree_bipartitions(t):
+            i = index.get(b)
+            if i is not None:
+                v[i] += 1.0
+    return v / max(len(trees), 1)
+
+
+def wc_statistic(
+    trees: list[Tree],
+    rng: RAxMLRandom,
+    n_permutations: int = 10,
+) -> float:
+    """The WC statistic: mean normalised half-vs-half support distance.
+
+    0 means both halves agree perfectly on every split; 1 means maximal
+    disagreement.  Requires an even number of at least 4 trees.
+    """
+    n = len(trees)
+    if n < 4 or n % 2 != 0:
+        raise ValueError("WC statistic needs an even number of >= 4 trees")
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be >= 1")
+
+    # The bipartition universe: everything seen in any replicate.
+    universe_set = set()
+    per_tree = [tree_bipartitions(t) for t in trees]
+    for s in per_tree:
+        universe_set |= s
+    universe = sorted(universe_set, key=lambda b: b.mask)
+    if not universe:
+        return 0.0
+
+    half = n // 2
+    dists = []
+    for _ in range(n_permutations):
+        order = rng.permutation(n)
+        first = [trees[i] for i in order[:half]]
+        second = [trees[i] for i in order[half:]]
+        v1 = _support_vector(first, universe)
+        v2 = _support_vector(second, universe)
+        # Weighted RF: L1 distance of support vectors, normalised by the
+        # worst case (every split fully supported in one half only).
+        dists.append(float(np.abs(v1 - v2).sum()) / len(universe))
+    return float(np.mean(dists))
+
+
+def wc_converged(
+    trees: list[Tree],
+    rng: RAxMLRandom,
+    threshold: float = DEFAULT_THRESHOLD,
+    n_permutations: int = 10,
+) -> tuple[bool, float]:
+    """Whether the replicate set passes the WC test; returns ``(ok, stat)``."""
+    stat = wc_statistic(trees, rng, n_permutations)
+    return stat <= threshold, stat
+
+
+def wc_recommended_bootstraps(
+    replicate_source,
+    rng: RAxMLRandom,
+    threshold: float = DEFAULT_THRESHOLD,
+    step: int = DEFAULT_STEP,
+    max_replicates: int = 2000,
+    n_permutations: int = 10,
+) -> tuple[int, list[tuple[int, float]]]:
+    """Run replicates until the WC test passes.
+
+    ``replicate_source(i)`` must return the ``i``-th bootstrap tree.
+    Returns ``(recommended_count, [(count, statistic), ...])`` — the test
+    trace, evaluated every ``step`` replicates, as in Pattengale et al.
+    """
+    if step < 2 or step % 2 != 0:
+        raise ValueError("step must be an even number >= 2")
+    trees: list[Tree] = []
+    trace: list[tuple[int, float]] = []
+    count = 0
+    while count < max_replicates:
+        for _ in range(step):
+            trees.append(replicate_source(count))
+            count += 1
+        ok, stat = wc_converged(trees, rng, threshold, n_permutations)
+        trace.append((count, stat))
+        if ok:
+            return count, trace
+    return max_replicates, trace

@@ -1,0 +1,164 @@
+"""Simulation of alignments under GTR+Γ on Yule trees.
+
+Sequences are evolved site-by-site down a random Yule tree using the exact
+transition matrices of a :class:`GTRModel`, with per-site Γ rate
+multipliers — the standard generative counterpart of the inference model,
+so simulated alignments carry genuine phylogenetic signal and realistic
+pattern redundancy.  Bulk sampling uses a NumPy generator seeded
+deterministically from the :class:`RAxMLRandom` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import DatasetSpec
+from repro.likelihood.gtr import GTRModel
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import PatternAlignment, compress_alignment
+from repro.tree.random_trees import yule_tree
+from repro.tree.topology import Tree
+from repro.util.rng import RAxMLRandom
+
+_STATE_CHARS = np.array(list("ACGT"))
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Knobs of one simulation run."""
+
+    n_taxa: int
+    n_sites: int
+    seed: int = 12345
+    alpha: float = 0.8  # Γ shape of per-site rates
+    branch_scale: float = 0.25
+    model: GTRModel | None = None
+    proportion_invariant: float = 0.1  # extra column redundancy, like real rRNA
+
+    def __post_init__(self) -> None:
+        if self.n_taxa < 4:
+            raise ValueError("need at least 4 taxa")
+        if self.n_sites < 1:
+            raise ValueError("need at least 1 site")
+        if not (0.0 <= self.proportion_invariant < 1.0):
+            raise ValueError("proportion_invariant must be in [0, 1)")
+        if self.alpha <= 0 or self.branch_scale <= 0:
+            raise ValueError("alpha and branch_scale must be positive")
+
+
+def _default_model() -> GTRModel:
+    """A GTR model with realistic transition/transversion structure."""
+    return GTRModel(
+        rates=(1.3, 4.6, 0.9, 1.1, 5.2, 1.0),
+        freqs=(0.27, 0.23, 0.26, 0.24),
+    )
+
+
+def simulate_alignment(params: SimulationParams) -> tuple[Alignment, Tree]:
+    """Evolve an alignment; returns ``(alignment, true_tree)``.
+
+    Per-site rates are Γ(α, α) draws (a fraction
+    ``proportion_invariant`` of sites is held at rate 0 — invariant
+    columns, which real alignments have in abundance and which drive the
+    characters-vs-patterns redundancy of Table 3).
+    """
+    model = params.model if params.model is not None else _default_model()
+    taxa = tuple(f"t{i:04d}" for i in range(params.n_taxa))
+    seeder = RAxMLRandom(params.seed)
+    tree = yule_tree(taxa, seeder, scale=params.branch_scale)
+    np_rng = np.random.Generator(np.random.PCG64(seeder.next_seed()))
+
+    n = params.n_sites
+    site_rates = np_rng.gamma(shape=params.alpha, scale=1.0 / params.alpha, size=n)
+    invariant = np_rng.random(n) < params.proportion_invariant
+    site_rates[invariant] = 0.0
+
+    pi = model.pi
+    root_states = np_rng.choice(4, size=n, p=pi)
+
+    seqs: dict[str, np.ndarray] = {}
+
+    def evolve(parent_states: np.ndarray, node) -> None:
+        for child in node.children:
+            # Transition matrix per site rate would be exact but costly;
+            # bucket rates into a fine grid for vectorized sampling.
+            child_states = _evolve_edge(model, parent_states, site_rates, child.length, np_rng)
+            if child.is_leaf:
+                seqs[child.name] = child_states
+            else:
+                evolve(child_states, child)
+
+    evolve(root_states, tree.root)
+    records = [(t, "".join(_STATE_CHARS[seqs[t]])) for t in taxa]
+    return Alignment.from_sequences(records), tree
+
+
+def _evolve_edge(
+    model: GTRModel,
+    parent_states: np.ndarray,
+    site_rates: np.ndarray,
+    length: float,
+    np_rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample child states per site given parent states and site rates.
+
+    Sites are grouped by quantised rate so each group shares one exact
+    P(t·r) matrix; quantisation is fine enough (256 buckets over the rate
+    range) to be statistically indistinguishable from exact per-site rates.
+    """
+    n = parent_states.shape[0]
+    child = parent_states.copy()
+    positive = site_rates > 0
+    if not np.any(positive):
+        return child
+    rates = site_rates[positive]
+    # Quantise to a log grid.
+    lo, hi = float(rates.min()), float(rates.max())
+    if hi / max(lo, 1e-12) < 1.0001:
+        buckets = np.zeros(rates.shape, dtype=np.intp)
+        grid = np.array([0.5 * (lo + hi)])
+    else:
+        grid = np.exp(np.linspace(np.log(lo), np.log(hi), 256))
+        buckets = np.searchsorted(grid, rates).clip(0, len(grid) - 1)
+    pmats = model.transition_matrices(length, grid)  # (256, 4, 4)
+    cdfs = np.cumsum(pmats, axis=2)
+    idx = np.flatnonzero(positive)
+    u = np_rng.random(idx.shape[0])
+    parent = parent_states[idx]
+    rows = cdfs[buckets, parent, :]  # (k, 4)
+    new_states = (u[:, None] > rows).sum(axis=1)
+    child[idx] = np.minimum(new_states, 3)
+    return child
+
+
+def simulate_dataset(spec: DatasetSpec, seed: int = 12345) -> tuple[PatternAlignment, Tree]:
+    """Simulate an alignment with the shape of a Table 3 benchmark set.
+
+    The taxon and character counts match the spec exactly; the pattern
+    count emerges from the simulation (tuned via invariant-site fraction
+    to land near the spec's redundancy) and will differ somewhat from the
+    real data's.
+    """
+    # Choose the invariant fraction so characters/patterns roughly matches.
+    prop_inv = max(0.0, min(0.6, 1.0 - 1.0 / spec.redundancy))
+    params = SimulationParams(
+        n_taxa=spec.taxa, n_sites=spec.characters, seed=seed,
+        proportion_invariant=prop_inv,
+    )
+    aln, tree = simulate_alignment(params)
+    return compress_alignment(aln), tree
+
+
+def test_dataset(
+    n_taxa: int = 8,
+    n_sites: int = 120,
+    seed: int = 4242,
+    branch_scale: float = 0.3,
+) -> tuple[PatternAlignment, Tree]:
+    """A small simulated data set for tests and quickstart examples."""
+    aln, tree = simulate_alignment(
+        SimulationParams(n_taxa=n_taxa, n_sites=n_sites, seed=seed, branch_scale=branch_scale)
+    )
+    return compress_alignment(aln), tree

@@ -1,0 +1,67 @@
+"""Registry of the paper's five benchmark data sets (Table 3).
+
+    Taxa  Characters  Patterns  Recommended bootstraps [13]
+     354         460       348                        1,200
+     150       1,269     1,130                          650
+     218       2,294     1,846                          550
+     404      13,158     7,429                          700
+     125      29,149    19,436                           50
+
+"The data sets in the table are ordered by increasing number of patterns"
+(paper Section 3); the number of patterns is the primary workload
+parameter because "the amount of work to be done is roughly proportional
+to the number of patterns for a fixed number of taxa".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters of one benchmark alignment."""
+
+    name: str
+    taxa: int
+    characters: int
+    patterns: int
+    recommended_bootstraps: int  # WC bootstopping recommendation, Table 3
+
+    def __post_init__(self) -> None:
+        if self.taxa < 4:
+            raise ValueError("benchmark data sets need >= 4 taxa")
+        if not (0 < self.patterns <= self.characters):
+            raise ValueError("patterns must be in (0, characters]")
+        if self.recommended_bootstraps < 1:
+            raise ValueError("recommended_bootstraps must be positive")
+
+    @property
+    def redundancy(self) -> float:
+        """Characters per pattern (column redundancy of the alignment)."""
+        return self.characters / self.patterns
+
+
+#: The five benchmark data sets of Table 3, ordered by pattern count.
+BENCHMARK_DATASETS: tuple[DatasetSpec, ...] = (
+    DatasetSpec("rna_354", taxa=354, characters=460, patterns=348, recommended_bootstraps=1200),
+    DatasetSpec("dna_150", taxa=150, characters=1269, patterns=1130, recommended_bootstraps=650),
+    DatasetSpec("dna_218", taxa=218, characters=2294, patterns=1846, recommended_bootstraps=550),
+    DatasetSpec("dna_404", taxa=404, characters=13158, patterns=7429, recommended_bootstraps=700),
+    DatasetSpec("dna_125", taxa=125, characters=29149, patterns=19436, recommended_bootstraps=50),
+)
+
+
+def dataset_by_patterns(patterns: int) -> DatasetSpec:
+    """Look a benchmark data set up by its pattern count (unique key)."""
+    for spec in BENCHMARK_DATASETS:
+        if spec.patterns == patterns:
+            return spec
+    raise KeyError(f"no benchmark data set with {patterns} patterns")
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    for spec in BENCHMARK_DATASETS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no benchmark data set named {name!r}")

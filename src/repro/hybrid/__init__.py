@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the hybrid MPI/Pthreads driver.
+
+Coarse-grained parallelism across tree searches (simulated MPI ranks,
+Table 2 work partition) is combined with fine-grained parallelism over
+alignment patterns (virtual Pthreads) in a single run, implementing the
+four algorithmic deltas of the paper's Section 2:
+
+1. **p thorough searches** — every rank continues its own best slow tree;
+   the global winner is selected with one bcast (Section 2.1);
+2. **local sorting** between the fast and slow stages (Section 2.2);
+3. **ceil(N/p) bootstraps per rank**, so totals can exceed N
+   (Section 2.3, Table 2);
+4. **reproducible seeding**: rank r uses ``seed + 10000·r`` (Section 2.4).
+"""
+
+from repro.search.schedule import WorkSchedule, make_schedule, TABLE2_CONFIGS, TABLE2_EXPECTED
+from repro.hybrid.results import RankReport, HybridResult
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.hybrid.analyses import (
+    MultiSearchConfig,
+    MultiSearchResult,
+    run_multiple_ml_searches,
+    run_standard_bootstrap,
+    searches_per_rank,
+)
+
+__all__ = [
+    "WorkSchedule",
+    "make_schedule",
+    "TABLE2_CONFIGS",
+    "TABLE2_EXPECTED",
+    "RankReport",
+    "HybridResult",
+    "HybridConfig",
+    "run_hybrid_analysis",
+    "MultiSearchConfig",
+    "MultiSearchResult",
+    "run_multiple_ml_searches",
+    "run_standard_bootstrap",
+    "searches_per_rank",
+]

@@ -1,0 +1,226 @@
+"""The paper's other two coarse-grained analysis types.
+
+Besides the comprehensive analysis, the Introduction lists two analyses
+that the hybrid code accelerates, both with "essentially constant
+parallelism throughout, apart from minor load imbalances":
+
+1. **Multiple maximum-likelihood searches** on the same data set from
+   different starting trees ("typically 10 or more such searches might be
+   made to find a near-optimal ML solution");
+2. **Multiple (standard) bootstrap searches** — full ML searches on
+   resampled data sets (RAxML's ``-b`` seed), typically 100 or more.
+
+Each rank receives ``ceil(N/p)`` units of work, evaluates through the
+virtual thread pool, and the results are combined with a single gather —
+the same minimal-communication structure as the comprehensive driver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bootstop.table import BipartitionTable
+from repro.likelihood.engine import OpCounter, RateModel
+from repro.likelihood.gtr import GTRModel
+from repro.likelihood.model_opt import empirical_frequencies
+from repro.mpi.comm import SimComm
+from repro.mpi.launcher import run_spmd
+from repro.perfmodel.finegrain import MachineRegionTiming
+from repro.perfmodel.machines import machine_by_name
+from repro.search.searches import StageParams, slow_search
+from repro.search.starting_tree import parsimony_starting_tree, random_starting_tree
+from repro.seq.bootstrap import bootstrap_pattern_weights
+from repro.seq.patterns import PatternAlignment
+from repro.threads.pool import VirtualThreadPool
+from repro.threads.threaded_engine import ThreadedLikelihoodEngine
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.topology import Tree
+from repro.util.rng import RAxMLRandom, rank_seed, spawn_stream
+
+
+@dataclass(frozen=True)
+class MultiSearchConfig:
+    """Inputs shared by the multiple-search analyses."""
+
+    n_searches: int = 10
+    seed_p: int = 12345
+    seed_b: int = 12345  # standard-bootstrap seed (RAxML -b)
+    gamma_categories: int = 4
+    random_starts: bool = False  # False: randomised parsimony starts
+    stage_params: StageParams = field(default_factory=StageParams)
+
+    def __post_init__(self) -> None:
+        if self.n_searches < 1:
+            raise ValueError("n_searches must be >= 1")
+        if self.seed_p <= 0 or self.seed_b <= 0:
+            raise ValueError("seeds must be positive")
+
+
+@dataclass
+class MultiSearchResult:
+    """Outcome of a multiple-ML-search or standard-bootstrap analysis."""
+
+    trees: list[Tree]
+    lnls: list[float]
+    best_tree: Tree
+    best_lnl: float
+    per_rank_counts: list[int]
+    total_seconds: float
+    stage_seconds_per_rank: list[float]
+    support_table: BipartitionTable | None = None
+
+
+def searches_per_rank(n_searches: int, n_processes: int) -> int:
+    """Each rank runs ``ceil(N/p)`` searches (constant parallelism)."""
+    if n_processes < 1:
+        raise ValueError("n_processes must be >= 1")
+    return math.ceil(n_searches / n_processes)
+
+
+def _make_rank_engine_factory(machine_name, n_threads, comm, spu):
+    machine = machine_by_name(machine_name)
+    pool = VirtualThreadPool(
+        n_threads, MachineRegionTiming(machine, spu), clock=comm.clock
+    )
+
+    def factory(pal, model, rate_model, weights, ops):
+        return ThreadedLikelihoodEngine(
+            pal, model, pool, rate_model, weights=weights, ops=ops
+        )
+
+    return factory
+
+
+def _collect(comm: SimComm, local: list[tuple[str, float]], t0: float):
+    """Gather all (newick, lnl) pairs and the per-rank stage times."""
+    gathered = comm.allgather(local)
+    elapsed = comm.clock.now - t0
+    times = comm.allgather(elapsed)
+    finish = comm.allgather(comm.clock.now)
+    return gathered, times, max(finish)
+
+
+def run_multiple_ml_searches(
+    pal: PatternAlignment,
+    config: MultiSearchConfig,
+    n_processes: int = 1,
+    n_threads: int = 1,
+    machine: str = "dash",
+    seconds_per_pattern_unit: float = 1e-7,
+) -> MultiSearchResult:
+    """Analysis type 1: N ML searches from different starting trees.
+
+    Rank ``r`` seeds its search stream with ``seed_p + 10000·r`` and runs
+    ``ceil(N/p)`` slow-search-effort ML searches under GTRGAMMA; the best
+    tree over all searches is the analysis result.
+    """
+    mach = machine_by_name(machine)
+    if n_threads > mach.cores_per_node:
+        raise ValueError(f"{mach.name} supports at most {mach.cores_per_node} threads")
+
+    def rank_main(comm: SimComm):
+        p_rng = RAxMLRandom(rank_seed(config.seed_p, comm.rank))
+        factory = _make_rank_engine_factory(
+            machine, n_threads, comm, seconds_per_pattern_unit
+        )
+        ops = OpCounter()
+        gamma_rm = RateModel.gamma(1.0, config.gamma_categories)
+        model = GTRModel.default()
+        probe = factory(pal, model, gamma_rm, None, ops)
+        model = model.with_freqs(empirical_frequencies(probe))
+        engine = factory(pal, model, gamma_rm, None, ops)
+
+        t0 = comm.clock.now
+        local: list[tuple[str, float]] = []
+        for k in range(searches_per_rank(config.n_searches, comm.size)):
+            rng = spawn_stream(p_rng, 100 + k)
+            if config.random_starts:
+                start = random_starting_tree(pal, rng)
+            else:
+                start = parsimony_starting_tree(pal, rng)
+            res = slow_search(engine, start, spawn_stream(p_rng, 200 + k),
+                              config.stage_params)
+            local.append((write_newick(res.tree), res.lnl))
+        gathered, times, finish = _collect(comm, local, t0)
+        return gathered, times, finish
+
+    results = run_spmd(rank_main, n_processes)
+    gathered, times, finish = results[0]
+    flat = [item for rank_list in gathered for item in rank_list]
+    trees = [parse_newick(nwk, taxa=pal.taxa) for nwk, _ in flat]
+    lnls = [lnl for _, lnl in flat]
+    best_idx = max(range(len(lnls)), key=lambda i: (round(lnls[i], 6), -i))
+    return MultiSearchResult(
+        trees=trees,
+        lnls=lnls,
+        best_tree=trees[best_idx],
+        best_lnl=lnls[best_idx],
+        per_rank_counts=[len(r) for r in gathered],
+        total_seconds=finish,
+        stage_seconds_per_rank=times,
+    )
+
+
+def run_standard_bootstrap(
+    pal: PatternAlignment,
+    config: MultiSearchConfig,
+    n_processes: int = 1,
+    n_threads: int = 1,
+    machine: str = "dash",
+    seconds_per_pattern_unit: float = 1e-7,
+) -> MultiSearchResult:
+    """Analysis type 2: N standard bootstrap searches (RAxML ``-b``).
+
+    Unlike the *rapid* bootstraps of the comprehensive analysis, each
+    replicate here is a full ML search on the resampled data set, starting
+    from a fresh parsimony tree built on the replicate's weights.  The
+    result carries a merged bipartition support table.
+    """
+    mach = machine_by_name(machine)
+    if n_threads > mach.cores_per_node:
+        raise ValueError(f"{mach.name} supports at most {mach.cores_per_node} threads")
+
+    def rank_main(comm: SimComm):
+        p_rng = RAxMLRandom(rank_seed(config.seed_p, comm.rank))
+        b_rng = RAxMLRandom(rank_seed(config.seed_b, comm.rank))
+        factory = _make_rank_engine_factory(
+            machine, n_threads, comm, seconds_per_pattern_unit
+        )
+        ops = OpCounter()
+        gamma_rm = RateModel.gamma(1.0, config.gamma_categories)
+        model = GTRModel.default()
+        probe = factory(pal, model, gamma_rm, None, ops)
+        model = model.with_freqs(empirical_frequencies(probe))
+
+        t0 = comm.clock.now
+        local: list[tuple[str, float]] = []
+        for k in range(searches_per_rank(config.n_searches, comm.size)):
+            weights = bootstrap_pattern_weights(pal, b_rng)
+            engine = factory(pal, model, gamma_rm, weights, ops)
+            rng = spawn_stream(p_rng, 300 + k)
+            start = parsimony_starting_tree(pal, rng, weights=weights)
+            res = slow_search(engine, start, spawn_stream(p_rng, 400 + k),
+                              config.stage_params)
+            local.append((write_newick(res.tree), res.lnl))
+        gathered, times, finish = _collect(comm, local, t0)
+        return gathered, times, finish
+
+    results = run_spmd(rank_main, n_processes)
+    gathered, times, finish = results[0]
+    flat = [item for rank_list in gathered for item in rank_list]
+    trees = [parse_newick(nwk, taxa=pal.taxa) for nwk, _ in flat]
+    lnls = [lnl for _, lnl in flat]
+    table = BipartitionTable(pal.n_taxa)
+    table.add_trees(trees)
+    best_idx = max(range(len(lnls)), key=lambda i: (round(lnls[i], 6), -i))
+    return MultiSearchResult(
+        trees=trees,
+        lnls=lnls,
+        best_tree=trees[best_idx],
+        best_lnl=lnls[best_idx],
+        per_rank_counts=[len(r) for r in gathered],
+        total_seconds=finish,
+        stage_seconds_per_rank=times,
+        support_table=table,
+    )

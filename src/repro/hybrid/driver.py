@@ -1,0 +1,323 @@
+"""The hybrid MPI/Pthreads comprehensive-analysis driver.
+
+Each simulated MPI rank runs the real search pipeline on its Table 2
+work share, evaluating likelihoods through a pattern-chunked virtual
+thread pool whose region costs come from the target machine's model; the
+rank's virtual clock therefore advances like the paper's wall clock.
+Communication follows the paper exactly: one barrier after the bootstrap
+stage, one result exchange at the end ("That and a call to MPI_Barrier
+after the bootstrap stage are the only noteworthy MPI communications").
+
+Optionally the driver runs the WC bootstopping test across ranks — the
+paper's stated future-work item — using shard-partitioned bipartition
+tables (:mod:`repro.bootstop.table`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bootstop.support import map_support
+from repro.bootstop.table import BipartitionTable, merge_tables
+from repro.bootstop.wc_test import wc_converged
+from repro.likelihood.engine import OpCounter
+from repro.mpi.comm import SimComm
+from repro.mpi.launcher import run_spmd
+from repro.perfmodel.finegrain import MachineRegionTiming
+from repro.perfmodel.machines import machine_by_name
+from repro.search.comprehensive import (
+    ComprehensiveConfig,
+    bootstrap_stage,
+    fast_stage,
+    prepare_model_and_rates,
+    select_best,
+    select_fast_starts,
+    slow_stage,
+    thorough_stage,
+)
+from repro.search.schedule import make_schedule
+from repro.seq.patterns import PatternAlignment
+from repro.threads.pool import VirtualThreadPool
+from repro.threads.threaded_engine import ThreadedLikelihoodEngine
+from repro.tree.newick import parse_newick, write_newick
+from repro.util.rng import RAxMLRandom, rank_seed
+from repro.hybrid.results import HybridResult, RankReport
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Inputs of a hybrid run: the comprehensive-analysis configuration
+    plus the parallel layout (p processes × T threads) and the machine
+    whose timing model drives the virtual clocks."""
+
+    n_processes: int
+    n_threads: int
+    comprehensive: ComprehensiveConfig = field(default_factory=ComprehensiveConfig)
+    machine: str = "dash"
+    seconds_per_pattern_unit: float = 1e-7
+    map_bootstrap_support: bool = True
+    #: Wall-clock limit for the SPMD rank threads (they run real searches;
+    #: large inputs need hours, not the runtime's defensive default).
+    spmd_timeout: float = 3600.0
+    bootstopping: bool = False
+    bootstop_step: int = 4  # check WC every this-many *global* replicates
+    bootstop_max: int | None = None  # cap when bootstopping (default: 4x requested)
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        machine = machine_by_name(self.machine)
+        if self.n_threads > machine.cores_per_node:
+            raise ValueError(
+                f"{machine.name} has {machine.cores_per_node} cores per node; "
+                f"T={self.n_threads} is impossible (paper: threads are limited "
+                "to the cores of one node)"
+            )
+        if self.bootstop_step < 2 or self.bootstop_step % 2:
+            raise ValueError("bootstop_step must be an even number >= 2")
+
+
+def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
+    """The SPMD body: one rank's share of the comprehensive analysis."""
+    cfg = config.comprehensive
+    machine = machine_by_name(config.machine)
+    rank = comm.rank
+    sched = make_schedule(cfg.n_bootstraps, comm.size)
+
+    # Section 2.4: rank r derives its streams from seed + 10000*r.
+    p_rng = RAxMLRandom(rank_seed(cfg.seed_p, rank))
+    x_rng = RAxMLRandom(rank_seed(cfg.seed_x, rank))
+
+    pool = VirtualThreadPool(
+        config.n_threads,
+        MachineRegionTiming(machine, config.seconds_per_pattern_unit),
+        clock=comm.clock,
+    )
+    ops = OpCounter()
+
+    def engine_factory(pal_, model_, rate_model_, weights_, ops_):
+        return ThreadedLikelihoodEngine(
+            pal_, model_, pool, rate_model_, weights=weights_, ops=ops_
+        )
+
+    stage_seconds: dict[str, float] = {}
+    stage_ops: dict[str, int] = {}
+
+    def mark(stage: str, t0: float, ops0: int) -> tuple[float, int]:
+        stage_seconds[stage] = comm.clock.now - t0
+        stage_ops[stage] = ops.pattern_ops - ops0
+        return comm.clock.now, ops.pattern_ops
+
+    t0, o0 = comm.clock.now, ops.pattern_ops
+    model, search_rm, gamma_rm, init_tree = prepare_model_and_rates(
+        pal, cfg, p_rng, engine_factory, ops
+    )
+    t0, o0 = mark("setup", t0, o0)
+
+    # ---- Stage 1: bootstraps (each rank: ceil(N/p) replicates) ----------
+    if config.bootstopping:
+        bs_results, wc_trace, shard = _bootstrap_with_bootstopping(
+            comm, pal, config, model, search_rm, x_rng, p_rng, engine_factory,
+            ops, init_tree,
+        )
+    else:
+        bs_results = bootstrap_stage(
+            pal, model, search_rm, sched.bootstraps_per_process, x_rng, p_rng,
+            engine_factory, ops, cfg, init_tree,
+        )
+        wc_trace = []
+        shard = None
+    # The one noteworthy barrier of the MPI code (paper Section 2.1).
+    comm.barrier()
+    t0, o0 = mark("bootstrap", t0, o0)
+
+    # ---- Stage 2: fast searches from local bootstrap trees --------------
+    local_bs_trees = [r.tree for r in bs_results]
+    n_fast_local = (
+        sched.fast_per_process
+        if not config.bootstopping
+        else max(1, -(-len(local_bs_trees) // 5))
+    )
+    fast_starts = select_fast_starts(local_bs_trees, n_fast_local)
+    fast_results = fast_stage(
+        pal, model, search_rm, fast_starts, p_rng, engine_factory, ops, cfg
+    )
+    t0, o0 = mark("fast", t0, o0)
+
+    # ---- Stage 3: slow searches — LOCAL sort only (Section 2.2) ---------
+    n_slow_local = min(sched.slow_per_process, len(fast_results))
+    slow_starts = [r.tree for r in select_best(fast_results, n_slow_local)]
+    slow_results = slow_stage(
+        pal, model, search_rm, slow_starts, p_rng, engine_factory, ops, cfg
+    )
+    t0, o0 = mark("slow", t0, o0)
+
+    # ---- Stage 4: every rank runs its own thorough search (Section 2.1) --
+    best_slow = select_best(slow_results, 1)[0]
+    thorough, final_model = thorough_stage(
+        pal, model, gamma_rm, best_slow.tree, p_rng, engine_factory, ops, cfg
+    )
+    t0, o0 = mark("thorough", t0, o0)
+
+    # ---- Final selection: gather scores, broadcast the winner ------------
+    # Scores are rounded to 1e-6 for the argmax (ties break to the lowest
+    # rank) so the winner is independent of thread-count float noise.
+    local_newick = write_newick(thorough.tree)
+    scores = comm.allgather((round(thorough.lnl, 6), -rank, thorough.lnl))
+    _, neg_rank, winner_lnl = max(scores)
+    winner_rank = -neg_rank
+    best_newick = comm.bcast(
+        local_newick if rank == winner_rank else None, root=winner_rank
+    )
+    mark("finalize", t0, o0)
+
+    return {
+        "rank": rank,
+        "stage_seconds": stage_seconds,
+        "stage_ops": stage_ops,
+        "local_lnl": thorough.lnl,
+        "local_newick": local_newick,
+        "winner_rank": winner_rank,
+        "winner_lnl": winner_lnl,
+        "best_newick": best_newick,
+        "bootstrap_newicks": [write_newick(t) for t in local_bs_trees],
+        "wc_trace": wc_trace,
+        "shard": shard,
+        "n_fast": len(fast_results),
+        "n_slow": len(slow_results),
+        "finish_time": comm.clock.now,
+        "comm_seconds": comm.comm_seconds(),
+    }
+
+
+def _bootstrap_with_bootstopping(
+    comm: SimComm,
+    pal: PatternAlignment,
+    config: HybridConfig,
+    model,
+    search_rm,
+    x_rng: RAxMLRandom,
+    p_rng: RAxMLRandom,
+    engine_factory,
+    ops: OpCounter,
+    init_tree,
+):
+    """Bootstraps in rounds with a cross-rank WC convergence test.
+
+    Every round each rank runs ``bootstop_step / p`` (at least 1)
+    replicates; trees are allgathered (as Newick); each rank keeps its
+    *shard* of the global bipartition hash table (the paper's "framework
+    for parallel operations on hash tables") and every rank runs the WC
+    test on the identical global set (identical seeds → identical
+    decision, no extra broadcast needed).  The loop stops on convergence
+    or at the cap.
+    """
+    cfg = config.comprehensive
+    cap = config.bootstop_max or cfg.n_bootstraps * 4
+    per_round = max(1, config.bootstop_step // comm.size)
+    results = []
+    all_trees: list = []
+    trace: list[tuple[int, float]] = []
+    # This rank's shard of the distributed bipartition table: it owns the
+    # splits whose hash maps to its rank, over *all* replicates seen.
+    shard = BipartitionTable(pal.n_taxa, shard=comm.rank, n_shards=comm.size)
+    wc_rng = RAxMLRandom(cfg.seed_x + 777)  # identical on every rank
+    current_init = init_tree
+    round_no = 0
+    while True:
+        chunk = bootstrap_stage(
+            pal, model, search_rm, per_round, x_rng, p_rng, engine_factory,
+            ops, cfg, current_init,
+        )
+        round_no += 1
+        results.extend(chunk)
+        current_init = chunk[-1].tree
+        local_newicks = [write_newick(r.tree) for r in chunk]
+        gathered = comm.allgather(local_newicks)
+        round_trees = [
+            parse_newick(n, taxa=pal.taxa)
+            for rank_list in gathered
+            for n in rank_list
+        ]
+        all_trees.extend(round_trees)
+        shard.add_trees(round_trees)
+        total = len(all_trees)
+        if total >= 4 and total % 2 == 0:
+            ok, stat = wc_converged(all_trees, RAxMLRandom(wc_rng.seed + round_no))
+            trace.append((total, stat))
+            if ok or total >= cap:
+                break
+        elif total >= cap:
+            break
+    # Sanity of the distributed table: each shard saw every tree.
+    assert shard.n_trees == len(all_trees)
+    return results, trace, shard
+
+
+def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridResult:
+    """Run one hybrid comprehensive analysis on the simulated cluster.
+
+    Executes the *real* search pipeline on every rank (results are genuine
+    phylogenetic inferences; virtual clocks give machine-model times) and
+    assembles the global result the way the MPI code does.
+    """
+    results = run_spmd(
+        lambda comm: _rank_main(comm, pal, config),
+        config.n_processes,
+        timeout=config.spmd_timeout,
+    )
+    results.sort(key=lambda r: r["rank"])
+
+    ranks = [
+        RankReport(
+            rank=r["rank"],
+            stage_seconds=r["stage_seconds"],
+            stage_ops=r["stage_ops"],
+            local_best_lnl=r["local_lnl"],
+            local_best_newick=r["local_newick"],
+            n_bootstraps=len(r["bootstrap_newicks"]),
+            n_fast=r["n_fast"],
+            n_slow=r["n_slow"],
+            finish_time=r["finish_time"],
+            comm_seconds=r["comm_seconds"],
+        )
+        for r in results
+    ]
+    stages = ("setup", "bootstrap", "fast", "slow", "thorough", "finalize")
+    stage_seconds = {
+        s: max(r.stage_seconds.get(s, 0.0) for r in ranks) for s in stages
+    }
+    best_tree = parse_newick(results[0]["best_newick"], taxa=pal.taxa)
+    schedule = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
+
+    bootstrap_trees = [
+        parse_newick(n, taxa=pal.taxa)
+        for r in results
+        for n in r["bootstrap_newicks"]
+    ]
+    support_tree = None
+    if config.map_bootstrap_support and len(pal.taxa) >= 4:
+        shards = [r["shard"] for r in results]
+        if all(s is not None for s in shards):
+            # Bootstopping runs kept a rank-sharded distributed table;
+            # merging the shards reproduces the global table exactly.
+            table = merge_tables(shards)
+        else:
+            table = BipartitionTable(len(pal.taxa))
+            table.add_trees(bootstrap_trees)
+        support_tree = map_support(best_tree, table)
+
+    return HybridResult(
+        best_tree=best_tree,
+        best_lnl=results[0]["winner_lnl"],
+        winner_rank=results[0]["winner_rank"],
+        schedule=schedule,
+        ranks=ranks,
+        stage_seconds=stage_seconds,
+        total_seconds=max(r.finish_time for r in ranks),
+        support_tree=support_tree,
+        bootstrap_trees=bootstrap_trees,
+        wc_trace=results[0]["wc_trace"],
+    )

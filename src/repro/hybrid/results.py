@@ -1,0 +1,91 @@
+"""Result containers of hybrid runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.search.schedule import WorkSchedule
+from repro.tree.topology import Tree
+
+
+@dataclass
+class RankReport:
+    """What one simulated MPI rank did and how long (virtual) it took."""
+
+    rank: int
+    stage_seconds: dict[str, float]
+    stage_ops: dict[str, int]
+    local_best_lnl: float  # this rank's thorough-search GAMMA lnL
+    local_best_newick: str
+    n_bootstraps: int
+    n_fast: int
+    n_slow: int
+    finish_time: float  # rank virtual clock at completion
+    comm_seconds: float = 0.0  # virtual time spent communicating/waiting
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+@dataclass
+class HybridResult:
+    """Outcome of one hybrid comprehensive analysis."""
+
+    best_tree: Tree
+    best_lnl: float
+    winner_rank: int
+    schedule: WorkSchedule
+    ranks: list[RankReport]
+    stage_seconds: dict[str, float]  # per stage, last process to finish
+    total_seconds: float  # latest rank finish time
+    support_tree: Tree | None = None
+    bootstrap_trees: list[Tree] = field(default_factory=list)
+    wc_trace: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def n_bootstraps_done(self) -> int:
+        return sum(r.n_bootstraps for r in self.ranks)
+
+    def rank_lnls(self) -> list[float]:
+        """Per-rank thorough-search likelihoods (Table 6's comparison)."""
+        return [r.local_best_lnl for r in self.ranks]
+
+    def to_report(self) -> dict:
+        """A JSON-serialisable run report (the CLI's info file)."""
+        from repro.tree.newick import write_newick
+
+        return {
+            "best_lnl": self.best_lnl,
+            "winner_rank": self.winner_rank,
+            "best_tree": write_newick(self.best_tree),
+            "support_tree": (
+                write_newick(self.support_tree, support=True)
+                if self.support_tree is not None
+                else None
+            ),
+            "schedule": {
+                "n_processes": self.schedule.n_processes,
+                "bootstraps_per_process": self.schedule.bootstraps_per_process,
+                "fast_per_process": self.schedule.fast_per_process,
+                "slow_per_process": self.schedule.slow_per_process,
+                "total_bootstraps": self.schedule.total_bootstraps,
+            },
+            "n_bootstraps_done": self.n_bootstraps_done,
+            "stage_seconds": dict(self.stage_seconds),
+            "total_seconds": self.total_seconds,
+            "wc_trace": [list(t) for t in self.wc_trace],
+            "ranks": [
+                {
+                    "rank": r.rank,
+                    "stage_seconds": dict(r.stage_seconds),
+                    "stage_pattern_ops": dict(r.stage_ops),
+                    "thorough_lnl": r.local_best_lnl,
+                    "n_bootstraps": r.n_bootstraps,
+                    "n_fast": r.n_fast,
+                    "n_slow": r.n_slow,
+                    "finish_time": r.finish_time,
+                }
+                for r in self.ranks
+            ],
+        }

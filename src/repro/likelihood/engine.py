@@ -1,0 +1,577 @@
+"""Felsenstein-pruning likelihood engine, vectorized over patterns.
+
+The engine mirrors the structure of RAxML's likelihood core:
+
+* conditional likelihood vectors (CLVs) are arrays over the *pattern* axis
+  — the axis RAxML's fine-grained Pthreads parallelization slices;
+* two rate-heterogeneity modes: ``gamma`` (a mixture — every pattern is
+  evaluated under every category, GTRGAMMA) and ``cat`` (each pattern is
+  assigned to exactly one rate category, GTRCAT);
+* per-pattern log-scalers avoid underflow on large trees;
+* "down" partials (postorder, subtree below each node) and "up" partials
+  (preorder, rest-of-tree seen from above) support O(1)-per-edge
+  likelihood evaluation for branch optimisation and lazy SPR scoring;
+* an :class:`OpCounter` tallies pattern-operations so the performance model
+  and the virtual thread pool can charge simulated time for real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.likelihood.gamma import discrete_gamma_rates
+from repro.likelihood.gtr import GTRModel
+from repro.seq.encoding import state_likelihood_rows
+from repro.seq.patterns import PatternAlignment
+from repro.tree.topology import Node, Tree
+
+#: Smallest value a scaler may take (guards log(0) for impossible patterns).
+_TINY = 1e-300
+
+
+@dataclass
+class OpCounter:
+    """Counts likelihood-kernel work in *pattern operations*.
+
+    One pattern-op is the computation of one pattern's CLV entry set at one
+    node (times the number of rate categories).  The counter feeds both the
+    virtual thread pool (fine-grained timing) and cross-checks of the
+    analytic cost model.
+    """
+
+    pattern_ops: int = 0
+    clv_updates: int = 0
+    edge_evals: int = 0
+
+    def charge_clv(self, n_patterns: int, n_cats: int) -> None:
+        self.pattern_ops += n_patterns * n_cats
+        self.clv_updates += 1
+
+    def charge_edge(self, n_patterns: int, n_cats: int) -> None:
+        self.pattern_ops += n_patterns * n_cats
+        self.edge_evals += 1
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "pattern_ops": self.pattern_ops,
+            "clv_updates": self.clv_updates,
+            "edge_evals": self.edge_evals,
+        }
+
+
+@dataclass(frozen=True)
+class RateModel:
+    """Rate-heterogeneity specification.
+
+    ``kind == "gamma"``: ``rates`` holds the k category rates (mean 1) and
+    every pattern is a uniform mixture over them; ``alpha`` records the
+    shape parameter that produced them.
+
+    ``kind == "cat"``: ``rates`` holds the category rates and
+    ``pattern_to_cat`` assigns each pattern to exactly one category.
+
+    ``p_invariant`` adds the "+I" component (GTR+I+Γ): a proportion of
+    sites that never change.  Per-pattern likelihood becomes
+    ``(1 - p)·L_variable + p·L_invariant`` where the invariant component
+    is non-zero only for constant-compatible patterns.
+    """
+
+    kind: str
+    rates: np.ndarray
+    alpha: float | None = None
+    pattern_to_cat: np.ndarray | None = None
+    p_invariant: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gamma", "cat"):
+            raise ValueError(f"unknown rate model kind {self.kind!r}")
+        if not (0.0 <= self.p_invariant < 1.0):
+            raise ValueError("p_invariant must be in [0, 1)")
+        rates = np.asarray(self.rates, dtype=np.float64)
+        if rates.ndim != 1 or rates.size < 1:
+            raise ValueError("rates must be a non-empty 1-D array")
+        if np.any(rates < 0):
+            raise ValueError("category rates must be non-negative")
+        rates.setflags(write=False)
+        object.__setattr__(self, "rates", rates)
+        if self.kind == "cat":
+            if self.pattern_to_cat is None:
+                raise ValueError("cat rate model requires pattern_to_cat")
+            p2c = np.asarray(self.pattern_to_cat, dtype=np.intp)
+            if p2c.size and (p2c.min() < 0 or p2c.max() >= rates.size):
+                raise ValueError("pattern_to_cat refers to a missing category")
+            p2c.setflags(write=False)
+            object.__setattr__(self, "pattern_to_cat", p2c)
+        elif self.pattern_to_cat is not None:
+            raise ValueError("gamma rate model must not set pattern_to_cat")
+
+    @classmethod
+    def gamma(
+        cls, alpha: float = 1.0, n_categories: int = 4, p_invariant: float = 0.0
+    ) -> "RateModel":
+        return cls(
+            "gamma",
+            discrete_gamma_rates(alpha, n_categories),
+            alpha=alpha,
+            p_invariant=p_invariant,
+        )
+
+    @classmethod
+    def single(cls) -> "RateModel":
+        """No rate heterogeneity (one category, rate 1)."""
+        return cls("gamma", np.ones(1), alpha=None)
+
+    @classmethod
+    def cat(cls, rates, pattern_to_cat, p_invariant: float = 0.0) -> "RateModel":
+        return cls(
+            "cat",
+            np.asarray(rates, float),
+            pattern_to_cat=np.asarray(pattern_to_cat),
+            p_invariant=p_invariant,
+        )
+
+    def with_p_invariant(self, p_invariant: float) -> "RateModel":
+        """The same rate model with a different +I proportion."""
+        return RateModel(
+            self.kind, self.rates, alpha=self.alpha,
+            pattern_to_cat=self.pattern_to_cat, p_invariant=p_invariant,
+        )
+
+    @property
+    def n_categories(self) -> int:
+        return int(self.rates.size)
+
+
+@dataclass
+class _Partial:
+    """A CLV plus its per-pattern log-scaler."""
+
+    clv: np.ndarray  # gamma: (m, k, 4); cat: (m, 4)
+    logscale: np.ndarray  # (m,)
+
+
+def subset_rate_model(rate_model: RateModel, idx: np.ndarray) -> RateModel:
+    """Restrict a rate model to a subset of patterns.
+
+    Gamma mixtures are pattern-independent; CAT assignments are sliced.
+    """
+    if rate_model.kind == "cat":
+        return RateModel.cat(
+            rate_model.rates,
+            rate_model.pattern_to_cat[idx],
+            p_invariant=rate_model.p_invariant,
+        )
+    return rate_model
+
+
+class LikelihoodEngine:
+    """Phylogenetic likelihood computations for one pattern alignment.
+
+    Parameters
+    ----------
+    pal:
+        The pattern-compressed alignment.
+    model:
+        The GTR substitution model.
+    rate_model:
+        Gamma mixture or CAT assignment (see :class:`RateModel`).
+    weights:
+        Optional override of the pattern weights (bootstrap replicates pass
+        resampled weights here); defaults to ``pal.weights``.
+    ops:
+        Optional shared :class:`OpCounter`.
+    """
+
+    def __init__(
+        self,
+        pal: PatternAlignment,
+        model: GTRModel,
+        rate_model: RateModel | None = None,
+        weights: np.ndarray | None = None,
+        ops: OpCounter | None = None,
+    ) -> None:
+        self.pal = pal
+        self.model = model
+        self.rate_model = rate_model if rate_model is not None else RateModel.gamma()
+        if self.rate_model.kind == "cat":
+            p2c = self.rate_model.pattern_to_cat
+            if p2c.shape != (pal.n_patterns,):
+                raise ValueError(
+                    "pattern_to_cat length must equal the number of patterns"
+                )
+        w = pal.weights if weights is None else np.asarray(weights, dtype=np.float64)
+        if w.shape != (pal.n_patterns,):
+            raise ValueError("weights length must equal the number of patterns")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        self.weights = np.asarray(w, dtype=np.float64)
+        self.ops = ops if ops is not None else OpCounter()
+        self._tip_rows = state_likelihood_rows()
+        # "+I" support: the invariant-site likelihood of each pattern is
+        # sum_s pi_s over the states every taxon is compatible with —
+        # non-zero only for constant-compatible columns, tree-independent.
+        if self.rate_model.p_invariant > 0.0:
+            const_mask = np.bitwise_and.reduce(pal.patterns, axis=0)
+            self._inv_lik = self._tip_rows[const_mask] @ self.model.pi
+        else:
+            self._inv_lik = None
+
+    # -- basic shapes -------------------------------------------------------
+
+    @property
+    def n_patterns(self) -> int:
+        return self.pal.n_patterns
+
+    @property
+    def n_categories(self) -> int:
+        return self.rate_model.n_categories
+
+    @property
+    def is_cat(self) -> bool:
+        return self.rate_model.kind == "cat"
+
+    def with_model(self, model: GTRModel) -> "LikelihoodEngine":
+        return LikelihoodEngine(self.pal, model, self.rate_model, self.weights, self.ops)
+
+    def with_rate_model(self, rate_model: RateModel) -> "LikelihoodEngine":
+        return LikelihoodEngine(self.pal, self.model, rate_model, self.weights, self.ops)
+
+    def with_weights(self, weights: np.ndarray) -> "LikelihoodEngine":
+        return LikelihoodEngine(self.pal, self.model, self.rate_model, weights, self.ops)
+
+    # -- CLV primitives ----------------------------------------------------
+
+    def tip_clv(self, leaf_index: int, patterns: slice | None = None) -> np.ndarray:
+        """The (unscaled) tip CLV for one taxon: (m, 4) 0/1 indicators."""
+        masks = self.pal.patterns[leaf_index]
+        if patterns is not None:
+            masks = masks[patterns]
+        return self._tip_rows[masks]
+
+    def _pmatrices(self, t: float) -> np.ndarray:
+        """P(t·r_c) for all categories; shape (k, 4, 4)."""
+        return self.model.transition_matrices(t, self.rate_model.rates)
+
+    def _propagate_tip(self, pmats: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Tip-specialised propagation (RAxML's tip-case kernels).
+
+        A tip CLV takes one of only 16 values (the IUPAC masks), so the
+        matrix product is precomputed per mask — ``P @ rows[mask]`` for all
+        16 masks and every category — and the per-pattern result is a pure
+        gather.  O(16·k) arithmetic instead of O(m·k).
+        """
+        # (k, 16, 4): for each category, the propagated CLV of each mask.
+        table = np.einsum("kab,sb->ksa", pmats, self._tip_rows, optimize=True)
+        if self.is_cat:
+            return table[self.rate_model.pattern_to_cat[: masks.shape[0]], masks]
+        # gamma: (k, m, 4) -> (m, k, 4)
+        return np.ascontiguousarray(table[:, masks, :].transpose(1, 0, 2))
+
+    def _propagate(self, pmats: np.ndarray, clv: np.ndarray) -> np.ndarray:
+        """Apply per-category transition matrices to a child CLV.
+
+        ``clv`` may be a tip CLV of shape (m, 4) (category-independent) or
+        an internal CLV of shape (m, k, 4) [gamma] / (m, 4) [cat].
+        Returns the parent-side contribution with the engine's CLV shape.
+        """
+        if self.is_cat:
+            p_per_pattern = pmats[self.rate_model.pattern_to_cat[: clv.shape[0]]]
+            return np.einsum("pab,pb->pa", p_per_pattern, clv, optimize=True)
+        if clv.ndim == 2:  # tip: broadcast over categories
+            return np.einsum("kab,mb->mka", pmats, clv, optimize=True)
+        return np.einsum("kab,mkb->mka", pmats, clv, optimize=True)
+
+    def _as_full(self, clv: np.ndarray) -> np.ndarray:
+        """Expand a tip CLV (m, 4) to the engine's full CLV shape.
+
+        In gamma mode internal CLVs are (m, k, 4); a tip's CLV is
+        category-independent and is broadcast.  In cat mode both shapes are
+        already (m, 4).
+        """
+        if not self.is_cat and clv.ndim == 2:
+            m = clv.shape[0]
+            return np.broadcast_to(clv[:, None, :], (m, self.n_categories, 4))
+        return clv
+
+    def _rescale(self, clv: np.ndarray, logscale: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Divide each pattern's CLV by its max entry, accumulating logs."""
+        axes = tuple(range(1, clv.ndim))
+        mx = np.maximum(clv.max(axis=axes), _TINY)
+        shape = (clv.shape[0],) + (1,) * (clv.ndim - 1)
+        clv = clv / mx.reshape(shape)
+        return clv, logscale + np.log(mx)
+
+    # -- down partials (postorder) --------------------------------------------
+
+    def compute_down_partials(
+        self, tree: Tree, subtree: Node | None = None
+    ) -> dict[int, _Partial]:
+        """CLV of the subtree below every node, keyed by ``id(node)``.
+
+        ``subtree`` restricts the computation to the nodes under (and
+        including) one node — used by lazy SPR, where the pruned subtree's
+        partial is independent of the rest of the tree.
+        """
+        down: dict[int, _Partial] = {}
+        m = self.n_patterns
+        nodes = tree.postorder() if subtree is None else self._subtree_postorder(subtree)
+        for node in nodes:
+            if node.is_leaf:
+                clv = self.tip_clv(node.leaf_index)
+                if not self.is_cat:
+                    # Tips are category-independent; store (m, 4) and let
+                    # _propagate broadcast. Keep explicit for uniformity.
+                    pass
+                down[id(node)] = _Partial(clv, np.zeros(m))
+            else:
+                acc = None
+                logscale = np.zeros(m)
+                for child in node.children:
+                    pmats = self._pmatrices(child.length)
+                    if child.is_leaf:
+                        # Tip-specialised kernel: gather from a 16-entry table.
+                        masks = self.pal.patterns[child.leaf_index]
+                        contrib = self._propagate_tip(pmats, masks)
+                    else:
+                        part = down[id(child)]
+                        contrib = self._propagate(pmats, part.clv)
+                        logscale += part.logscale
+                    self.ops.charge_clv(m, self.n_categories)
+                    acc = contrib if acc is None else acc * contrib
+                acc, logscale = self._rescale(acc, logscale)
+                down[id(node)] = _Partial(acc, logscale)
+        return down
+
+    @staticmethod
+    def _subtree_postorder(node: Node):
+        stack = [(node, False)]
+        while stack:
+            n, expanded = stack.pop()
+            if expanded or n.is_leaf:
+                yield n
+            else:
+                stack.append((n, True))
+                for ch in reversed(n.children):
+                    stack.append((ch, False))
+
+    # -- up partials (preorder) ------------------------------------------------
+
+    def compute_up_partials(
+        self, tree: Tree, down: dict[int, _Partial]
+    ) -> dict[int, _Partial]:
+        """For each non-root node ``v``: the partial *at v's parent* of the
+        entire tree minus ``v``'s subtree, keyed by ``id(v)``.
+
+        Together with ``down[v]`` this evaluates the likelihood of the edge
+        above ``v`` in O(1) kernel calls (RAxML's "makenewz" setting).
+        """
+        m = self.n_patterns
+        up: dict[int, _Partial] = {}
+        for node in tree.preorder():
+            if node.is_leaf:
+                continue
+            if node is tree.root:
+                above: _Partial | None = None
+            else:
+                above_raw = up[id(node)]
+                # Transport the parent-side partial across this node's edge.
+                moved = self._propagate(self._pmatrices(node.length), above_raw.clv)
+                self.ops.charge_clv(m, self.n_categories)
+                above = _Partial(moved, above_raw.logscale)
+            # Sibling contributions at this node, for each child.
+            contribs = []
+            for child in node.children:
+                pmats = self._pmatrices(child.length)
+                if child.is_leaf:
+                    contrib = self._propagate_tip(
+                        pmats, self.pal.patterns[child.leaf_index]
+                    )
+                    logscale_c = np.zeros(m)
+                else:
+                    part = down[id(child)]
+                    contrib = self._propagate(pmats, part.clv)
+                    logscale_c = part.logscale
+                self.ops.charge_clv(m, self.n_categories)
+                contribs.append(_Partial(contrib, logscale_c))
+            for i, child in enumerate(node.children):
+                acc = None
+                logscale = np.zeros(m)
+                for j, sib in enumerate(contribs):
+                    if i == j:
+                        continue
+                    acc = sib.clv if acc is None else acc * sib.clv
+                    logscale = logscale + sib.logscale
+                if above is not None:
+                    acc = acc * above.clv if acc is not None else above.clv
+                    logscale = logscale + above.logscale
+                acc, logscale = self._rescale(acc, logscale)
+                up[id(child)] = _Partial(acc, logscale)
+        return up
+
+    # -- likelihood ---------------------------------------------------------------
+
+    def _site_logl(self, site: np.ndarray, logscale: np.ndarray) -> np.ndarray:
+        """Per-pattern log-likelihood from scaled variable-part site
+        likelihoods, mixing in the +I invariant component when present."""
+        p = self.rate_model.p_invariant
+        if p == 0.0:
+            return np.log(np.maximum(site, _TINY)) + logscale
+        var = np.log(np.maximum((1.0 - p) * site, _TINY)) + logscale
+        with np.errstate(divide="ignore"):
+            inv = np.log(p * np.maximum(self._inv_lik, 0.0))
+        return np.logaddexp(var, inv)
+
+    def _combine_root(self, root_partial: _Partial) -> np.ndarray:
+        """Per-pattern log-likelihood from the root CLV."""
+        pi = self.model.pi
+        if self.is_cat:
+            site = root_partial.clv @ pi
+        else:
+            k = self.n_categories
+            site = np.einsum("mka,a->m", root_partial.clv, pi) / k
+        return self._site_logl(site, root_partial.logscale)
+
+    def site_loglikelihoods(self, tree: Tree) -> np.ndarray:
+        """Per-pattern log-likelihoods (unweighted)."""
+        down = self.compute_down_partials(tree)
+        return self._combine_root(down[id(tree.root)])
+
+    def loglikelihood(self, tree: Tree) -> float:
+        """The weighted log-likelihood of ``tree`` under this engine."""
+        return float(self.weights @ self.site_loglikelihoods(tree))
+
+    def edge_loglikelihood(
+        self,
+        edge_child: Node,
+        t: float,
+        down_v: _Partial,
+        up_v: _Partial,
+    ) -> float:
+        """Likelihood evaluated across one edge with partials on both sides.
+
+        ``down_v`` is the subtree partial at ``edge_child``; ``up_v`` is the
+        rest-of-tree partial at its parent (see
+        :meth:`compute_up_partials`).
+        """
+        pmats = self._pmatrices(t)
+        pi = self.model.pi
+        self.ops.charge_edge(self.n_patterns, self.n_categories)
+        dclv = self._as_full(down_v.clv)
+        uclv = self._as_full(up_v.clv)
+        if self.is_cat:
+            p_per = pmats[self.rate_model.pattern_to_cat]
+            site = np.einsum(
+                "a,pa,pab,pb->p", pi, uclv, p_per, dclv, optimize=True
+            )
+        else:
+            site = (
+                np.einsum(
+                    "a,mka,kab,mkb->m", pi, uclv, pmats, dclv, optimize=True
+                )
+                / self.n_categories
+            )
+        logl = self._site_logl(site, down_v.logscale + up_v.logscale)
+        return float(self.weights @ logl)
+
+    def partial_for(self, partials: dict[int, "_Partial"], node: Node) -> "_Partial":
+        """Uniform partial lookup (shared API with the threaded engine, so
+        search code is agnostic to whether patterns are chunked)."""
+        return partials[id(node)]
+
+    def insertion_loglikelihood(
+        self,
+        down_v: _Partial,
+        up_v: _Partial,
+        down_s: _Partial,
+        t_edge: float,
+        t_sub: float,
+    ) -> float:
+        """Lazy-SPR score: likelihood of inserting a pruned subtree.
+
+        The subtree with subtree partial ``down_s`` is attached by a branch
+        of length ``t_sub`` to a new node placed at the midpoint of the
+        edge carrying partials ``down_v`` (below) and ``up_v`` (above,
+        length ``t_edge``).  No branch lengths are optimised — this is
+        RAxML's lazy SPR evaluation used to rank candidate insertions.
+        """
+        half = max(t_edge * 0.5, 1e-9)
+        c1 = self._propagate(self._pmatrices(half), down_v.clv)
+        c2 = self._propagate(self._pmatrices(half), up_v.clv)
+        c3 = self._propagate(self._pmatrices(t_sub), down_s.clv)
+        self.ops.charge_clv(self.n_patterns, self.n_categories)
+        self.ops.charge_clv(self.n_patterns, self.n_categories)
+        self.ops.charge_edge(self.n_patterns, self.n_categories)
+        pi = self.model.pi
+        prod = c1 * c2 * c3
+        if self.is_cat:
+            site = prod @ pi
+        else:
+            site = np.einsum("mka,a->m", prod, pi) / self.n_categories
+        logl = self._site_logl(
+            site, down_v.logscale + up_v.logscale + down_s.logscale
+        )
+        return float(self.weights @ logl)
+
+    # -- sumtable (eigen-coefficient) machinery for Newton steps ---------------
+
+    def edge_coefficients(self, down_v: _Partial, up_v: _Partial):
+        """Eigenbasis coefficient table for the edge likelihood function.
+
+        Returns ``(coef, exps, logscale)`` such that the per-pattern site
+        likelihood across the edge at branch length ``t`` is
+
+        ``site_p(t) = sum_{k,j} coef[p,k,j] * exp(exps[k,j] * t)``  (gamma)
+        ``site_p(t) = sum_j coef[p,j] * exp(exps[p,j] * t)``        (cat)
+
+        This is RAxML's "sumtable": Newton iterations on ``t`` then cost
+        O(m·k·4) per step with no further matrix exponentials.
+        """
+        lam, u, u_inv, _ = self.model._spectral
+        pi = self.model.pi
+        rates = self.rate_model.rates
+        dclv = self._as_full(down_v.clv)
+        uclv = self._as_full(up_v.clv)
+        if self.is_cat:
+            x = (uclv * pi[None, :]) @ u  # (m, 4)
+            y = dclv @ u_inv.T  # (m, 4)
+            coef = x * y
+            exps = np.outer(rates, lam)[self.rate_model.pattern_to_cat]  # (m, 4)
+        else:
+            x = np.einsum("mka,a,aj->mkj", uclv, pi, u, optimize=True)
+            y = np.einsum("mkb,jb->mkj", dclv, u_inv, optimize=True)
+            coef = x * y / self.n_categories
+            exps = np.outer(rates, lam)  # (k, 4)
+        logscale = down_v.logscale + up_v.logscale
+        return coef, exps, logscale
+
+    def edge_lnl_and_derivatives(self, coef, exps, logscale, t: float):
+        """(lnL, dlnL/dt, d²lnL/dt²) of the edge function at ``t``."""
+        e = np.exp(exps * t)
+        if self.is_cat:
+            term = coef * e  # (m, 4)
+            site = term.sum(axis=1)
+            d1 = (term * exps).sum(axis=1)
+            d2 = (term * exps * exps).sum(axis=1)
+        else:
+            term = coef * e[None, :, :]  # (m, k, 4)
+            site = term.sum(axis=(1, 2))
+            d1 = (term * exps[None]).sum(axis=(1, 2))
+            d2 = (term * exps[None] * exps[None]).sum(axis=(1, 2))
+        site = np.maximum(site, _TINY)
+        p = self.rate_model.p_invariant
+        if p > 0.0:
+            # +I mixing: the invariant term is a constant offset, so the
+            # derivatives divide by the mixed likelihood in scaled space.
+            lnl = float(self.weights @ self._site_logl(site, logscale))
+            adj = (p / (1.0 - p)) * self._inv_lik * np.exp(
+                np.clip(-logscale, None, 700.0)
+            )
+            denom = site + adj
+        else:
+            lnl = float(self.weights @ (np.log(site) + logscale))
+            denom = site
+        g = float(self.weights @ (d1 / denom))
+        h = float(self.weights @ ((d2 * denom - d1 * d1) / (denom * denom)))
+        return lnl, g, h

@@ -1,0 +1,159 @@
+"""Model-parameter optimisation (Γ shape, GTR exchangeabilities, frequencies).
+
+RAxML optimises model parameters with Brent's method one coordinate at a
+time, interleaved with branch-length smoothing.  We use
+``scipy.optimize.minimize_scalar`` (Brent, bounded) per coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+from repro.likelihood.gamma import MAX_ALPHA, MIN_ALPHA
+from repro.tree.topology import Tree
+
+#: Bounds for individual GTR exchangeabilities during optimisation.
+_RATE_LO, _RATE_HI = 1e-3, 100.0
+
+
+def empirical_frequencies(engine: LikelihoodEngine) -> np.ndarray:
+    """Observed base frequencies of the alignment (ambiguity-aware).
+
+    Each character contributes its weight split uniformly over its
+    compatible states; fully undetermined characters are ignored.  A small
+    pseudocount keeps all frequencies strictly positive.
+    """
+    from repro.seq.encoding import state_likelihood_rows
+
+    pal = engine.pal
+    tip_rows = state_likelihood_rows()
+    counts = np.zeros(4)
+    w = engine.weights
+    for taxon in range(pal.n_taxa):
+        clv = tip_rows[pal.patterns[taxon]]  # (m, 4)
+        nstates = clv.sum(axis=1)
+        informative = nstates < 4
+        if not np.any(informative):
+            continue
+        contrib = clv[informative] / nstates[informative, None]
+        counts += contrib.T @ w[informative]
+    counts += 1e-6
+    return counts / counts.sum()
+
+
+def optimize_alpha(
+    engine: LikelihoodEngine,
+    tree: Tree,
+    lo: float = MIN_ALPHA,
+    hi: float = 20.0,
+    xtol: float = 1e-3,
+) -> tuple[LikelihoodEngine, float]:
+    """Optimise the Γ shape parameter; returns ``(new_engine, lnl)``.
+
+    Only meaningful for gamma engines with >= 2 categories; CAT engines
+    are returned unchanged.
+    """
+    rm = engine.rate_model
+    if rm.kind != "gamma" or rm.n_categories < 2:
+        return engine, engine.loglikelihood(tree)
+
+    k = rm.n_categories
+    p_inv = rm.p_invariant
+
+    def neg_lnl(alpha: float) -> float:
+        e = engine.with_rate_model(RateModel.gamma(alpha, k, p_invariant=p_inv))
+        return -e.loglikelihood(tree)
+
+    res = optimize.minimize_scalar(
+        neg_lnl, bounds=(lo, min(hi, MAX_ALPHA)), method="bounded",
+        options={"xatol": xtol},
+    )
+    best_alpha = float(res.x)
+    new_engine = engine.with_rate_model(
+        RateModel.gamma(best_alpha, k, p_invariant=p_inv)
+    )
+    return new_engine, -float(res.fun)
+
+
+def optimize_p_invariant(
+    engine: LikelihoodEngine,
+    tree: Tree,
+    hi: float = 0.9,
+    xtol: float = 1e-3,
+) -> tuple[LikelihoodEngine, float]:
+    """Optimise the +I proportion of invariant sites (GTR+I+Γ)."""
+
+    def neg_lnl(p: float) -> float:
+        e = engine.with_rate_model(engine.rate_model.with_p_invariant(p))
+        return -e.loglikelihood(tree)
+
+    res = optimize.minimize_scalar(
+        neg_lnl, bounds=(0.0, hi), method="bounded", options={"xatol": xtol}
+    )
+    best_p = float(res.x)
+    new_engine = engine.with_rate_model(
+        engine.rate_model.with_p_invariant(best_p)
+    )
+    return new_engine, -float(res.fun)
+
+
+def optimize_rates(
+    engine: LikelihoodEngine,
+    tree: Tree,
+    xtol: float = 1e-3,
+) -> tuple[LikelihoodEngine, float]:
+    """Coordinate-wise Brent optimisation of the five free GTR rates."""
+    model = engine.model
+    rates = list(model.rates)
+    best = engine.loglikelihood(tree)
+    for i in range(5):  # GT (index 5) is fixed at 1
+        def neg_lnl(r: float) -> float:
+            trial = rates.copy()
+            trial[i] = r
+            e = engine.with_model(model.with_rates(trial))
+            return -e.loglikelihood(tree)
+
+        res = optimize.minimize_scalar(
+            neg_lnl, bounds=(_RATE_LO, _RATE_HI), method="bounded",
+            options={"xatol": xtol},
+        )
+        if -res.fun > best:
+            rates[i] = float(res.x)
+            best = -float(res.fun)
+            model = model.with_rates(rates)
+    return engine.with_model(model), best
+
+
+def optimize_model(
+    engine: LikelihoodEngine,
+    tree: Tree,
+    rounds: int = 2,
+    optimize_gtr: bool = True,
+    optimize_frequencies: bool = True,
+    optimize_invariant: bool = False,
+    tol: float = 0.01,
+) -> tuple[LikelihoodEngine, float]:
+    """Interleaved optimisation of frequencies, GTR rates and Γ shape.
+
+    Returns ``(engine, lnl)`` with the improved model.  Branch lengths are
+    *not* touched here; callers interleave with
+    :func:`repro.likelihood.brlen.optimize_branch_lengths`.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if optimize_frequencies:
+        freqs = empirical_frequencies(engine)
+        engine = engine.with_model(engine.model.with_freqs(freqs))
+    best = engine.loglikelihood(tree)
+    for _ in range(rounds):
+        before = best
+        if optimize_gtr:
+            engine, best = optimize_rates(engine, tree)
+        engine, best = optimize_alpha(engine, tree)
+        if optimize_invariant:
+            engine, best = optimize_p_invariant(engine, tree)
+        if best - before < tol:
+            break
+    return engine, best

@@ -1,0 +1,31 @@
+"""Simulated MPI substrate (SPMD over rank threads, virtual clocks).
+
+The paper's MPI usage is deliberately minimal: each rank parses its own
+input, works independently, and the only noteworthy communications are an
+``MPI_Barrier`` after the bootstrap stage and an ``MPI_Bcast`` to select
+the final best solution (Section 2.1).  This package provides:
+
+* :class:`SimComm` — an mpi4py-style communicator (send/recv/bcast/
+  barrier/gather/allgather/allreduce) backed by in-process mailboxes, with
+  a per-rank :class:`~repro.util.timing.VirtualClock` that collectives
+  synchronise exactly as real barriers synchronise wall clocks;
+* :func:`run_spmd` — launch one SPMD function across ``p`` rank threads;
+* :mod:`repro.mpi.mp_backend` — a *real* ``multiprocessing`` backend for
+  the embarrassingly-parallel rank work (functional demonstration; the
+  virtual-clock runtime is what the benchmarks time).
+"""
+
+from repro.mpi.comm import SimComm, CommTiming, CommEvent, SPMDError
+from repro.mpi.launcher import run_spmd
+from repro.mpi.mp_backend import run_coarse_multiprocessing
+from repro.util.rng import rank_seed
+
+__all__ = [
+    "SimComm",
+    "CommTiming",
+    "CommEvent",
+    "SPMDError",
+    "run_spmd",
+    "run_coarse_multiprocessing",
+    "rank_seed",
+]

@@ -1,0 +1,269 @@
+"""The simulated communicator.
+
+Ranks execute as cooperating Python threads; messages travel through
+in-memory mailboxes; collectives are built from a shared generation-tagged
+scratch board plus a thread barrier.  All ranks must call collectives in
+the same order (the standard SPMD contract — violations raise
+:class:`SPMDError` via generation mismatches or barrier timeouts).
+
+Virtual time: each rank owns a clock; a collective advances every
+participant to ``max(entry clocks) + cost(p, payload)``.  The cost model
+(:class:`CommTiming`) defaults to realistic-but-small cluster constants —
+the paper stresses that "a fast and expensive interconnect is not
+required" because communication is negligible.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.util.timing import VirtualClock
+
+
+class SPMDError(RuntimeError):
+    """Raised when ranks violate the SPMD collective-ordering contract."""
+
+
+@dataclass(frozen=True)
+class CommTiming:
+    """Virtual-time costs of communication operations (seconds)."""
+
+    latency: float = 5e-6  # per point-to-point message
+    byte_time: float = 1e-9  # per payload byte (~1 GB/s interconnect)
+    barrier_base: float = 1e-5  # per barrier, times ceil(log2(p))
+
+    def message_seconds(self, n_bytes: int) -> float:
+        return self.latency + self.byte_time * n_bytes
+
+    def barrier_seconds(self, size: int) -> float:
+        if size <= 1:
+            return 0.0
+        return self.barrier_base * ceil(log2(size))
+
+    def collective_seconds(self, size: int, n_bytes: int) -> float:
+        """Tree-structured collective: log2(p) message rounds."""
+        if size <= 1:
+            return 0.0
+        return ceil(log2(size)) * self.message_seconds(n_bytes)
+
+
+def _payload_bytes(obj) -> int:
+    """Approximate wire size of a Python object (pickle length)."""
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unpicklable objects still need *some* cost
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communication operation (for the per-rank trace)."""
+
+    op: str
+    rank: int
+    seconds: float  # virtual time spent in the operation
+    payload_bytes: int
+    started_at: float
+
+
+class _World:
+    """Shared state of one SPMD run."""
+
+    def __init__(self, size: int, timing: CommTiming, timeout: float) -> None:
+        self.size = size
+        self.timing = timing
+        self.timeout = timeout
+        self.mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self.mailbox_lock = threading.Lock()
+        self.scratch: dict[int, dict[int, object]] = {}
+        self.scratch_ops: dict[int, str] = {}
+        self.scratch_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.mailbox_lock:
+            q = self.mailboxes.get(key)
+            if q is None:
+                q = self.mailboxes[key] = queue.Queue()
+            return q
+
+
+class SimComm:
+    """Per-rank communicator handle (mpi4py-flavoured lowercase API)."""
+
+    def __init__(self, world: _World, rank: int, clock: VirtualClock | None = None) -> None:
+        if not (0 <= rank < world.size):
+            raise ValueError(f"rank {rank} out of range for size {world.size}")
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.clock = clock if clock is not None else VirtualClock()
+        self._generation = 0
+        #: Per-rank record of every communication operation.
+        self.trace: list[CommEvent] = []
+
+    def _record(self, op: str, started_at: float, payload: int) -> None:
+        self.trace.append(
+            CommEvent(
+                op=op,
+                rank=self.rank,
+                seconds=self.clock.now - started_at,
+                payload_bytes=payload,
+                started_at=started_at,
+            )
+        )
+
+    def comm_seconds(self) -> float:
+        """Total virtual time this rank spent communicating (including
+        barrier wait — i.e. time attributable to synchronisation)."""
+        return sum(e.seconds for e in self.trace)
+
+    # -- mpi4py-style accessors ------------------------------------------
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point-to-point -----------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        if dest == self.rank:
+            raise ValueError("send to self would deadlock a blocking recv")
+        t0 = self.clock.now
+        payload = _payload_bytes(obj)
+        cost = self._world.timing.message_seconds(payload)
+        self.clock.advance(cost)
+        self._world.mailbox(self.rank, dest, tag).put((obj, self.clock.now))
+        self._record("send", t0, payload)
+
+    def recv(self, source: int, tag: int = 0):
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source rank {source}")
+        try:
+            obj, sent_at = self._world.mailbox(source, self.rank, tag).get(
+                timeout=self._world.timeout
+            )
+        except queue.Empty:
+            raise SPMDError(
+                f"rank {self.rank} timed out receiving from rank {source} (tag {tag})"
+            ) from None
+        # A blocking receive cannot complete before the message exists.
+        t0 = self.clock.now
+        self.clock.synchronize(sent_at)
+        self._record("recv", t0, _payload_bytes(obj))
+        return obj
+
+    # -- collectives --------------------------------------------------------
+
+    def _exchange(self, value, op: str = "collective") -> dict[int, object]:
+        """All-to-all scratch exchange underpinning every collective.
+
+        ``op`` names the collective; ranks disagreeing on which collective
+        they are in (a classic SPMD bug) are detected and rejected.
+        """
+        gen = self._generation
+        self._generation += 1
+        world = self._world
+        with world.scratch_lock:
+            ops = world.scratch_ops.setdefault(gen, op)
+            if ops != op:
+                world.barrier.abort()
+                raise SPMDError(
+                    f"collective mismatch at generation {gen}: rank "
+                    f"{self.rank} called {op!r} but another rank called {ops!r}"
+                )
+            board = world.scratch.setdefault(gen, {})
+            if self.rank in board:
+                raise SPMDError(
+                    f"rank {self.rank} re-entered collective generation {gen}"
+                )
+            board[self.rank] = (value, self.clock.now)
+        try:
+            world.barrier.wait(timeout=world.timeout)
+        except threading.BrokenBarrierError:
+            raise SPMDError(
+                f"collective {gen} broken: some rank never arrived "
+                "(mismatched collective ordering?)"
+            ) from None
+        with world.scratch_lock:
+            board = world.scratch[gen]
+            result = dict(board)
+        # Second barrier before cleanup so nobody reads a reaped board.
+        try:
+            world.barrier.wait(timeout=world.timeout)
+        except threading.BrokenBarrierError:
+            raise SPMDError(f"collective {gen} broken during cleanup") from None
+        if self.rank == 0:
+            with world.scratch_lock:
+                world.scratch.pop(gen, None)
+                world.scratch_ops.pop(gen, None)
+        return result
+
+    def _sync_clocks(self, board: dict[int, object], extra: float) -> None:
+        entry_max = max(t for _, t in board.values())
+        self.clock.synchronize(entry_max)
+        self.clock.advance(extra)
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (the paper's post-bootstrap barrier)."""
+        t0 = self.clock.now
+        board = self._exchange(None, op="barrier")
+        self._sync_clocks(board, self._world.timing.barrier_seconds(self.size))
+        self._record("barrier", t0, 0)
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast from ``root`` (the paper's final best-solution bcast)."""
+        if not (0 <= root < self.size):
+            raise ValueError(f"invalid root rank {root}")
+        t0 = self.clock.now
+        board = self._exchange(obj if self.rank == root else None, op="bcast")
+        value = board[root][0]
+        payload = _payload_bytes(value)
+        cost = self._world.timing.collective_seconds(self.size, payload)
+        self._sync_clocks(board, cost)
+        self._record("bcast", t0, payload)
+        return value
+
+    def gather(self, obj, root: int = 0):
+        if not (0 <= root < self.size):
+            raise ValueError(f"invalid root rank {root}")
+        t0 = self.clock.now
+        board = self._exchange(obj, op="gather")
+        values = [board[r][0] for r in range(self.size)]
+        payload = max(_payload_bytes(v) for v in values)
+        cost = self._world.timing.collective_seconds(self.size, payload)
+        self._sync_clocks(board, cost)
+        self._record("gather", t0, payload)
+        return values if self.rank == root else None
+
+    def allgather(self, obj) -> list:
+        t0 = self.clock.now
+        board = self._exchange(obj, op="allgather")
+        values = [board[r][0] for r in range(self.size)]
+        payload = max(_payload_bytes(v) for v in values)
+        cost = self._world.timing.collective_seconds(self.size, payload)
+        self._sync_clocks(board, cost)
+        self._record("allgather", t0, payload)
+        return values
+
+    def allreduce(self, obj, op=None):
+        """Reduce with ``op`` (a 2-ary callable; default: sum)."""
+        values = self.allgather(obj)
+        if op is None:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc

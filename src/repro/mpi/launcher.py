@@ -1,0 +1,65 @@
+"""SPMD launcher: run one function across p simulated MPI ranks."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.mpi.comm import CommTiming, SimComm, SPMDError, _World
+from repro.util.timing import VirtualClock
+
+
+def run_spmd(
+    fn: Callable[[SimComm], object],
+    n_ranks: int,
+    comm_timing: CommTiming | None = None,
+    clocks: Sequence[VirtualClock] | None = None,
+    timeout: float = 600.0,
+) -> list:
+    """Execute ``fn(comm)`` on every rank of a simulated world.
+
+    Ranks run as daemon threads (the GIL serialises the Python work — this
+    runtime provides *semantics and virtual timing*, not wall-clock
+    speedup).  Returns the per-rank return values in rank order.  The
+    first rank exception, if any, is re-raised in the caller.
+
+    ``clocks`` optionally supplies pre-created per-rank virtual clocks so
+    the caller can inspect final rank times.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    timing = comm_timing if comm_timing is not None else CommTiming()
+    if clocks is not None and len(clocks) != n_ranks:
+        raise ValueError("clocks must have one entry per rank")
+    world = _World(n_ranks, timing, timeout)
+    results: list = [None] * n_ranks
+    errors: list = [None] * n_ranks
+
+    def target(rank: int) -> None:
+        comm = SimComm(world, rank, clocks[rank] if clocks is not None else None)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            world.barrier.abort()  # wake peers stuck in collectives
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.barrier.abort()
+            raise SPMDError(f"{t.name} did not finish within {timeout}s")
+
+    for rank, err in enumerate(errors):
+        if err is not None and not isinstance(err, SPMDError):
+            raise err
+    # Pure SPMD errors (broken barriers) surface only if nothing better.
+    for err in errors:
+        if err is not None:
+            raise err
+    return results

@@ -1,0 +1,276 @@
+"""Calibration of model constants against the paper's Table 5.
+
+Table 5 reports, per data set, the fastest time and optimal thread count
+at 1/8/16/40/80 cores (Dash; 8/16/32/64 for Triton PDAF), for both 100
+bootstraps and the WC-recommended bootstrap numbers.  This module fits
+
+* the per-dataset stage fractions of :mod:`repro.perfmodel.profiles`
+  (3 free parameters per data set), and
+* Triton PDAF's fine-grain constants (core speed, cache factor, cache
+  size, barrier coefficient),
+
+by least squares on log time over all anchors.  Run
+
+    python -m repro.perfmodel.calibrate
+
+to re-fit and print the frozen-constant blocks.  The committed values in
+``profiles.py``/``machines.py`` are the output of exactly this procedure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.datasets.registry import dataset_by_patterns
+from repro.perfmodel.coarse import analysis_time, serial_time
+from repro.perfmodel.machines import MACHINES, MachineSpec
+from repro.perfmodel.profiles import StageProfile
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One Table 5 cell: the best time at a core count."""
+
+    patterns: int
+    machine: str
+    n_bootstraps: int
+    cores: int
+    threads: int  # Table 5's "/threads" annotation
+    seconds: float
+
+    @property
+    def processes(self) -> int:
+        return self.cores // self.threads
+
+
+#: Table 5 of the paper, transcribed. The serial (1-core) entries use
+#: threads=1.  Triton's high-core entries are 32c/64c per the footnote.
+TABLE5_ANCHORS: tuple[Anchor, ...] = (
+    # -- 100 bootstraps specified, Dash --
+    Anchor(348, "dash", 100, 1, 1, 1980),
+    Anchor(348, "dash", 100, 8, 2, 432),
+    Anchor(348, "dash", 100, 16, 2, 307),
+    Anchor(348, "dash", 100, 40, 4, 168),
+    Anchor(348, "dash", 100, 80, 4, 130),
+    Anchor(1130, "dash", 100, 1, 1, 2325),
+    Anchor(1130, "dash", 100, 8, 4, 456),
+    Anchor(1130, "dash", 100, 16, 4, 283),
+    Anchor(1130, "dash", 100, 40, 4, 139),
+    Anchor(1130, "dash", 100, 80, 8, 95),
+    Anchor(1846, "dash", 100, 1, 1, 9630),
+    Anchor(1846, "dash", 100, 8, 4, 1370),
+    Anchor(1846, "dash", 100, 16, 4, 846),
+    Anchor(1846, "dash", 100, 40, 8, 430),
+    Anchor(1846, "dash", 100, 80, 8, 271),
+    Anchor(7429, "dash", 100, 1, 1, 72866),
+    Anchor(7429, "dash", 100, 8, 4, 9494),
+    Anchor(7429, "dash", 100, 16, 8, 5497),
+    Anchor(7429, "dash", 100, 40, 8, 2830),
+    Anchor(7429, "dash", 100, 80, 8, 1828),
+    Anchor(19436, "dash", 100, 1, 1, 22970),
+    Anchor(19436, "dash", 100, 8, 8, 3018),
+    Anchor(19436, "dash", 100, 16, 8, 2006),
+    Anchor(19436, "dash", 100, 40, 8, 1314),
+    Anchor(19436, "dash", 100, 80, 8, 1092),
+    # -- 100 bootstraps, Triton PDAF (32c/64c per footnote) --
+    Anchor(19436, "triton", 100, 1, 1, 32627),
+    Anchor(19436, "triton", 100, 8, 8, 3844),
+    Anchor(19436, "triton", 100, 16, 16, 2179),
+    Anchor(19436, "triton", 100, 32, 32, 1351),
+    Anchor(19436, "triton", 100, 64, 32, 847),
+    # -- recommended (>100) bootstraps, Dash --
+    Anchor(348, "dash", 1200, 1, 1, 15703),
+    Anchor(348, "dash", 1200, 8, 1, 2286),
+    Anchor(348, "dash", 1200, 16, 1, 1287),
+    Anchor(348, "dash", 1200, 40, 2, 702),
+    Anchor(348, "dash", 1200, 80, 2, 443),
+    Anchor(1130, "dash", 650, 1, 1, 10566),
+    Anchor(1130, "dash", 650, 8, 2, 1714),
+    Anchor(1130, "dash", 650, 16, 2, 980),
+    Anchor(1130, "dash", 650, 40, 2, 473),
+    Anchor(1130, "dash", 650, 80, 4, 290),
+    Anchor(1846, "dash", 550, 1, 1, 33738),
+    Anchor(1846, "dash", 550, 8, 2, 5184),
+    Anchor(1846, "dash", 550, 16, 2, 2778),
+    Anchor(1846, "dash", 550, 40, 4, 1290),
+    Anchor(1846, "dash", 550, 80, 4, 845),
+    Anchor(7429, "dash", 700, 1, 1, 355724),
+    Anchor(7429, "dash", 700, 8, 4, 45851),
+    Anchor(7429, "dash", 700, 16, 4, 25454),
+    Anchor(7429, "dash", 700, 40, 4, 11229),
+    Anchor(7429, "dash", 700, 80, 8, 6270),
+)
+
+#: Serial seconds at 100 bootstraps per (patterns, 'dash') — fixed inputs.
+SERIAL_100 = {348: 1980.0, 1130: 2325.0, 1846: 9630.0, 7429: 72866.0, 19436: 22970.0}
+
+
+def anchors_for(patterns: int, machine: str | None = None) -> list[Anchor]:
+    return [
+        a
+        for a in TABLE5_ANCHORS
+        if a.patterns == patterns and (machine is None or a.machine == machine)
+    ]
+
+
+def _fractions_from_logits(logits: np.ndarray) -> tuple[float, float, float, float]:
+    """Softmax over (bootstrap, fast, slow, thorough); last logit pinned 0."""
+    z = np.concatenate([logits, [0.0]])
+    e = np.exp(z - z.max())
+    f = e / e.sum()
+    return tuple(float(x) for x in f)
+
+
+def _profile_with(patterns: int, logits: np.ndarray) -> StageProfile:
+    fb, ff, fs, ft = _fractions_from_logits(logits)
+    return StageProfile(
+        dataset=dataset_by_patterns(patterns),
+        serial_seconds_100=SERIAL_100[patterns],
+        frac_bootstrap=fb,
+        frac_fast=ff,
+        frac_slow=fs,
+        frac_thorough=ft,
+    )
+
+
+#: Weak prior on stage fractions from the paper's Figs 3–4 (bootstraps
+#: dominate; fast < slow; thorough a minority).  The bootstrap-vs-fast
+#: split is nearly unidentifiable from Table 5 times alone (both stage
+#: times scale ~N/p), so the prior resolves the flat direction without
+#: fighting the time anchors.
+_FRACTION_PRIOR = np.array([0.55, 0.12, 0.23, 0.10])
+_PRIOR_WEIGHT = 0.35
+
+
+def fit_profile(
+    patterns: int,
+    machines: dict[str, MachineSpec] | None = None,
+) -> StageProfile:
+    """Fit one data set's stage fractions to its Dash anchors."""
+    machines = machines if machines is not None else MACHINES
+    anchors = anchors_for(patterns, "dash")
+
+    def residuals(logits: np.ndarray) -> np.ndarray:
+        profile = _profile_with(patterns, logits)
+        out = []
+        for a in anchors:
+            mach = machines[a.machine]
+            if a.cores == 1:
+                model = serial_time(profile, mach, a.n_bootstraps)
+            else:
+                model = analysis_time(
+                    profile, mach, a.n_bootstraps, a.processes, a.threads
+                ).total
+            out.append(math.log(model / a.seconds))
+        fracs = np.array(_fractions_from_logits(logits))
+        out.extend(_PRIOR_WEIGHT * np.log(fracs / _FRACTION_PRIOR))
+        return np.asarray(out)
+
+    res = optimize.least_squares(residuals, x0=np.array([1.5, 0.5, 0.5]), method="lm")
+    return _profile_with(patterns, res.x)
+
+
+def fit_triton(profile_19436: StageProfile) -> MachineSpec:
+    """Fit Triton PDAF's fine-grain constants to its Table 5 anchors.
+
+    Besides the time anchors, one soft ordering constraint enforces the
+    paper's observation that on Triton "optimal performance is achieved
+    using all 32 threads": at 32 cores, 1 process × 32 threads must not be
+    slower than 2 × 16.  The fit lands on a *linear* barrier exponent
+    (hierarchical barrier) — the quadratic busy-wait exponent of the
+    8-core machines cannot reproduce Triton's 32-thread efficiency curve.
+    """
+    anchors = anchors_for(19436, "triton")
+    base = MACHINES["triton"]
+
+    def build(params: np.ndarray) -> MachineSpec:
+        core_speed, cf, cache, sync, exponent = params
+        return dataclasses.replace(
+            base,
+            core_speed=float(core_speed),
+            cache_factor=float(max(cf, 1.0)),
+            cache_patterns=float(max(cache, 50.0)),
+            sync_pattern_units=float(max(sync, 0.0)),
+            sync_exponent=float(max(exponent, 0.5)),
+        )
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        mach = build(params)
+        out = []
+        for a in anchors:
+            if a.cores == 1:
+                model = serial_time(profile_19436, mach, a.n_bootstraps)
+            else:
+                model = analysis_time(
+                    profile_19436, mach, a.n_bootstraps, a.processes, a.threads
+                ).total
+            out.append(math.log(model / a.seconds))
+        # Soft ordering constraint: T=32 optimal at 32 cores.
+        t_32t = analysis_time(profile_19436, mach, 100, 1, 32).total
+        t_16t = analysis_time(profile_19436, mach, 100, 2, 16).total
+        out.append(3.0 * max(0.0, math.log(t_32t / t_16t) + 0.01))
+        return np.asarray(out)
+
+    res = optimize.least_squares(
+        residuals,
+        x0=np.array([0.9, 1.8, 1500.0, 3.0, 1.3]),
+        bounds=([0.3, 1.4, 400.0, 0.01, 1.0], [2.0, 4.0, 6000.0, 50.0, 2.5]),
+    )
+    return build(res.x)
+
+
+def calibration_report() -> str:
+    """Fit everything and render model-vs-paper for every anchor."""
+    from repro.util.tables import format_table
+
+    profiles = {p: fit_profile(p) for p in SERIAL_100}
+    triton = fit_triton(profiles[19436])
+    machines = dict(MACHINES)
+    machines["triton"] = triton
+
+    rows = []
+    for a in TABLE5_ANCHORS:
+        prof = profiles[a.patterns]
+        mach = machines[a.machine]
+        if a.cores == 1:
+            model = serial_time(prof, mach, a.n_bootstraps)
+        else:
+            model = analysis_time(prof, mach, a.n_bootstraps, a.processes, a.threads).total
+        rows.append(
+            (
+                a.patterns,
+                a.machine,
+                a.n_bootstraps,
+                a.cores,
+                a.threads,
+                a.seconds,
+                model,
+                model / a.seconds,
+            )
+        )
+    table = format_table(
+        ["patterns", "machine", "N", "cores", "T", "paper s", "model s", "ratio"],
+        rows,
+        formats=[None, None, None, None, None, ".0f", ".0f", ".3f"],
+        title="Table 5 anchors: paper vs calibrated model",
+    )
+    lines = [table, "", "Fitted fractions:"]
+    for p, prof in profiles.items():
+        lines.append(
+            f"  {p:>6}: bs={prof.frac_bootstrap:.4f} fast={prof.frac_fast:.4f} "
+            f"slow={prof.frac_slow:.4f} thorough={prof.frac_thorough:.4f}"
+        )
+    lines.append(
+        f"Triton: core_speed={triton.core_speed:.4f} cache_factor={triton.cache_factor:.4f} "
+        f"cache_patterns={triton.cache_patterns:.1f} sync={triton.sync_pattern_units:.4f}"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(calibration_report())

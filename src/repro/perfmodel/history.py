@@ -1,0 +1,50 @@
+"""Table 1: the evolution of parallel RAxML versions.
+
+A structured registry of the paper's historical table, used by the
+Table 1 benchmark target and the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One row of Table 1."""
+
+    year: int
+    version: str
+    coarse_grained: str | None
+    fine_grained: str | None
+    multi_grained: bool | None
+    hybrid: bool | None
+    reference: str
+
+    def as_row(self) -> tuple:
+        def fmt(b):
+            return "-" if b is None else ("Yes" if b else "No")
+
+        return (
+            self.year,
+            self.version,
+            self.coarse_grained or "-",
+            self.fine_grained or "-",
+            fmt(self.multi_grained),
+            fmt(self.hybrid),
+            self.reference,
+        )
+
+
+#: Table 1 of the paper, verbatim.
+RAXML_HISTORY: tuple[VersionRecord, ...] = (
+    VersionRecord(2004, "II", "MPI (medium-grained)", None, None, None, "[3]"),
+    VersionRecord(2005, "OMP", None, "OpenMP", None, None, "[4]"),
+    VersionRecord(2006, "VI-HPC", "MPI", "OpenMP", False, False, "[5]"),
+    VersionRecord(2007, "Cell", "MPI", "Cell-specific", True, True, "[6]"),
+    VersionRecord(2007, "Blue Gene/L", "MPI", "MPI", True, False, "[7]"),
+    VersionRecord(2008, "Performance", None, "MPI, Pthreads, or OpenMP", False, False, "[8]"),
+    VersionRecord(2008, "7.0.0", "MPI", "Pthreads", False, False, "[9]"),
+    VersionRecord(2009, "7.1.0", None, "Pthreads", None, None, "[10]"),
+    VersionRecord(2009, "7.2.4", "MPI", "Pthreads", True, True, "This paper, [10]"),
+)

@@ -1,0 +1,119 @@
+"""Memory-footprint model: how many MPI processes fit on a node?
+
+Paper, Discussion (Section 7):
+
+    "Second, not enough memory per core will be available to analyze a
+    single tree using one MPI process per core.  Instead the memory of
+    multiple cores, perhaps even the entire node, will be needed for each
+    MPI process."
+
+Each MPI process holds a full copy of the likelihood state (the Pthreads
+share it within the process), so the per-node process count is capped by
+memory — another force pushing hybrid runs toward more threads per
+process as data sets grow.  This module estimates the per-process
+footprint from the data-set shape and derives feasible (p-per-node, T)
+layouts for a machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.perfmodel.machines import MachineSpec
+
+_BYTES_PER_GB = 1024**3
+#: Conditional likelihood vectors are double precision over 4 states.
+_CLV_ENTRY_BYTES = 8 * 4
+#: Down + up partials and the Newton sumtable roughly triple the inner
+#: CLV storage (matches RAxML's ~3x rule of thumb for -f a runs).
+_CLV_SETS = 3.0
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-process memory requirement of one analysis."""
+
+    clv_bytes: float
+    alignment_bytes: float
+    overhead_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.clv_bytes + self.alignment_bytes + self.overhead_bytes
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / _BYTES_PER_GB
+
+
+def process_memory(
+    n_taxa: int,
+    n_patterns: int,
+    n_categories: int = 4,
+    overhead_mb: float = 200.0,
+) -> MemoryEstimate:
+    """Estimated memory of one MPI process (threads share it).
+
+    CLVs dominate: one per inner node, ``patterns x categories x 4`` doubles
+    each, with a factor for the up-partials/sumtables the searches keep.
+    """
+    if n_taxa < 4 or n_patterns < 1 or n_categories < 1:
+        raise ValueError("implausible data-set shape")
+    inner_nodes = n_taxa - 2
+    clv = inner_nodes * n_patterns * n_categories * _CLV_ENTRY_BYTES * _CLV_SETS
+    alignment = n_taxa * n_patterns  # one byte per state mask
+    return MemoryEstimate(
+        clv_bytes=float(clv),
+        alignment_bytes=float(alignment),
+        overhead_bytes=overhead_mb * 1024**2,
+    )
+
+
+def max_processes_per_node(
+    machine: MachineSpec,
+    estimate: MemoryEstimate,
+) -> int:
+    """How many full analysis processes the node's memory can hold.
+
+    0 means the data set does not fit on the node at all.
+    """
+    per_proc = estimate.total_gb
+    if per_proc <= 0:
+        raise ValueError("estimate must be positive")
+    return min(
+        machine.cores_per_node, int(machine.memory_per_node_gb / per_proc)
+    )
+
+
+def min_threads_per_process(machine: MachineSpec, estimate: MemoryEstimate) -> int:
+    """The smallest thread count that makes a node-filling layout feasible.
+
+    If memory admits only ``q`` processes per node, each process must span
+    at least ``ceil(cores/q)`` cores — the Discussion's "memory of
+    multiple cores ... needed for each MPI process".  Raises when the data
+    set does not fit on the node at all.
+    """
+    q = max_processes_per_node(machine, estimate)
+    if q < 1:
+        raise ValueError(
+            f"a single process needs {estimate.total_gb:.1f} GB but "
+            f"{machine.name} has {machine.memory_per_node_gb:.0f} GB per node"
+        )
+    return math.ceil(machine.cores_per_node / q)
+
+
+def feasible_node_layouts(
+    machine: MachineSpec,
+    estimate: MemoryEstimate,
+) -> list[tuple[int, int]]:
+    """All (processes-per-node, threads) layouts that fill a node and fit
+    in memory.  Sorted by process count descending."""
+    layouts = []
+    for procs in range(machine.cores_per_node, 0, -1):
+        if machine.cores_per_node % procs:
+            continue
+        threads = machine.cores_per_node // procs
+        if procs * estimate.total_gb <= machine.memory_per_node_gb:
+            layouts.append((procs, threads))
+    return layouts

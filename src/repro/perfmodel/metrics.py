@@ -1,0 +1,55 @@
+"""Speedup / parallel-efficiency / speed-per-core metrics.
+
+Paper definitions (Section 5): "Speedup is just the speed normalized to 1
+on a single core"; "parallel efficiency ... is the speedup per core"; Fig 8
+plots the "speed per core ... normalized to that for Abe".  The Discussion
+also computes efficiency against a single *node*, which
+:func:`parallel_efficiency` supports via ``reference_cores``.
+"""
+
+from __future__ import annotations
+
+
+def speedup(serial_seconds: float, parallel_seconds: float) -> float:
+    """Speed normalised to the serial (1-core) run."""
+    if serial_seconds <= 0 or parallel_seconds <= 0:
+        raise ValueError("times must be positive")
+    return serial_seconds / parallel_seconds
+
+
+def parallel_efficiency(
+    reference_seconds: float,
+    parallel_seconds: float,
+    cores: int,
+    reference_cores: int = 1,
+) -> float:
+    """Speedup per allocation unit.
+
+    With the default ``reference_cores == 1``, ``reference_seconds`` is the
+    serial time and this is the paper's plain parallel efficiency.  With
+    ``reference_cores > 1`` it computes the Discussion section's
+    node-referenced efficiency (users "are often charged for all cores in
+    a node"): pass the best time *on one node* as ``reference_seconds`` and
+    the node width as ``reference_cores``.
+    """
+    if cores < 1 or reference_cores < 1:
+        raise ValueError("core counts must be >= 1")
+    if cores % reference_cores and reference_cores > 1:
+        raise ValueError("cores must be a multiple of reference_cores")
+    return speedup(reference_seconds, parallel_seconds) / (cores / reference_cores)
+
+
+def speed_per_core(
+    serial_seconds_reference_machine: float,
+    parallel_seconds: float,
+    cores: int,
+) -> float:
+    """Fig 8's metric: (reference serial time / time) / cores.
+
+    With the *reference machine's* serial time in the numerator, curves
+    from different machines are mutually comparable (Fig 8 normalises to
+    Abe's serial speed).
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return speedup(serial_seconds_reference_machine, parallel_seconds) / cores

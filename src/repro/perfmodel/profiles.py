@@ -1,0 +1,173 @@
+"""Per-dataset stage profiles: how serial run time splits across stages.
+
+A :class:`StageProfile` records, for one data set, the fraction of serial
+run time (at N = 100 bootstraps) spent in each stage of the comprehensive
+analysis, plus the measured serial seconds on the reference machine
+(Table 5's 1-core column).  Per-search costs follow by dividing by the
+serial stage counts (100 bootstraps, 20 fast, 10 slow, 1 thorough).
+
+The fractions for the five benchmark data sets are **calibrated** against
+the paper's Table 5 rows by :mod:`repro.perfmodel.calibrate` (run
+``python -m repro.perfmodel.calibrate`` to regenerate) and frozen here.
+Fraction patterns follow the paper's narrative: bootstraps dominate
+everywhere; the thorough-search fraction is largest for the 19,436-pattern
+set ("the scaling on Dash drops for the last data set because the
+fraction of time spent doing thorough searches is much larger").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import BENCHMARK_DATASETS, DatasetSpec
+from repro.search.comprehensive import fast_count, slow_count
+
+#: Serial stage counts at the reference bootstrap number (N = 100).
+REFERENCE_BOOTSTRAPS = 100
+
+#: Coefficient of variation of individual search run times, driving the
+#: deterministic load-imbalance factor (paper: "the load is not perfectly
+#: balanced").
+DEFAULT_JITTER_CV = 0.15
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Stage-time decomposition of one data set's serial analysis."""
+
+    dataset: DatasetSpec
+    serial_seconds_100: float  # Table 5, 1c column (reference machine)
+    frac_bootstrap: float
+    frac_fast: float
+    frac_slow: float
+    frac_thorough: float
+    reference_machine: str = "dash"
+    jitter_cv: float = DEFAULT_JITTER_CV
+
+    def __post_init__(self) -> None:
+        total = self.frac_bootstrap + self.frac_fast + self.frac_slow + self.frac_thorough
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"stage fractions must sum to 1, got {total}")
+        for f in (self.frac_bootstrap, self.frac_fast, self.frac_slow, self.frac_thorough):
+            if f <= 0:
+                raise ValueError("all stage fractions must be positive")
+        if self.serial_seconds_100 <= 0:
+            raise ValueError("serial_seconds_100 must be positive")
+
+    # -- per-search costs on the reference machine (seconds) ---------------
+
+    @property
+    def bootstrap_search_seconds(self) -> float:
+        return self.frac_bootstrap * self.serial_seconds_100 / REFERENCE_BOOTSTRAPS
+
+    @property
+    def fast_search_seconds(self) -> float:
+        return self.frac_fast * self.serial_seconds_100 / fast_count(REFERENCE_BOOTSTRAPS)
+
+    @property
+    def slow_search_seconds(self) -> float:
+        n_fast = fast_count(REFERENCE_BOOTSTRAPS)
+        return self.frac_slow * self.serial_seconds_100 / slow_count(n_fast)
+
+    @property
+    def thorough_search_seconds(self) -> float:
+        return self.frac_thorough * self.serial_seconds_100
+
+
+def _spec(patterns: int) -> DatasetSpec:
+    for s in BENCHMARK_DATASETS:
+        if s.patterns == patterns:
+            return s
+    raise KeyError(patterns)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated profiles (regenerate with `python -m repro.perfmodel.calibrate`)
+# ---------------------------------------------------------------------------
+
+PROFILES: dict[int, StageProfile] = {
+    348: StageProfile(
+        dataset=_spec(348),
+        serial_seconds_100=1980.0,
+        frac_bootstrap=0.523348,
+        frac_fast=0.118932,
+        frac_slow=0.233338,
+        frac_thorough=0.124382,
+    ),
+    1130: StageProfile(
+        dataset=_spec(1130),
+        serial_seconds_100=2325.0,
+        frac_bootstrap=0.564713,
+        frac_fast=0.122862,
+        frac_slow=0.206413,
+        frac_thorough=0.106012,
+    ),
+    1846: StageProfile(
+        dataset=_spec(1846),
+        serial_seconds_100=9630.0,
+        frac_bootstrap=0.526093,
+        frac_fast=0.116787,
+        frac_slow=0.295293,
+        frac_thorough=0.061827,
+    ),
+    7429: StageProfile(
+        dataset=_spec(7429),
+        serial_seconds_100=72866.0,
+        frac_bootstrap=0.549571,
+        frac_fast=0.118654,
+        frac_slow=0.262659,
+        frac_thorough=0.069116,
+    ),
+    19436: StageProfile(
+        dataset=_spec(19436),
+        serial_seconds_100=22970.0,
+        frac_bootstrap=0.475214,
+        frac_fast=0.116446,
+        frac_slow=0.219120,
+        frac_thorough=0.189220,
+    ),
+}
+
+
+def profile_for(patterns: int) -> StageProfile:
+    """The calibrated profile of a benchmark data set (by pattern count)."""
+    try:
+        return PROFILES[patterns]
+    except KeyError:
+        raise KeyError(
+            f"no calibrated profile for {patterns} patterns; "
+            "use default_profile() for arbitrary data sets"
+        ) from None
+
+
+def default_profile(
+    dataset: DatasetSpec,
+    serial_seconds_100: float | None = None,
+) -> StageProfile:
+    """A plausible profile for an arbitrary data set.
+
+    Stage fractions interpolate the calibrated benchmark profiles by
+    pattern count; the serial time estimate scales with taxa × patterns
+    relative to the 1,846-pattern benchmark set.
+    """
+    anchor = PROFILES[1846]
+    if serial_seconds_100 is None:
+        scale = (dataset.taxa * dataset.patterns) / (
+            anchor.dataset.taxa * anchor.dataset.patterns
+        )
+        serial_seconds_100 = anchor.serial_seconds_100 * scale
+    # Thorough fraction grows mildly with patterns-per-taxon, as in the
+    # calibrated set (ds5 has by far the largest thorough share).
+    import math
+
+    ppt = dataset.patterns / dataset.taxa
+    frac_thorough = min(0.35, 0.05 + 0.03 * math.log10(max(ppt, 1.0)) * 2.2)
+    rest = 1.0 - frac_thorough
+    return StageProfile(
+        dataset=dataset,
+        serial_seconds_100=serial_seconds_100,
+        frac_bootstrap=rest * 0.60,
+        frac_fast=rest * 0.15,
+        frac_slow=rest * 0.25,
+        frac_thorough=frac_thorough,
+    )

@@ -1,0 +1,105 @@
+"""Parameter sweeps over (cores, processes, threads) grids.
+
+These produce exactly the series the paper's figures plot: speedup and
+parallel-efficiency curves at constant thread counts (Figs 1–2, 5–7),
+per-stage run-time components (Figs 3–4), and best-speed-per-core curves
+across machines (Fig 8, Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.coarse import StageTimes, analysis_time, serial_time
+from repro.perfmodel.machines import MachineSpec
+from repro.perfmodel.profiles import StageProfile
+
+#: The core counts the paper's Dash plots use.
+DEFAULT_CORE_COUNTS = (1, 2, 4, 8, 16, 32, 40, 64, 80)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One modelled run within a sweep."""
+
+    cores: int
+    n_processes: int
+    n_threads: int
+    stage_times: StageTimes
+    serial_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.stage_times.total
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.seconds
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.cores
+
+
+def _point(
+    profile: StageProfile,
+    machine: MachineSpec,
+    n_bootstraps: int,
+    p: int,
+    t: int,
+    serial_seconds: float,
+) -> SweepPoint:
+    st = analysis_time(profile, machine, n_bootstraps, p, t)
+    return SweepPoint(p * t, p, t, st, serial_seconds)
+
+
+def sweep_cores(
+    profile: StageProfile,
+    machine: MachineSpec,
+    n_bootstraps: int = 100,
+    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+    thread_counts: tuple[int, ...] | None = None,
+) -> list[SweepPoint]:
+    """All feasible (cores, threads) grid points.
+
+    A point is feasible when ``threads`` divides ``cores`` and does not
+    exceed the machine's cores per node.  Thread counts default to the
+    powers of two up to the node width.
+    """
+    if thread_counts is None:
+        thread_counts = tuple(
+            t for t in (1, 2, 4, 8, 16, 32) if t <= machine.cores_per_node
+        )
+    serial = serial_time(profile, machine, n_bootstraps)
+    points = []
+    for cores in core_counts:
+        for t in thread_counts:
+            if cores % t != 0:
+                continue
+            p = cores // t
+            points.append(_point(profile, machine, n_bootstraps, p, t, serial))
+    return points
+
+
+def thread_curves(
+    points: list[SweepPoint],
+) -> dict[int, list[SweepPoint]]:
+    """Group sweep points into constant-thread-count curves (the figure
+    series), each sorted by core count."""
+    curves: dict[int, list[SweepPoint]] = {}
+    for pt in points:
+        curves.setdefault(pt.n_threads, []).append(pt)
+    for series in curves.values():
+        series.sort(key=lambda q: q.cores)
+    return curves
+
+
+def best_per_core_count(points: list[SweepPoint]) -> dict[int, SweepPoint]:
+    """The fastest configuration at each core count (Table 5's 'best
+    time / threads' cells)."""
+    best: dict[int, SweepPoint] = {}
+    for pt in points:
+        cur = best.get(pt.cores)
+        if cur is None or pt.seconds < cur.seconds:
+            best[pt.cores] = pt
+    return best

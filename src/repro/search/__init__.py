@@ -1,0 +1,58 @@
+"""Tree-search substrate: starting trees, SPR hill climbing, stage searches.
+
+Implements the search pipeline of RAxML's rapid-bootstrap "comprehensive
+analysis" (``-f a``; Stamatakis, Hoover & Rougemont 2008), the algorithm
+the paper parallelises:
+
+1. N rapid **bootstrap** searches (cheap CAT-based SPR on resampled
+   weights, chaining starting trees between replicates);
+2. **fast** ML searches on the original alignment, started from every
+   fifth bootstrap tree;
+3. **slow** ML searches continuing the best fast trees;
+4. one **thorough** ML search (GAMMA-based, full optimisation) from the
+   best slow tree.
+"""
+
+from repro.search.starting_tree import parsimony_starting_tree, random_starting_tree
+from repro.search.spr import SPRParams, spr_round
+from repro.search.hillclimb import hill_climb, SearchResult
+from repro.search.searches import (
+    StageParams,
+    bootstrap_replicate_search,
+    fast_search,
+    slow_search,
+    thorough_search,
+)
+from repro.search.comprehensive import (
+    ComprehensiveConfig,
+    ComprehensiveResult,
+    run_comprehensive,
+    fast_count,
+    slow_count,
+)
+from repro.search.nni import NNIParams, nni_round, nni_hill_climb
+from repro.search.evaluate import EvaluationResult, evaluate_tree
+
+__all__ = [
+    "parsimony_starting_tree",
+    "random_starting_tree",
+    "SPRParams",
+    "spr_round",
+    "hill_climb",
+    "SearchResult",
+    "StageParams",
+    "bootstrap_replicate_search",
+    "fast_search",
+    "slow_search",
+    "thorough_search",
+    "ComprehensiveConfig",
+    "ComprehensiveResult",
+    "run_comprehensive",
+    "fast_count",
+    "slow_count",
+    "NNIParams",
+    "nni_round",
+    "nni_hill_climb",
+    "EvaluationResult",
+    "evaluate_tree",
+]

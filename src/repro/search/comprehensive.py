@@ -1,0 +1,342 @@
+"""The serial comprehensive analysis (RAxML ``-f a``).
+
+    "The comprehensive analysis consists of four main stages: 100
+    bootstrap searches, followed by 20 fast ML searches, 10 slow ML
+    searches, and one final thorough ML search ... The latter three
+    stages comprise the full ML search."  — paper, Section 2
+
+The stage functions are shared with the hybrid driver
+(:mod:`repro.hybrid.driver`), which composes them with the per-rank counts
+of Table 2 instead of the serial counts used here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.likelihood.cat import estimate_cat_rates
+from repro.likelihood.engine import (
+    LikelihoodEngine,
+    OpCounter,
+    RateModel,
+    subset_rate_model,
+)
+from repro.likelihood.gtr import GTRModel
+from repro.likelihood.model_opt import empirical_frequencies
+from repro.seq.bootstrap import bootstrap_pattern_weights
+from repro.seq.patterns import PatternAlignment
+from repro.search.hillclimb import SearchResult
+from repro.search.searches import (
+    StageParams,
+    bootstrap_replicate_search,
+    fast_search,
+    slow_search,
+    thorough_search,
+)
+from repro.search.starting_tree import parsimony_starting_tree
+from repro.tree.topology import Tree
+from repro.util.rng import RAxMLRandom, spawn_stream
+
+#: Hard-coded comprehensive-analysis parameters (paper Section 2.3: "how
+#: many fast and slow searches are carried out [is] based on hard-coded
+#: parameters").
+FAST_FRACTION = 5  # one fast search per 5 bootstraps
+SLOW_FRACTION = 2  # one slow search per 2 fast searches
+MAX_SLOW = 10  # at most 10 slow searches
+
+EngineFactory = Callable[..., object]
+
+
+def default_engine_factory(pal, model, rate_model, weights, ops):
+    """Build a plain serial :class:`LikelihoodEngine`."""
+    return LikelihoodEngine(pal, model, rate_model, weights=weights, ops=ops)
+
+
+def fast_count(n_bootstraps: int) -> int:
+    """Number of fast ML searches for ``n_bootstraps`` (ceil(N/5))."""
+    if n_bootstraps < 1:
+        raise ValueError("n_bootstraps must be >= 1")
+    return math.ceil(n_bootstraps / FAST_FRACTION)
+
+
+def slow_count(n_fast: int, cap: int = MAX_SLOW) -> int:
+    """Number of slow ML searches: ceil(fast/2) capped at 10."""
+    if n_fast < 1:
+        raise ValueError("n_fast must be >= 1")
+    return min(math.ceil(n_fast / SLOW_FRACTION), cap)
+
+
+@dataclass(frozen=True)
+class ComprehensiveConfig:
+    """Inputs of a comprehensive analysis (mirrors the RAxML command line
+    ``-m GTRCAT -N <n> -p <seed> -x <seed> -f a``)."""
+
+    n_bootstraps: int = 100
+    seed_p: int = 12345  # -p: search randomness
+    seed_x: int = 12345  # -x: rapid-bootstrap randomness
+    gamma_categories: int = 4
+    cat_categories: int = 8
+    use_cat: bool = True
+    parsimony_refresh_every: int = 10  # fresh parsimony start every k replicates
+    #: Drop zero-weight patterns from bootstrap-replicate engines (RAxML's
+    #: optimisation: a replicate only touches ~63 % of the patterns).
+    compress_bootstrap_patterns: bool = True
+    stage_params: StageParams = field(default_factory=StageParams)
+
+    def __post_init__(self) -> None:
+        if self.n_bootstraps < 1:
+            raise ValueError("n_bootstraps must be >= 1")
+        if self.seed_p <= 0 or self.seed_x <= 0:
+            raise ValueError("seeds must be positive (RAxML -p / -x)")
+        if self.parsimony_refresh_every < 1:
+            raise ValueError("parsimony_refresh_every must be >= 1")
+
+
+@dataclass
+class ComprehensiveResult:
+    """Everything a comprehensive run produces."""
+
+    best_tree: Tree
+    best_lnl: float  # final GAMMA log-likelihood
+    bootstrap_trees: list[Tree]
+    fast_results: list[SearchResult]
+    slow_results: list[SearchResult]
+    thorough_result: SearchResult
+    model: GTRModel
+    stage_ops: dict[str, int]
+    n_bootstraps_done: int
+
+
+# ---------------------------------------------------------------------------
+# Stage functions (shared with the hybrid driver)
+# ---------------------------------------------------------------------------
+
+
+def prepare_model_and_rates(
+    pal: PatternAlignment,
+    config: ComprehensiveConfig,
+    p_rng: RAxMLRandom,
+    engine_factory: EngineFactory,
+    ops: OpCounter,
+) -> tuple[GTRModel, RateModel, RateModel, Tree]:
+    """Initial model setup: empirical frequencies, CAT estimation.
+
+    Returns ``(model, search_rate_model, gamma_rate_model, initial_tree)``.
+    The initial parsimony tree doubles as the CAT-estimation tree and the
+    fallback starting topology.
+    """
+    gamma_rm = RateModel.gamma(1.0, config.gamma_categories)
+    model = GTRModel.default()
+    probe = engine_factory(pal, model, gamma_rm, None, ops)
+    model = model.with_freqs(empirical_frequencies(probe))
+    init_tree = parsimony_starting_tree(pal, spawn_stream(p_rng, 0))
+    if config.use_cat:
+        probe = engine_factory(pal, model, gamma_rm, None, ops)
+        cat = estimate_cat_rates(probe, init_tree, config.cat_categories)
+        search_rm = cat.rate_model()
+    else:
+        search_rm = gamma_rm
+    return model, search_rm, gamma_rm, init_tree
+
+
+def bootstrap_stage(
+    pal: PatternAlignment,
+    model: GTRModel,
+    rate_model: RateModel,
+    n_replicates: int,
+    x_rng: RAxMLRandom,
+    p_rng: RAxMLRandom,
+    engine_factory: EngineFactory,
+    ops: OpCounter,
+    config: ComprehensiveConfig,
+    init_tree: Tree,
+) -> list[SearchResult]:
+    """Run ``n_replicates`` rapid-bootstrap searches.
+
+    Replicate weights are drawn sequentially from ``x_rng`` (the paper's
+    per-rank ``-x`` stream); starting trees chain from the previous
+    replicate, refreshed with a new parsimony tree every
+    ``config.parsimony_refresh_every`` replicates.
+    """
+    results: list[SearchResult] = []
+    current_start = init_tree
+    for b in range(n_replicates):
+        weights = bootstrap_pattern_weights(pal, x_rng)
+        if config.compress_bootstrap_patterns:
+            # Replicates draw ~63 % of the patterns; dropping the rest is
+            # exact (zero weight = zero contribution) and saves kernel work.
+            active = np.flatnonzero(weights > 0)
+            sub_pal = PatternAlignment(
+                pal.taxa,
+                pal.patterns[:, active],
+                weights[active],
+                np.empty(0, dtype=np.intp),
+            )
+            engine = engine_factory(
+                sub_pal,
+                model,
+                subset_rate_model(rate_model, active),
+                weights[active].astype(np.float64),
+                ops,
+            )
+        else:
+            engine = engine_factory(pal, model, rate_model, weights, ops)
+        if b % config.parsimony_refresh_every == 0 and b > 0:
+            current_start = parsimony_starting_tree(
+                pal, spawn_stream(p_rng, 1000 + b), weights=weights
+            )
+        res = bootstrap_replicate_search(
+            engine, current_start, spawn_stream(p_rng, 2000 + b), config.stage_params
+        )
+        results.append(res)
+        current_start = res.tree
+    return results
+
+
+def fast_stage(
+    pal: PatternAlignment,
+    model: GTRModel,
+    rate_model: RateModel,
+    start_trees: list[Tree],
+    p_rng: RAxMLRandom,
+    engine_factory: EngineFactory,
+    ops: OpCounter,
+    config: ComprehensiveConfig,
+) -> list[SearchResult]:
+    """Fast ML searches on the original alignment from the given starts."""
+    engine = engine_factory(pal, model, rate_model, None, ops)
+    return [
+        fast_search(engine, t, spawn_stream(p_rng, 3000 + i), config.stage_params)
+        for i, t in enumerate(start_trees)
+    ]
+
+
+def slow_stage(
+    pal: PatternAlignment,
+    model: GTRModel,
+    rate_model: RateModel,
+    start_trees: list[Tree],
+    p_rng: RAxMLRandom,
+    engine_factory: EngineFactory,
+    ops: OpCounter,
+    config: ComprehensiveConfig,
+) -> list[SearchResult]:
+    """Slow ML searches continuing the best fast-search trees."""
+    engine = engine_factory(pal, model, rate_model, None, ops)
+    return [
+        slow_search(engine, t, spawn_stream(p_rng, 4000 + i), config.stage_params)
+        for i, t in enumerate(start_trees)
+    ]
+
+
+def thorough_stage(
+    pal: PatternAlignment,
+    model: GTRModel,
+    gamma_rm: RateModel,
+    start_tree: Tree,
+    p_rng: RAxMLRandom,
+    engine_factory: EngineFactory,
+    ops: OpCounter,
+    config: ComprehensiveConfig,
+) -> tuple[SearchResult, GTRModel]:
+    """The final thorough GAMMA search; returns the result and the
+    re-optimised model."""
+    engine = engine_factory(pal, model, gamma_rm, None, ops)
+    result, engine = thorough_search(
+        engine, start_tree, spawn_stream(p_rng, 5000), config.stage_params
+    )
+    return result, engine.model
+
+
+def select_fast_starts(bootstrap_trees: list[Tree], n_fast: int) -> list[Tree]:
+    """Every ``FAST_FRACTION``-th bootstrap tree seeds a fast search."""
+    if n_fast > len(bootstrap_trees):
+        raise ValueError("cannot select more fast starts than bootstrap trees")
+    return [bootstrap_trees[(i * FAST_FRACTION) % len(bootstrap_trees)] for i in range(n_fast)]
+
+
+def select_best(results: list[SearchResult], k: int) -> list[SearchResult]:
+    """The ``k`` best results by log-likelihood (descending, stable).
+
+    Likelihoods are rounded to 1e-6 before comparison so that the ordering
+    (and therefore which trees continue to the next stage) is independent
+    of thread-count-induced floating-point noise.
+    """
+    if k > len(results):
+        raise ValueError("cannot select more results than available")
+    return sorted(results, key=lambda r: -round(r.lnl, 6))[:k]
+
+
+# ---------------------------------------------------------------------------
+# The serial pipeline
+# ---------------------------------------------------------------------------
+
+
+def run_comprehensive(
+    pal: PatternAlignment,
+    config: ComprehensiveConfig = ComprehensiveConfig(),
+    engine_factory: EngineFactory = default_engine_factory,
+    ops: OpCounter | None = None,
+) -> ComprehensiveResult:
+    """Serial comprehensive analysis (the non-MPI reference algorithm).
+
+    The non-MPI code sorts *all* fast searches at once and continues with
+    exactly one thorough search from the single best slow tree (paper
+    Sections 2.1–2.2), which is what this function implements.
+    """
+    ops = ops if ops is not None else OpCounter()
+    stage_ops: dict[str, int] = {}
+    p_rng = RAxMLRandom(config.seed_p)
+    x_rng = RAxMLRandom(config.seed_x)
+
+    model, search_rm, gamma_rm, init_tree = prepare_model_and_rates(
+        pal, config, p_rng, engine_factory, ops
+    )
+    mark = ops.pattern_ops
+    stage_ops["setup"] = mark
+
+    bs_results = bootstrap_stage(
+        pal, model, search_rm, config.n_bootstraps, x_rng, p_rng,
+        engine_factory, ops, config, init_tree,
+    )
+    stage_ops["bootstrap"] = ops.pattern_ops - mark
+    mark = ops.pattern_ops
+
+    bootstrap_trees = [r.tree for r in bs_results]
+    n_fast = fast_count(config.n_bootstraps)
+    fast_results = fast_stage(
+        pal, model, search_rm, select_fast_starts(bootstrap_trees, n_fast),
+        p_rng, engine_factory, ops, config,
+    )
+    stage_ops["fast"] = ops.pattern_ops - mark
+    mark = ops.pattern_ops
+
+    n_slow = slow_count(n_fast)
+    slow_starts = [r.tree for r in select_best(fast_results, n_slow)]
+    slow_results = slow_stage(
+        pal, model, search_rm, slow_starts, p_rng, engine_factory, ops, config
+    )
+    stage_ops["slow"] = ops.pattern_ops - mark
+    mark = ops.pattern_ops
+
+    best_slow = select_best(slow_results, 1)[0]
+    thorough, final_model = thorough_stage(
+        pal, model, gamma_rm, best_slow.tree, p_rng, engine_factory, ops, config
+    )
+    stage_ops["thorough"] = ops.pattern_ops - mark
+
+    return ComprehensiveResult(
+        best_tree=thorough.tree,
+        best_lnl=thorough.lnl,
+        bootstrap_trees=bootstrap_trees,
+        fast_results=fast_results,
+        slow_results=slow_results,
+        thorough_result=thorough,
+        model=final_model,
+        stage_ops=stage_ops,
+        n_bootstraps_done=config.n_bootstraps,
+    )

@@ -1,0 +1,116 @@
+"""Work partition of the comprehensive analysis across MPI ranks (Table 2).
+
+    "The new MPI code begins by having each MPI process parse its own
+    input and then gives each process N/p bootstraps ... the number of
+    bootstraps done in the MPI code can be slightly larger than the
+    specified number ... since each process does an equal number of
+    bootstraps.  This in turn affects how many fast and slow searches are
+    carried out based on hard-coded parameters."  — paper, Sections 2, 2.3
+
+Per-rank counts (derived from RAxML's hard-coded parameters, reproducing
+every row of Table 2):
+
+* bootstraps/process  = ceil(N / p)
+* fast searches/proc  = ceil(bootstraps_per_proc / 5)
+* slow searches/proc  = min(ceil(fast_per_proc / 2), ceil(10 / p))
+* thorough/proc       = 1   (each rank runs its own thorough search)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.search.comprehensive import FAST_FRACTION, MAX_SLOW, SLOW_FRACTION
+
+
+@dataclass(frozen=True)
+class WorkSchedule:
+    """Per-rank and total search counts for one (N, p) configuration."""
+
+    n_bootstraps_requested: int
+    n_processes: int
+    bootstraps_per_process: int
+    fast_per_process: int
+    slow_per_process: int
+    thorough_per_process: int
+
+    @property
+    def total_bootstraps(self) -> int:
+        return self.bootstraps_per_process * self.n_processes
+
+    @property
+    def total_fast(self) -> int:
+        return self.fast_per_process * self.n_processes
+
+    @property
+    def total_slow(self) -> int:
+        return self.slow_per_process * self.n_processes
+
+    @property
+    def total_thorough(self) -> int:
+        return self.thorough_per_process * self.n_processes
+
+    def as_table_row(self) -> tuple:
+        """One row of Table 2:
+        (processes, bootstraps, fast, slow, thorough, bs/p, fast/p, slow/p, thorough/p)."""
+        return (
+            self.n_processes,
+            self.total_bootstraps,
+            self.total_fast,
+            self.total_slow,
+            self.total_thorough,
+            self.bootstraps_per_process,
+            self.fast_per_process,
+            self.slow_per_process,
+            self.thorough_per_process,
+        )
+
+
+def make_schedule(n_bootstraps: int, n_processes: int) -> WorkSchedule:
+    """The Table 2 work partition for ``n_bootstraps`` over ``n_processes``."""
+    if n_bootstraps < 1:
+        raise ValueError(f"n_bootstraps must be >= 1, got {n_bootstraps}")
+    if n_processes < 1:
+        raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+    b = math.ceil(n_bootstraps / n_processes)
+    f = math.ceil(b / FAST_FRACTION)
+    s = min(math.ceil(f / SLOW_FRACTION), math.ceil(MAX_SLOW / n_processes))
+    return WorkSchedule(
+        n_bootstraps_requested=n_bootstraps,
+        n_processes=n_processes,
+        bootstraps_per_process=b,
+        fast_per_process=f,
+        slow_per_process=s,
+        thorough_per_process=1,
+    )
+
+
+#: The (N, p) configurations shown in Table 2 of the paper.
+TABLE2_CONFIGS: tuple[tuple[int, int], ...] = (
+    (100, 1),
+    (100, 2),
+    (100, 4),
+    (100, 5),
+    (100, 8),
+    (100, 10),
+    (100, 16),
+    (100, 20),
+    (500, 10),
+    (500, 20),
+)
+
+#: Expected totals for the Table 2 rows:
+#: (processes, bootstraps, fast, slow, thorough) — from the paper.
+TABLE2_EXPECTED: tuple[tuple[int, int, int, int, int], ...] = (
+    (1, 100, 20, 10, 1),
+    (2, 100, 20, 10, 2),
+    (4, 100, 20, 12, 4),
+    (5, 100, 20, 10, 5),
+    (8, 104, 24, 16, 8),
+    (10, 100, 20, 10, 10),
+    (16, 112, 32, 16, 16),
+    (20, 100, 20, 20, 20),
+    (10, 500, 100, 10, 10),
+    (20, 500, 100, 20, 20),
+)

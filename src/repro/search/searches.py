@@ -1,0 +1,147 @@
+"""The four stage searches of the comprehensive analysis.
+
+Costs are deliberately ordered bootstrap < fast < slow < thorough, as in
+RAxML's ``-f a`` algorithm: bootstrap replicates do the cheapest possible
+topology refresh under CAT, fast searches one SPR sweep, slow searches a
+radius-escalating hill climb, and the thorough search a full GAMMA-based
+optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.likelihood.brlen import optimize_branch_lengths
+from repro.likelihood.model_opt import optimize_model
+from repro.search.hillclimb import SearchResult, hill_climb
+from repro.search.spr import SPRParams, spr_round
+from repro.tree.topology import Tree
+from repro.util.rng import RAxMLRandom
+
+
+@dataclass(frozen=True)
+class StageParams:
+    """Per-stage search effort knobs (defaults follow RAxML's relative
+    effort; tests shrink them further)."""
+
+    bootstrap_radius: int = 5
+    bootstrap_rounds: int = 1
+    fast_radius: int = 5
+    fast_rounds: int = 1
+    slow_initial_radius: int = 5
+    slow_max_radius: int = 10
+    slow_max_rounds: int = 6
+    thorough_initial_radius: int = 5
+    thorough_max_radius: int = 15
+    thorough_max_rounds: int = 12
+    brlen_passes: int = 2
+    min_improvement: float = 0.02
+    model_opt_rounds: int = 1
+    max_prune_candidates: int | None = None
+
+
+def bootstrap_replicate_search(
+    engine,
+    start_tree: Tree,
+    rng: RAxMLRandom,
+    params: StageParams = StageParams(),
+) -> SearchResult:
+    """One rapid-bootstrap replicate: quick SPR refresh under CAT.
+
+    ``engine`` must already carry the replicate's resampled weights.
+    """
+    work = start_tree.copy()
+    lnl = optimize_branch_lengths(engine, work, passes=1)
+    for _ in range(params.bootstrap_rounds):
+        work, lnl, improved = spr_round(
+            engine,
+            work,
+            SPRParams(
+                radius=params.bootstrap_radius,
+                min_improvement=params.min_improvement,
+                max_prune_candidates=params.max_prune_candidates,
+            ),
+            current_lnl=lnl,
+            rng=rng,
+        )
+        if not improved:
+            break
+    return SearchResult(work, lnl)
+
+
+def fast_search(
+    engine,
+    start_tree: Tree,
+    rng: RAxMLRandom,
+    params: StageParams = StageParams(),
+) -> SearchResult:
+    """A fast ML search: brief SPR sweeps on the original alignment."""
+    work = start_tree.copy()
+    lnl = optimize_branch_lengths(engine, work, passes=params.brlen_passes)
+    for _ in range(params.fast_rounds):
+        work, lnl, improved = spr_round(
+            engine,
+            work,
+            SPRParams(
+                radius=params.fast_radius,
+                min_improvement=params.min_improvement,
+                max_prune_candidates=params.max_prune_candidates,
+            ),
+            current_lnl=lnl,
+            rng=rng,
+        )
+        if not improved:
+            break
+    lnl = optimize_branch_lengths(engine, work, passes=params.brlen_passes)
+    return SearchResult(work, lnl)
+
+
+def slow_search(
+    engine,
+    start_tree: Tree,
+    rng: RAxMLRandom,
+    params: StageParams = StageParams(),
+) -> SearchResult:
+    """A slow ML search: radius-escalating hill climb to convergence."""
+    return hill_climb(
+        engine,
+        start_tree,
+        initial_radius=params.slow_initial_radius,
+        max_radius=params.slow_max_radius,
+        max_rounds=params.slow_max_rounds,
+        brlen_passes=params.brlen_passes,
+        min_improvement=params.min_improvement,
+        rng=rng,
+        max_prune_candidates=params.max_prune_candidates,
+    )
+
+
+def thorough_search(
+    engine,
+    start_tree: Tree,
+    rng: RAxMLRandom,
+    params: StageParams = StageParams(),
+) -> tuple[SearchResult, object]:
+    """The final thorough ML search under GAMMA.
+
+    Optimises model parameters, hill-climbs with the widest radius
+    schedule, and finishes with a full branch-length smoothing.  Returns
+    ``(result, engine)`` because model optimisation produces a new engine.
+    """
+    work = start_tree.copy()
+    optimize_branch_lengths(engine, work, passes=params.brlen_passes)
+    engine, _ = optimize_model(engine, work, rounds=params.model_opt_rounds)
+    result = hill_climb(
+        engine,
+        work,
+        initial_radius=params.thorough_initial_radius,
+        max_radius=params.thorough_max_radius,
+        max_rounds=params.thorough_max_rounds,
+        brlen_passes=params.brlen_passes,
+        min_improvement=params.min_improvement,
+        rng=rng,
+        max_prune_candidates=params.max_prune_candidates,
+    )
+    engine, _ = optimize_model(engine, result.tree, rounds=params.model_opt_rounds)
+    final_lnl = optimize_branch_lengths(engine, result.tree, passes=params.brlen_passes + 1)
+    return SearchResult(result.tree, final_lnl, result.rounds), engine

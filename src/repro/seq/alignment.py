@@ -1,0 +1,120 @@
+"""The multiple-sequence-alignment container.
+
+An alignment is "a matrix of aligned molecular sequences" whose rows are
+taxa and whose columns are character positions (paper Section 3).  The
+matrix is stored as ``uint8`` 4-bit state masks (see
+:mod:`repro.seq.encoding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq.encoding import decode_sequence, encode_sequence
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """An immutable multiple sequence alignment.
+
+    Parameters
+    ----------
+    taxa:
+        Taxon labels, one per row; must be unique and non-empty.
+    matrix:
+        ``(n_taxa, n_sites)`` array of ``uint8`` IUPAC state masks.
+    """
+
+    taxa: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.taxa, tuple):
+            object.__setattr__(self, "taxa", tuple(self.taxa))
+        mat = np.asarray(self.matrix, dtype=np.uint8)
+        if mat.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+        if mat.shape[0] != len(self.taxa):
+            raise ValueError(
+                f"{len(self.taxa)} taxa but matrix has {mat.shape[0]} rows"
+            )
+        if mat.shape[0] < 3:
+            raise ValueError("an alignment needs at least 3 taxa")
+        if mat.shape[1] < 1:
+            raise ValueError("an alignment needs at least 1 site")
+        if len(set(self.taxa)) != len(self.taxa):
+            raise ValueError("taxon labels must be unique")
+        if any(not t for t in self.taxa):
+            raise ValueError("taxon labels must be non-empty")
+        if np.any(mat == 0) or np.any(mat > 15):
+            raise ValueError("matrix entries must be valid 4-bit state masks (1..15)")
+        mat.setflags(write=False)
+        object.__setattr__(self, "matrix", mat)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_sequences(cls, records: list[tuple[str, str]]) -> "Alignment":
+        """Build an alignment from ``(name, sequence)`` string pairs."""
+        if not records:
+            raise ValueError("no sequences given")
+        names = [name for name, _ in records]
+        lengths = {len(seq) for _, seq in records}
+        if len(lengths) != 1:
+            raise ValueError(f"sequences have differing lengths: {sorted(lengths)}")
+        matrix = np.vstack([encode_sequence(seq) for _, seq in records])
+        return cls(tuple(names), matrix)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def n_taxa(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_sites(self) -> int:
+        """Number of character positions (paper: "characters")."""
+        return self.matrix.shape[1]
+
+    def sequence(self, taxon: str) -> str:
+        """The decoded sequence string for one taxon."""
+        return decode_sequence(self.matrix[self.taxon_index(taxon)])
+
+    def taxon_index(self, taxon: str) -> int:
+        try:
+            return self.taxa.index(taxon)
+        except ValueError:
+            raise KeyError(f"unknown taxon {taxon!r}") from None
+
+    def records(self) -> list[tuple[str, str]]:
+        """All ``(name, sequence)`` pairs, decoded."""
+        return [(t, decode_sequence(row)) for t, row in zip(self.taxa, self.matrix)]
+
+    # -- transformations ---------------------------------------------------
+
+    def take_sites(self, indices: np.ndarray) -> "Alignment":
+        """A new alignment containing only the given columns (in order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            raise ValueError("cannot take zero sites")
+        if np.any(idx < 0) or np.any(idx >= self.n_sites):
+            raise IndexError("site index out of range")
+        return Alignment(self.taxa, self.matrix[:, idx])
+
+    def take_taxa(self, names: list[str]) -> "Alignment":
+        """A new alignment restricted to the named taxa (in the given order)."""
+        rows = [self.taxon_index(n) for n in names]
+        return Alignment(tuple(names), self.matrix[rows, :])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Alignment):
+            return NotImplemented
+        return self.taxa == other.taxa and np.array_equal(self.matrix, other.matrix)
+
+    def __hash__(self) -> int:
+        return hash((self.taxa, self.matrix.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Alignment(n_taxa={self.n_taxa}, n_sites={self.n_sites})"

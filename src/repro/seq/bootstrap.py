@@ -1,0 +1,42 @@
+"""Bootstrap resampling of alignment columns.
+
+A bootstrap replicate re-samples the alignment's sites with replacement
+(paper Section 1: "ML searches on data sets obtained by randomly
+re-sampling the columns of the multiple sequence alignment").  Because the
+alignment is pattern-compressed, a replicate is represented as a new
+*weight vector* over the existing patterns — no column copying, exactly as
+in RAxML's rapid-bootstrap implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seq.patterns import PatternAlignment
+from repro.util.rng import RAxMLRandom
+
+
+def bootstrap_weights(n_sites: int, rng: RAxMLRandom) -> np.ndarray:
+    """Per-site multiplicities of one bootstrap replicate over ``n_sites``.
+
+    Each of the ``n_sites`` draws picks one original site uniformly at
+    random; the returned counts sum to ``n_sites``.
+    """
+    if n_sites <= 0:
+        raise ValueError(f"n_sites must be positive, got {n_sites}")
+    return rng.multinomial_counts(n_sites, n_sites)
+
+
+def bootstrap_pattern_weights(
+    pal: PatternAlignment, rng: RAxMLRandom
+) -> np.ndarray:
+    """Pattern-level weights of one bootstrap replicate of ``pal``.
+
+    Sites are drawn with replacement (respecting the original per-pattern
+    multiplicities) and the draws are accumulated per pattern.  The result
+    sums to the original number of sites; patterns that were not drawn get
+    weight 0 and are simply skipped by the likelihood kernels.
+    """
+    n_sites = int(pal.weights.sum())
+    counts = rng.weighted_multinomial_counts(n_sites, pal.weights.astype(np.float64))
+    return counts

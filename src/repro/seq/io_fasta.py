@@ -1,0 +1,47 @@
+"""FASTA reading and writing."""
+
+from __future__ import annotations
+
+import os
+
+from repro.seq.alignment import Alignment
+
+
+def parse_fasta(text: str) -> Alignment:
+    """Parse FASTA-formatted ``text`` into an :class:`Alignment`."""
+    records: list[tuple[str, list[str]]] = []
+    current: list[str] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise ValueError(f"line {lineno}: empty sequence name")
+            current = []
+            records.append((name, current))
+        else:
+            if current is None:
+                raise ValueError(f"line {lineno}: sequence data before any '>' header")
+            current.append(line)
+    if not records:
+        raise ValueError("no FASTA records found")
+    return Alignment.from_sequences([(n, "".join(parts)) for n, parts in records])
+
+
+def read_fasta(path: str | os.PathLike) -> Alignment:
+    """Read a FASTA file into an :class:`Alignment`."""
+    with open(path, "r", encoding="ascii") as fh:
+        return parse_fasta(fh.read())
+
+
+def write_fasta(alignment: Alignment, path: str | os.PathLike, width: int = 70) -> None:
+    """Write ``alignment`` as FASTA with lines wrapped at ``width`` chars."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    with open(path, "w", encoding="ascii") as fh:
+        for name, seq in alignment.records():
+            fh.write(f">{name}\n")
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")

@@ -1,0 +1,68 @@
+"""Relaxed PHYLIP reading and writing (RAxML's native input format)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.seq.alignment import Alignment
+
+
+def parse_phylip(text: str) -> Alignment:
+    """Parse relaxed (whitespace-separated, sequential) PHYLIP text.
+
+    The header line gives taxon and character counts; each subsequent
+    non-empty line is ``name sequence`` with the sequence possibly split
+    across continuation lines (interleaved format is also accepted).
+    """
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty PHYLIP input")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"bad PHYLIP header: {lines[0]!r}")
+    try:
+        n_taxa, n_chars = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise ValueError(f"bad PHYLIP header: {lines[0]!r}") from exc
+    if n_taxa < 3 or n_chars < 1:
+        raise ValueError(f"implausible PHYLIP header: {n_taxa} taxa, {n_chars} chars")
+
+    body = lines[1:]
+    if len(body) < n_taxa:
+        raise ValueError(f"expected at least {n_taxa} sequence lines, got {len(body)}")
+
+    names: list[str] = []
+    seqs: list[list[str]] = []
+    # First block: one line per taxon, "name seq...".
+    for ln in body[:n_taxa]:
+        parts = ln.split()
+        if len(parts) < 2:
+            raise ValueError(f"bad PHYLIP sequence line: {ln!r}")
+        names.append(parts[0])
+        seqs.append(["".join(parts[1:])])
+    # Interleaved continuation blocks: bare sequence lines cycling over taxa.
+    for i, ln in enumerate(body[n_taxa:]):
+        seqs[i % n_taxa].append("".join(ln.split()))
+
+    records = [(n, "".join(parts)) for n, parts in zip(names, seqs)]
+    for name, seq in records:
+        if len(seq) != n_chars:
+            raise ValueError(
+                f"taxon {name!r} has {len(seq)} characters, header says {n_chars}"
+            )
+    return Alignment.from_sequences(records)
+
+
+def read_phylip(path: str | os.PathLike) -> Alignment:
+    """Read a relaxed PHYLIP file into an :class:`Alignment`."""
+    with open(path, "r", encoding="ascii") as fh:
+        return parse_phylip(fh.read())
+
+
+def write_phylip(alignment: Alignment, path: str | os.PathLike) -> None:
+    """Write ``alignment`` in sequential relaxed PHYLIP format."""
+    name_w = max(len(t) for t in alignment.taxa) + 2
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"{alignment.n_taxa} {alignment.n_sites}\n")
+        for name, seq in alignment.records():
+            fh.write(f"{name.ljust(name_w)}{seq}\n")

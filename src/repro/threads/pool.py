@@ -1,0 +1,78 @@
+"""The virtual thread pool: master/worker execution over pattern chunks."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.threads.partition import contiguous_chunks
+from repro.threads.timing import RegionTiming, ZeroTiming
+from repro.util.timing import VirtualClock
+
+
+class VirtualThreadPool:
+    """Executes pattern-sliced kernels and accounts simulated region time.
+
+    The pool mirrors RAxML's Pthreads master/worker design: the master
+    broadcasts a job, each worker processes its pattern chunk, a barrier
+    ends the region.  ``run_region`` really executes the kernel once per
+    chunk (so functional results are exact) and advances the virtual clock
+    by the modelled region time.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        timing: RegionTiming | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        self.timing = timing if timing is not None else ZeroTiming()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.regions_executed = 0
+
+    # -- execution --------------------------------------------------------
+
+    def run_region(
+        self,
+        kernel: Callable[[slice], object],
+        n_patterns: int,
+        n_categories: int = 1,
+    ) -> list:
+        """One parallel region: ``kernel(chunk_slice)`` per thread.
+
+        Returns the list of per-thread results (empty chunks yield
+        ``None``) and charges the modelled region time to the clock.
+        """
+        chunks = contiguous_chunks(n_patterns, self.n_threads)
+        results = [kernel(c) if c.stop > c.start else None for c in chunks]
+        self.charge_region([c.stop - c.start for c in chunks], n_categories)
+        return results
+
+    def charge_region(self, chunk_patterns: Sequence[int], n_categories: int) -> float:
+        """Advance the clock for one region without executing anything.
+
+        Used when the caller has already computed full-vector results and
+        only needs the timing (the arithmetic is identical either way).
+        """
+        dt = self.timing.region_seconds(chunk_patterns, n_categories)
+        self.clock.advance(dt)
+        self.regions_executed += 1
+        return dt
+
+    def charge_regions(self, n_regions: int, n_patterns: int, n_categories: int) -> float:
+        """Charge ``n_regions`` identical balanced regions at once."""
+        if n_regions < 0:
+            raise ValueError("n_regions must be >= 0")
+        from repro.threads.partition import chunk_sizes
+
+        sizes = chunk_sizes(n_patterns, self.n_threads)
+        dt = self.timing.region_seconds(sizes, n_categories) * n_regions
+        self.clock.advance(dt)
+        self.regions_executed += n_regions
+        return dt
+
+    @property
+    def virtual_time(self) -> float:
+        return self.clock.now

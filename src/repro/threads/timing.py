@@ -1,0 +1,61 @@
+"""Timing models for one fine-grained parallel region.
+
+A *parallel region* is one CLV update or likelihood reduction executed by
+all T worker threads over their pattern chunks, ended by a barrier.  Its
+wall time is::
+
+    max_t (chunk_patterns_t * per_pattern_cost) + sync_cost(T)
+
+Machine-accurate per-pattern costs and synchronisation constants live in
+:mod:`repro.perfmodel.finegrain`; this module defines the interface plus
+two simple reference implementations used by tests and default runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class RegionTiming(Protocol):
+    """Charge policy for one parallel region."""
+
+    def region_seconds(self, chunk_patterns: Sequence[int], n_categories: int) -> float:
+        """Simulated wall-clock seconds for one region with the given
+        per-thread chunk sizes (in patterns) and rate-category count."""
+        ...
+
+
+@dataclass(frozen=True)
+class ZeroTiming:
+    """No time accounting (pure functional runs)."""
+
+    def region_seconds(self, chunk_patterns: Sequence[int], n_categories: int) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LinearRegionTiming:
+    """A plain cost model: per-pattern-category cost plus quadratic barrier.
+
+    ``sync_quadratic * T**2`` reflects busy-wait barriers whose cache-line
+    traffic grows superlinearly with thread count — the mechanism that
+    caps useful thread counts for small-pattern data sets in the paper.
+    """
+
+    per_pattern_second: float = 1e-6
+    sync_quadratic: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.per_pattern_second < 0 or self.sync_quadratic < 0:
+            raise ValueError("timing constants must be non-negative")
+
+    def region_seconds(self, chunk_patterns: Sequence[int], n_categories: int) -> float:
+        if n_categories < 1:
+            raise ValueError("n_categories must be >= 1")
+        t = len(chunk_patterns)
+        biggest = max(chunk_patterns) if chunk_patterns else 0
+        compute = biggest * n_categories * self.per_pattern_second
+        sync = self.sync_quadratic * t * t if t > 1 else 0.0
+        return compute + sync

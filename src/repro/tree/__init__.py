@@ -1,0 +1,32 @@
+"""Tree substrate: unrooted binary phylogenies and operations on them.
+
+Trees are stored in the conventional "rooted at a trifurcation" form: the
+root is an internal node with three children and every other internal node
+has exactly two children, which represents an unrooted, fully resolved
+(binary) phylogeny.  Branch lengths live on child nodes (the edge to the
+parent).
+"""
+
+from repro.tree.topology import Node, Tree
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.bipartitions import (
+    Bipartition,
+    tree_bipartitions,
+    bipartition_of_edge,
+)
+from repro.tree.distances import robinson_foulds, branch_score_distance
+from repro.tree.random_trees import random_topology, yule_tree
+
+__all__ = [
+    "Node",
+    "Tree",
+    "parse_newick",
+    "write_newick",
+    "Bipartition",
+    "tree_bipartitions",
+    "bipartition_of_edge",
+    "robinson_foulds",
+    "branch_score_distance",
+    "random_topology",
+    "yule_tree",
+]

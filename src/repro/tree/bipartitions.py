@@ -1,0 +1,102 @@
+"""Bipartitions (splits) induced by tree edges.
+
+Every edge of an unrooted tree splits the taxon set in two; the set of
+*non-trivial* bipartitions (both sides >= 2 taxa) identifies the topology.
+Bipartitions drive bootstrap-support mapping, the Robinson–Foulds distance
+and the WC bootstopping test, and are exactly what the paper's Section 2
+says a parallel bootstopping framework must hash ("bipartitions of trees
+stored in a hash table").
+
+A bipartition is canonicalised as the integer bitmask of the side *not*
+containing taxon 0, so equal splits compare equal regardless of the edge
+orientation that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tree.topology import Node, Tree
+
+
+@dataclass(frozen=True)
+class Bipartition:
+    """A canonical split of ``n_taxa`` taxa.
+
+    ``mask`` has bit ``i`` set iff taxon ``i`` is on the side that does not
+    contain taxon 0.
+    """
+
+    mask: int
+    n_taxa: int
+
+    def __post_init__(self) -> None:
+        if self.n_taxa < 4:
+            raise ValueError("non-trivial bipartitions need at least 4 taxa")
+        full = (1 << self.n_taxa) - 1
+        if not (0 < self.mask < full):
+            raise ValueError("mask must be a proper non-empty subset")
+        if self.mask & 1:
+            raise ValueError("canonical mask must not contain taxon 0")
+
+    @classmethod
+    def from_leafset(cls, leaf_indices, n_taxa: int) -> "Bipartition":
+        """Canonicalise an arbitrary side of a split given by leaf indices."""
+        mask = 0
+        for i in leaf_indices:
+            if not (0 <= i < n_taxa):
+                raise ValueError(f"leaf index {i} out of range")
+            mask |= 1 << i
+        if mask & 1:
+            mask = ((1 << n_taxa) - 1) ^ mask
+        return cls(mask, n_taxa)
+
+    @property
+    def side_size(self) -> int:
+        """Number of taxa on the canonical (taxon-0-free) side."""
+        return bin(self.mask).count("1")
+
+    def is_trivial(self) -> bool:
+        return self.side_size < 2 or self.side_size > self.n_taxa - 2
+
+    def __repr__(self) -> str:
+        members = [i for i in range(self.n_taxa) if self.mask >> i & 1]
+        return f"Bipartition({members})"
+
+
+def bipartition_of_edge(tree: Tree, edge_child: Node) -> Bipartition:
+    """The split induced by the edge above ``edge_child``."""
+    idx = [leaf.leaf_index for leaf in tree.subtree_leaves(edge_child)]
+    return Bipartition.from_leafset(idx, len(tree.taxa))
+
+
+def tree_bipartitions(
+    tree: Tree,
+    with_lengths: bool = False,
+) -> dict[Bipartition, float] | set[Bipartition]:
+    """All non-trivial bipartitions of ``tree``.
+
+    Computed bottom-up in one postorder pass (O(n * n/wordsize) via Python
+    big-int masks).  Returns a set, or a dict mapping each bipartition to
+    its branch length when ``with_lengths`` is true.
+    """
+    n_taxa = len(tree.taxa)
+    full = (1 << n_taxa) - 1
+    masks: dict[int, int] = {}
+    result: dict[Bipartition, float] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            masks[id(node)] = 1 << node.leaf_index
+        else:
+            m = 0
+            for ch in node.children:
+                m |= masks.pop(id(ch))
+            masks[id(node)] = m
+            if node.parent is not None:
+                size = bin(m).count("1")
+                if 2 <= size <= n_taxa - 2:
+                    canon = (full ^ m) if (m & 1) else m
+                    result[Bipartition(canon, n_taxa)] = node.length
+    if with_lengths:
+        return result
+    return set(result)

@@ -1,0 +1,41 @@
+"""Topological distances between trees on the same taxon set."""
+
+from __future__ import annotations
+
+import math
+
+from repro.tree.bipartitions import tree_bipartitions
+from repro.tree.topology import Tree
+
+
+def _check_same_taxa(a: Tree, b: Tree) -> None:
+    if a.taxa != b.taxa:
+        raise ValueError("trees must share an identical taxon tuple")
+
+
+def robinson_foulds(a: Tree, b: Tree, normalized: bool = False) -> float:
+    """The Robinson–Foulds (symmetric-difference) distance.
+
+    For binary trees on ``n`` taxa the maximum is ``2 * (n - 3)``; with
+    ``normalized=True`` the distance is scaled into ``[0, 1]`` by that
+    maximum.
+    """
+    _check_same_taxa(a, b)
+    sa = tree_bipartitions(a)
+    sb = tree_bipartitions(b)
+    rf = len(sa ^ sb)
+    if not normalized:
+        return float(rf)
+    denom = len(sa) + len(sb)
+    return rf / denom if denom else 0.0
+
+
+def branch_score_distance(a: Tree, b: Tree) -> float:
+    """Kuhner–Felsenstein branch-score distance (L2 over split lengths)."""
+    _check_same_taxa(a, b)
+    la = tree_bipartitions(a, with_lengths=True)
+    lb = tree_bipartitions(b, with_lengths=True)
+    total = 0.0
+    for split in set(la) | set(lb):
+        total += (la.get(split, 0.0) - lb.get(split, 0.0)) ** 2
+    return math.sqrt(total)

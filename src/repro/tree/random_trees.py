@@ -1,0 +1,119 @@
+"""Random tree generation.
+
+Two generators are provided:
+
+* :func:`random_topology` — uniform-ish random binary topology built by
+  sequential random addition, used for random starting trees (RAxML's
+  multiple-ML-search analysis starts "from different initial trees").
+* :func:`yule_tree` — a Yule (pure-birth) tree with exponential waiting
+  times, used by :mod:`repro.datasets` to simulate alignments with
+  realistic branch-length structure.
+"""
+
+from __future__ import annotations
+
+from repro.tree.topology import MIN_BRANCH_LENGTH, Node, Tree
+from repro.util.rng import RAxMLRandom
+
+
+def random_topology(
+    taxa: tuple[str, ...],
+    rng: RAxMLRandom,
+    branch_length: float = 0.1,
+) -> Tree:
+    """A random binary topology over ``taxa`` via sequential random addition.
+
+    Taxa are inserted in a random order, each on a uniformly random edge of
+    the growing tree.  All branch lengths are set to ``branch_length``.
+    """
+    if len(taxa) < 3:
+        raise ValueError("need at least 3 taxa")
+    order = rng.permutation(len(taxa))
+    tree = Tree.star(tuple(taxa[i] for i in order[:3]), length=branch_length)
+    # Re-map: Tree.star indexed the permuted tuple 0..2; fix to global indices.
+    for leaf, global_idx in zip(tree.root.children, order[:3]):
+        leaf.leaf_index = global_idx
+        leaf.name = taxa[global_idx]
+    tree.taxa = tuple(taxa)
+    for global_idx in order[3:]:
+        edges = tree.edges()
+        target = edges[rng.next_int(len(edges))]
+        leaf = Node(name=taxa[global_idx], leaf_index=global_idx)
+        tree.insert_leaf_on_edge(leaf, target, leaf_length=branch_length)
+    tree.validate()
+    return tree
+
+
+def yule_tree(
+    taxa: tuple[str, ...],
+    rng: RAxMLRandom,
+    birth_rate: float = 1.0,
+    scale: float = 0.3,
+) -> Tree:
+    """A Yule pure-birth tree with exponential branch lengths.
+
+    Lineages split uniformly at random; waiting times between speciations
+    are Exp(k * birth_rate) for k extant lineages.  The final tree is
+    unrooted (trifurcating root) and branch lengths are multiplied by
+    ``scale`` so that typical per-site substitution counts are moderate.
+    """
+    import math
+
+    n = len(taxa)
+    if n < 3:
+        raise ValueError("need at least 3 taxa")
+    if birth_rate <= 0 or scale <= 0:
+        raise ValueError("birth_rate and scale must be positive")
+
+    # Grow a rooted binary tree: each tip holds its pending branch length.
+    root = Node()
+    tips: list[Node] = []
+    for _ in range(2):
+        tip = Node(length=0.0)
+        root.add_child(tip)
+        tips.append(tip)
+    while len(tips) < n:
+        k = len(tips)
+        u = max(rng.next_double(), 1e-300)
+        dt = -math.log(u) / (birth_rate * k)
+        for tip in tips:
+            tip.length += dt
+        # Split one random tip into two.
+        victim = tips.pop(rng.next_int(len(tips)))
+        for _ in range(2):
+            child = Node(length=0.0)
+            victim.add_child(child)
+            tips.append(child)
+    # One final waiting period so terminal branches are not zero.
+    u = max(rng.next_double(), 1e-300)
+    dt = -math.log(u) / (birth_rate * len(tips))
+    for tip in tips:
+        tip.length += dt
+
+    # Label tips with a random taxon assignment.
+    order = rng.permutation(n)
+    for tip, idx in zip(tips, order):
+        tip.name = taxa[idx]
+        tip.leaf_index = idx
+
+    # Scale lengths and clamp.
+    def fix(node: Node) -> None:
+        for ch in node.children:
+            ch.length = max(ch.length * scale, MIN_BRANCH_LENGTH)
+            fix(ch)
+
+    fix(root)
+
+    # Unroot: collapse the bifurcating root.
+    c1, c2 = root.children
+    internal = c1 if not c1.is_leaf else c2
+    if internal.is_leaf:
+        raise ValueError("degenerate Yule tree")  # pragma: no cover
+    other = c2 if internal is c1 else c1
+    root.children = []
+    other.length = other.length + internal.length
+    internal.add_child(other)
+    internal.parent = None
+    tree = Tree(internal, tuple(taxa))
+    tree.validate()
+    return tree

@@ -1,0 +1,395 @@
+"""Mutable unrooted binary tree topology with SPR/NNI support.
+
+The subtree-pruning-and-regrafting (SPR) move is the workhorse of RAxML's
+hill-climbing searches; :meth:`Tree.prune` and :meth:`Tree.regraft`
+implement it with full invariant restoration (degree-two suppression,
+root normalisation) so a search can apply and revert moves freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+DEFAULT_BRANCH_LENGTH = 0.1
+#: RAxML clamps branch lengths to avoid degenerate optimisation.
+MIN_BRANCH_LENGTH = 1e-6
+MAX_BRANCH_LENGTH = 30.0
+
+
+class Node:
+    """One node of a phylogeny.
+
+    ``name``/``leaf_index`` are set for leaves only.  ``length`` is the
+    length of the edge to the parent (meaningless on the root).
+    """
+
+    __slots__ = ("name", "leaf_index", "children", "parent", "length", "support")
+
+    def __init__(
+        self,
+        name: str | None = None,
+        leaf_index: int | None = None,
+        length: float = DEFAULT_BRANCH_LENGTH,
+    ) -> None:
+        self.name = name
+        self.leaf_index = leaf_index
+        self.children: list[Node] = []
+        self.parent: Node | None = None
+        self.length = length
+        self.support: float | None = None  # bootstrap support, if mapped
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "Node") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def detach_child(self, child: "Node") -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = f"leaf {self.name!r}" if self.is_leaf else f"internal({len(self.children)})"
+        return f"Node({kind}, length={self.length:.4g})"
+
+
+class Tree:
+    """An unrooted binary phylogeny over a fixed taxon set.
+
+    Invariants (checked by :meth:`validate`):
+
+    * the root has exactly three children (or ``n_taxa`` children when
+      ``n_taxa == 3``, which is the same thing);
+    * every other internal node has exactly two children;
+    * leaves carry unique ``leaf_index`` values covering ``range(n_taxa)``;
+    * all branch lengths are positive.
+    """
+
+    def __init__(self, root: Node, taxa: tuple[str, ...]) -> None:
+        self.root = root
+        self.taxa = tuple(taxa)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def star(cls, taxa: tuple[str, ...], length: float = DEFAULT_BRANCH_LENGTH) -> "Tree":
+        """The 3-taxon (or n-taxon star) tree over the first 3 taxa.
+
+        Used as the seed for stepwise addition; only the first three taxa
+        are attached.
+        """
+        if len(taxa) < 3:
+            raise ValueError("need at least 3 taxa")
+        root = Node()
+        for i in range(3):
+            root.add_child(Node(name=taxa[i], leaf_index=i, length=length))
+        return cls(root, taxa)
+
+    def copy(self) -> "Tree":
+        """A deep structural copy (shares taxon tuple, copies all nodes)."""
+
+        def rec(node: Node) -> Node:
+            clone = Node(node.name, node.leaf_index, node.length)
+            clone.support = node.support
+            for ch in node.children:
+                clone.add_child(rec(ch))
+            return clone
+
+        return Tree(rec(self.root), self.taxa)
+
+    # -- traversal ----------------------------------------------------------
+
+    def postorder(self) -> Iterator[Node]:
+        """Children-before-parents traversal (iterative, recursion-free)."""
+        stack: list[tuple[Node, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or node.is_leaf:
+                yield node
+            else:
+                stack.append((node, True))
+                for ch in reversed(node.children):
+                    stack.append((ch, False))
+
+    def preorder(self) -> Iterator[Node]:
+        """Parents-before-children traversal."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> list[Node]:
+        return [n for n in self.postorder() if n.is_leaf]
+
+    def internal_nodes(self) -> list[Node]:
+        return [n for n in self.postorder() if not n.is_leaf]
+
+    def edges(self) -> list[Node]:
+        """All edges, each identified by its child endpoint (non-root nodes)."""
+        return [n for n in self.postorder() if n.parent is not None]
+
+    def internal_edges(self) -> list[Node]:
+        """Edges whose both endpoints are internal (non-trivial bipartitions)."""
+        return [
+            n
+            for n in self.postorder()
+            if n.parent is not None and not n.is_leaf
+        ]
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for _ in self.postorder() if _.is_leaf)
+
+    def find_leaf(self, name: str) -> Node:
+        for n in self.postorder():
+            if n.is_leaf and n.name == name:
+                return n
+        raise KeyError(f"no leaf named {name!r}")
+
+    def subtree_leaves(self, node: Node) -> list[Node]:
+        """Leaves under ``node`` (inclusive if ``node`` is a leaf)."""
+        out = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                out.append(n)
+            else:
+                stack.extend(n.children)
+        return out
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any structural invariant is broken."""
+        seen_indices: set[int] = set()
+        n_leaves = 0
+        for node in self.postorder():
+            if node is self.root:
+                if len(node.children) != 3:
+                    raise ValueError(
+                        f"root must have 3 children, has {len(node.children)}"
+                    )
+                if node.parent is not None:
+                    raise ValueError("root must not have a parent")
+                continue
+            if node.parent is None:
+                raise ValueError("non-root node with no parent")
+            if node not in node.parent.children:
+                raise ValueError("parent/child link inconsistency")
+            if node.is_leaf:
+                n_leaves += 1
+                if node.leaf_index is None or node.name is None:
+                    raise ValueError("leaf without name/index")
+                if node.leaf_index in seen_indices:
+                    raise ValueError(f"duplicate leaf index {node.leaf_index}")
+                if not (0 <= node.leaf_index < len(self.taxa)):
+                    raise ValueError(f"leaf index {node.leaf_index} out of range")
+                if self.taxa[node.leaf_index] != node.name:
+                    raise ValueError(
+                        f"leaf {node.name!r} does not match taxa[{node.leaf_index}]"
+                    )
+                seen_indices.add(node.leaf_index)
+            else:
+                if len(node.children) != 2:
+                    raise ValueError(
+                        f"internal node must have 2 children, has {len(node.children)}"
+                    )
+            if not (node.length > 0):
+                raise ValueError(f"non-positive branch length {node.length}")
+        if n_leaves < 3:
+            raise ValueError(f"tree has only {n_leaves} leaves")
+
+    # -- topology edits -------------------------------------------------------
+
+    def insert_leaf_on_edge(
+        self,
+        leaf: Node,
+        edge_child: Node,
+        split: float = 0.5,
+        leaf_length: float = DEFAULT_BRANCH_LENGTH,
+    ) -> Node:
+        """Attach ``leaf`` in the middle of the edge above ``edge_child``.
+
+        Returns the newly created internal node.  Used by stepwise addition.
+        """
+        if edge_child.parent is None:
+            raise ValueError("cannot insert on the (nonexistent) root edge")
+        if not (0.0 < split < 1.0):
+            raise ValueError(f"split must be in (0, 1), got {split}")
+        parent = edge_child.parent
+        joint = Node(length=max(edge_child.length * split, MIN_BRANCH_LENGTH))
+        # Keep child order stable for reproducibility.
+        parent.children[parent.children.index(edge_child)] = joint
+        joint.parent = parent
+        edge_child.length = max(edge_child.length * (1.0 - split), MIN_BRANCH_LENGTH)
+        joint.add_child(edge_child)
+        leaf.length = leaf_length
+        joint.add_child(leaf)
+        return joint
+
+    def prune(self, node: Node) -> tuple[Node, float]:
+        """Detach the subtree rooted at ``node`` and restore invariants.
+
+        Returns ``(node, original_edge_length)`` so the caller can undo the
+        move.  The node's former parent (a degree-two node after removal)
+        is spliced out; if the parent was the root the root is re-formed.
+        """
+        if node.parent is None:
+            raise ValueError("cannot prune the root")
+        remaining = self.n_leaves - len(self.subtree_leaves(node))
+        if remaining < 3:
+            raise ValueError("pruning would leave fewer than 3 leaves")
+        original_length = node.length
+        parent = node.parent
+        parent.detach_child(node)
+
+        if parent is self.root:
+            # Root dropped from 3 to 2 children: promote an internal child
+            # to become the new trifurcating root.
+            c1, c2 = self.root.children
+            internal = c1 if not c1.is_leaf else c2
+            if internal.is_leaf:
+                raise ValueError("degenerate tree: root with two leaf children")
+            other = c2 if internal is c1 else c1
+            self.root.detach_child(internal)
+            self.root.detach_child(other)
+            other.length = min(
+                max(other.length + internal.length, MIN_BRANCH_LENGTH),
+                MAX_BRANCH_LENGTH,
+            )
+            internal.add_child(other)
+            internal.parent = None
+            internal.length = DEFAULT_BRANCH_LENGTH  # unused on the root
+            self.root = internal
+        else:
+            # Splice out the degree-two parent.
+            (sibling,) = parent.children
+            grand = parent.parent
+            sibling.length = min(
+                max(sibling.length + parent.length, MIN_BRANCH_LENGTH),
+                MAX_BRANCH_LENGTH,
+            )
+            grand.children[grand.children.index(parent)] = sibling
+            sibling.parent = grand
+            parent.children = []
+            parent.parent = None
+        return node, original_length
+
+    def regraft(
+        self,
+        node: Node,
+        edge_child: Node,
+        length: float | None = None,
+        split: float = 0.5,
+    ) -> Node:
+        """Re-attach a pruned subtree onto the edge above ``edge_child``.
+
+        Returns the new internal node created on the target edge.
+        """
+        if edge_child.parent is None:
+            raise ValueError("cannot regraft onto the root itself")
+        if node.parent is not None:
+            raise ValueError("node to regraft must be detached (pruned) first")
+        if length is None:
+            length = node.length
+        joint = self.insert_leaf_on_edge(
+            node, edge_child, split=split, leaf_length=max(length, MIN_BRANCH_LENGTH)
+        )
+        return joint
+
+    def spr(self, node: Node, target_edge_child: Node) -> None:
+        """One subtree-prune-and-regraft move: prune ``node``, re-insert it
+        on the edge above ``target_edge_child``."""
+        in_subtree = set(map(id, self._nodes_under(node)))
+        if id(target_edge_child) in in_subtree:
+            raise ValueError("target edge lies inside the pruned subtree")
+        pruned, length = self.prune(node)
+        if target_edge_child.parent is None:
+            if not target_edge_child.children:
+                raise ValueError("target edge was removed by the prune")
+            # The target became the root during root re-forming; choose one
+            # of its children instead (same edge set).
+            target_edge_child = target_edge_child.children[0]
+        self.regraft(pruned, target_edge_child, length=length)
+
+    def _nodes_under(self, node: Node) -> list[Node]:
+        out = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            out.append(n)
+            stack.extend(n.children)
+        return out
+
+    def nni(self, edge_child: Node, variant: int) -> None:
+        """A nearest-neighbour interchange across the internal edge above
+        ``edge_child``.
+
+        ``variant`` 0 or 1 selects which child of ``edge_child`` is swapped
+        with one of its "uncles" (the siblings of ``edge_child``).
+        """
+        if edge_child.is_leaf or edge_child.parent is None:
+            raise ValueError("NNI requires an internal, non-root edge child")
+        if variant not in (0, 1):
+            raise ValueError(f"variant must be 0 or 1, got {variant}")
+        parent = edge_child.parent
+        uncles = [c for c in parent.children if c is not edge_child]
+        uncle = uncles[0]
+        child = edge_child.children[variant]
+        # Swap `child` and `uncle` between the two ends of the edge.
+        pi = parent.children.index(uncle)
+        ci = edge_child.children.index(child)
+        parent.children[pi] = child
+        child.parent = parent
+        edge_child.children[ci] = uncle
+        uncle.parent = edge_child
+
+    def reroot_at(self, new_root: Node) -> None:
+        """Move the trifurcation root to another internal node, in place.
+
+        For reversible models the likelihood is invariant under this
+        operation (Felsenstein's pulley principle); topologically it is a
+        pure re-orientation — the same unrooted tree, different traversal
+        root.  Branch lengths are preserved edge-for-edge.
+        """
+        if new_root.is_leaf:
+            raise ValueError("the root must be an internal node")
+        if new_root is self.root:
+            return
+        path: list[Node] = []
+        n: Node | None = new_root
+        while n is not None:
+            path.append(n)
+            n = n.parent
+        if path[-1] is not self.root:
+            raise ValueError("node does not belong to this tree")
+        # Reverse parent/child links along the path, old root first.  The
+        # edge length between path[i] and path[i-1] lives on path[i-1]
+        # before the flip and moves to path[i] after it.
+        for i in range(len(path) - 1, 0, -1):
+            parent, child = path[i], path[i - 1]
+            parent.children.remove(child)
+            child.children.append(parent)
+            parent.parent = child
+            parent.length = child.length
+        new_root.parent = None
+        new_root.length = DEFAULT_BRANCH_LENGTH  # unused on the root
+        self.root = new_root
+
+    # -- misc -------------------------------------------------------------
+
+    def total_branch_length(self) -> float:
+        return sum(n.length for n in self.postorder() if n.parent is not None)
+
+    def map_branch_lengths(self, fn: Callable[[float], float]) -> None:
+        """Apply ``fn`` to every branch length in place (clamped positive)."""
+        for n in self.postorder():
+            if n.parent is not None:
+                n.length = min(max(fn(n.length), MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+
+    def __repr__(self) -> str:
+        return f"Tree(n_leaves={self.n_leaves}, taxa={len(self.taxa)})"

@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG streams, virtual clocks, tables.
+
+These helpers are deliberately dependency-light; every other subpackage is
+allowed to import :mod:`repro.util`, and :mod:`repro.util` imports nothing
+from the rest of the package.
+"""
+
+from repro.util.rng import RAxMLRandom, rank_seed, spawn_stream
+from repro.util.timing import VirtualClock, StageTimer, WallTimer
+from repro.util.tables import format_table
+from repro.util.validation import check_positive, check_probability_vector
+
+__all__ = [
+    "RAxMLRandom",
+    "rank_seed",
+    "spawn_stream",
+    "VirtualClock",
+    "StageTimer",
+    "WallTimer",
+    "format_table",
+    "check_positive",
+    "check_probability_vector",
+]

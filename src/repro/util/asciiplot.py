@@ -1,0 +1,129 @@
+"""Terminal line charts for the figure benchmarks.
+
+The paper's evaluation is eight figures of speedup/efficiency curves; this
+module renders multi-series line charts as plain text so the benchmark
+harness can display the *shape* of each figure without any plotting
+dependency.  Series are drawn with distinct glyphs over a character grid,
+with axis ticks and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Glyphs assigned to consecutive series.
+_GLYPHS = "o*x+#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]  # (x, y), x ascending
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError(f"series {self.label!r} has no points")
+        xs = [p[0] for p in self.points]
+        if xs != sorted(xs):
+            raise ValueError(f"series {self.label!r} must have ascending x")
+
+
+def _ticks(lo: float, hi: float, n: int) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def line_plot(
+    series: list[Series],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logx: bool = False,
+) -> str:
+    """Render series as an ASCII line chart.
+
+    ``logx`` places x positions on a log scale — natural for core-count
+    axes (1, 2, 4, ... 80), matching the paper's log-x figures.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValueError("plot must be at least 16x6 characters")
+
+    def xt(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("logx requires positive x values")
+            return math.log10(x)
+        return x
+
+    xs = [xt(x) for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((xt(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        return height - 1 - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    for si, s in enumerate(series):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        # Connect consecutive points with interpolated dots, then overdraw
+        # the data points with the series glyph.
+        for (x0, y0), (x1, y1) in zip(s.points, s.points[1:]):
+            c0, r0 = col(x0), row(y0)
+            c1, r1 = col(x1), row(y1)
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for k in range(steps + 1):
+                c = round(c0 + (c1 - c0) * k / steps)
+                r = round(r0 + (r1 - r0) * k / steps)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in s.points:
+            grid[row(y)][col(x)] = glyph
+
+    y_ticks = _ticks(y_lo, y_hi, 5)
+    label_w = max(len(f"{t:.3g}") for t in y_ticks)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    tick_rows = {row(t): f"{t:.3g}".rjust(label_w) for t in y_ticks}
+    for r in range(height):
+        label = tick_rows.get(r, " " * label_w)
+        lines.append(f"{label} |{''.join(grid[r])}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_ticks = _ticks(x_lo, x_hi, 5)
+    tick_line = [" "] * width
+    tick_text = []
+    for t in x_ticks:
+        value = 10**t if logx else t
+        tick_text.append((round((t - x_lo) / (x_hi - x_lo) * (width - 1)), f"{value:.3g}"))
+    axis = [" "] * (width + 2)
+    out_axis = list(" " * label_w) + [" ", " "] + [" "] * width
+    for pos, text in tick_text:
+        start = min(pos, width - len(text))  # keep the label inside the plot
+        for i, ch in enumerate(text):
+            out_axis[label_w + 2 + start + i] = ch
+    lines.append("".join(out_axis))
+    if xlabel:
+        lines.append(" " * label_w + "  " + xlabel.center(width))
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append((ylabel + "   " if ylabel else "") + legend)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Deterministic random-number streams mirroring RAxML's seeding discipline.
+
+RAxML draws all stochastic decisions (bootstrap resampling, starting-tree
+order, SPR tie breaking) from explicit user-supplied seeds (``-p`` for the
+search, ``-x``/``-b`` for bootstrapping).  The hybrid MPI code of the paper
+(Section 2.4) achieves reproducibility by using the specified seed on MPI
+rank 0 and *seeds incremented by multiples of 10,000* on the other ranks.
+
+This module provides:
+
+* :class:`RAxMLRandom` — a portable linear-congruential generator compatible
+  in spirit with RAxML's ``randum()`` (a 48-bit LCG split into 12-bit
+  chunks).  It is tiny, exactly reproducible across platforms, and is used
+  for *algorithmic* decisions so that results never depend on NumPy's
+  generator evolution.
+* :func:`rank_seed` — the paper's ``seed + 10000 * rank`` rule.
+* :func:`spawn_stream` — derive an independent child stream for a labelled
+  purpose (e.g. one stream per bootstrap replicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The increment between per-rank seeds, from Section 2.4 of the paper.
+RANK_SEED_STRIDE = 10_000
+
+
+def rank_seed(base_seed: int, rank: int, stride: int = RANK_SEED_STRIDE) -> int:
+    """Seed for MPI process ``rank`` given the user-specified ``base_seed``.
+
+    Rank 0 uses the seed exactly as specified; rank ``r`` uses
+    ``base_seed + stride * r`` (paper Section 2.4).
+
+    >>> rank_seed(12345, 0)
+    12345
+    >>> rank_seed(12345, 3)
+    42345
+    """
+    if rank < 0:
+        raise ValueError(f"rank must be non-negative, got {rank}")
+    return base_seed + stride * rank
+
+
+@dataclass
+class RAxMLRandom:
+    """A 48-bit linear congruential generator with RAxML-style splitting.
+
+    RAxML's ``randum()`` keeps a 48-bit state in three 12/16-bit words and
+    multiplies by the constant 1549116797 with increment 1.  We keep the
+    state as a single Python int (masked to 48 bits), which produces an
+    identical sequence to the split-word reference implementation.
+
+    The generator is intentionally *not* cryptographic and *not* NumPy-based:
+    identical results on every platform and NumPy version are the priority,
+    exactly as in the original C code.
+    """
+
+    seed: int
+
+    _MULT = 0x5C5B_97F5  # 1549116797, the multiplier used by RAxML's randum
+    _MASK = (1 << 48) - 1
+
+    def __post_init__(self) -> None:
+        if self.seed <= 0:
+            raise ValueError(f"seed must be positive, got {self.seed}")
+        self._state = self.seed & self._MASK
+
+    # -- core ---------------------------------------------------------------
+
+    def next_double(self) -> float:
+        """Uniform float in ``[0, 1)`` (top 48 bits of the LCG state)."""
+        self._state = (self._state * self._MULT + 1) & self._MASK
+        return self._state / float(1 << 48)
+
+    def next_int(self, upper: int) -> int:
+        """Uniform integer in ``[0, upper)``.
+
+        This mirrors RAxML's idiom ``(int)(randum(&seed) * n)``.
+        """
+        if upper <= 0:
+            raise ValueError(f"upper must be positive, got {upper}")
+        return int(self.next_double() * upper)
+
+    def next_seed(self) -> int:
+        """A fresh positive seed drawn from this stream (for child streams)."""
+        return self.next_int((1 << 31) - 2) + 1
+
+    # -- convenience --------------------------------------------------------
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle driven by this stream."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_int(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def permutation(self, n: int) -> list[int]:
+        """A random permutation of ``range(n)``."""
+        out = list(range(n))
+        self.shuffle(out)
+        return out
+
+    def choice(self, items: list):
+        """One uniformly random element of ``items``."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_int(len(items))]
+
+    def multinomial_counts(self, n_draws: int, n_bins: int) -> np.ndarray:
+        """Counts from ``n_draws`` uniform draws over ``n_bins`` bins.
+
+        Used for bootstrap resampling: RAxML draws each bootstrap site
+        uniformly among the original sites and accumulates per-site counts.
+        """
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for _ in range(n_draws):
+            counts[self.next_int(n_bins)] += 1
+        return counts
+
+    def weighted_multinomial_counts(self, n_draws: int, weights: np.ndarray) -> np.ndarray:
+        """Multinomial counts over bins with unequal probabilities.
+
+        ``weights`` need not be normalised.  Uses inverse-CDF sampling with
+        binary search so the cost is ``O(n_draws * log n_bins)``.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        total = float(w.sum())
+        if total <= 0:
+            raise ValueError("weights must not sum to zero")
+        cdf = np.cumsum(w) / total
+        counts = np.zeros(w.size, dtype=np.int64)
+        for _ in range(n_draws):
+            u = self.next_double()
+            counts[int(np.searchsorted(cdf, u, side="right"))] += 1
+        return counts
+
+    def gauss(self) -> float:
+        """One standard-normal draw (Box–Muller, polar-free variant)."""
+        import math
+
+        u1 = self.next_double()
+        u2 = self.next_double()
+        # Guard against log(0).
+        u1 = max(u1, 1e-300)
+        return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    def lognormal(self, mean: float = 1.0, cv: float = 0.25) -> float:
+        """Lognormal draw with the given arithmetic mean and coefficient of
+        variation — used by the performance model for per-search run-time
+        jitter (paper Section 5.1 notes imperfect load balance)."""
+        import math
+
+        if mean <= 0 or cv < 0:
+            raise ValueError("mean must be > 0 and cv >= 0")
+        if cv == 0:
+            return mean
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return math.exp(mu + math.sqrt(sigma2) * self.gauss())
+
+
+def spawn_stream(parent: RAxMLRandom, label: int) -> RAxMLRandom:
+    """Derive a labelled child stream deterministically from a parent seed.
+
+    Unlike ``parent.next_seed()`` this does not advance the parent, so child
+    streams can be created in any order: replicate ``k`` always receives the
+    same stream for a given parent seed.
+    """
+    if label < 0:
+        raise ValueError(f"label must be non-negative, got {label}")
+    # Mix the parent's *original* seed with the label through one LCG step
+    # per component; collisions across labels are astronomically unlikely
+    # within the 48-bit space for the label ranges used here (< 10^6).
+    mixed = ((parent.seed * RAxMLRandom._MULT + 1) ^ (label * 0x9E37_79B9)) & RAxMLRandom._MASK
+    return RAxMLRandom(mixed + 1)

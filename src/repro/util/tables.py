@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark in :mod:`benchmarks` prints the rows/series the paper
+reports; this module renders them in a consistent aligned format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    formats: Sequence[str | None] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    ``formats`` holds optional per-column format specs (e.g. ``".2f"``)
+    applied to numeric cells; ``None`` means ``str()``.
+    """
+    headers = [str(h) for h in headers]
+    ncol = len(headers)
+    if formats is None:
+        formats = [None] * ncol
+    if len(formats) != ncol:
+        raise ValueError(f"formats has {len(formats)} entries for {ncol} columns")
+
+    str_rows: list[list[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != ncol:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {ncol}")
+        str_rows.append([_cell(v, f) for v, f in zip(row, formats)])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

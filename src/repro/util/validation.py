@@ -1,0 +1,24 @@
+"""Small argument-validation helpers shared across subpackages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability_vector(name: str, vec, atol: float = 1e-8) -> np.ndarray:
+    """Validate and return a 1-D probability vector (non-negative, sums to 1)."""
+    arr = np.asarray(vec, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    s = float(arr.sum())
+    if abs(s - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1 (got {s})")
+    return arr

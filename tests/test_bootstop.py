@@ -1,0 +1,213 @@
+"""Tests for the bootstopping substrate (repro.bootstop)."""
+
+import pytest
+
+from repro.bootstop.consensus import majority_consensus
+from repro.bootstop.support import map_support
+from repro.bootstop.table import BipartitionTable, merge_tables
+from repro.bootstop.wc_test import (
+    wc_converged,
+    wc_recommended_bootstraps,
+    wc_statistic,
+)
+from repro.tree.bipartitions import tree_bipartitions
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.random_trees import random_topology
+from repro.util.rng import RAxMLRandom
+
+TAXA6 = ("A", "B", "C", "D", "E", "F")
+
+
+@pytest.fixture()
+def ref_tree():
+    return parse_newick("((A,B),(C,D),(E,F));", taxa=TAXA6)
+
+
+@pytest.fixture()
+def mixed_trees(ref_tree):
+    """14 copies of the reference plus 6 random topologies."""
+    rng = RAxMLRandom(31)
+    return [ref_tree.copy() for _ in range(14)] + [
+        random_topology(TAXA6, rng) for _ in range(6)
+    ]
+
+
+class TestBipartitionTable:
+    def test_counts_accumulate(self, ref_tree):
+        t = BipartitionTable(6)
+        t.add_tree(ref_tree)
+        t.add_tree(ref_tree.copy())
+        assert t.n_trees == 2
+        for bip in tree_bipartitions(ref_tree):
+            assert t.counts[bip] == 2
+            assert t.frequency(bip) == 1.0
+
+    def test_unknown_split_frequency_zero(self, ref_tree):
+        t = BipartitionTable(6)
+        t.add_tree(ref_tree)
+        other = parse_newick("((A,C),(B,D),(E,F));", taxa=TAXA6)
+        for bip in tree_bipartitions(other) - tree_bipartitions(ref_tree):
+            assert t.frequency(bip) == 0.0
+
+    def test_wrong_taxon_count_rejected(self, ref_tree):
+        t = BipartitionTable(7)
+        with pytest.raises(ValueError):
+            t.add_tree(ref_tree)
+
+    def test_frequency_requires_trees(self):
+        with pytest.raises(ValueError):
+            BipartitionTable(6).frequencies()
+
+    def test_shard_partition_is_disjoint_and_complete(self, mixed_trees):
+        full = BipartitionTable(6)
+        full.add_trees(mixed_trees)
+        shards = [BipartitionTable(6, shard=s, n_shards=3) for s in range(3)]
+        for s in shards:
+            s.add_trees(mixed_trees)
+        # Disjoint ownership:
+        seen = set()
+        for s in shards:
+            assert not (set(s.counts) & seen)
+            seen |= set(s.counts)
+        assert seen == set(full.counts)
+        # Merge reproduces the global table.
+        merged = merge_tables(shards)
+        assert merged.frequencies() == full.frequencies()
+
+    def test_merge_per_rank_tables_sums_trees(self, mixed_trees):
+        half = len(mixed_trees) // 2
+        t1 = BipartitionTable(6)
+        t1.add_trees(mixed_trees[:half])
+        t2 = BipartitionTable(6)
+        t2.add_trees(mixed_trees[half:])
+        merged = merge_tables([t1, t2])
+        assert merged.n_trees == len(mixed_trees)
+
+    def test_merge_validation(self, mixed_trees):
+        with pytest.raises(ValueError):
+            merge_tables([])
+        s0 = BipartitionTable(6, shard=0, n_shards=3)
+        with pytest.raises(ValueError):
+            merge_tables([s0])  # missing shards
+        with pytest.raises(ValueError):
+            merge_tables([BipartitionTable(6), BipartitionTable(7)])
+
+
+class TestConsensus:
+    def test_unanimous_trees_reproduce_topology(self, ref_tree):
+        t = BipartitionTable(6)
+        for _ in range(10):
+            t.add_tree(ref_tree.copy())
+        cons = majority_consensus(t, TAXA6)
+        assert tree_bipartitions(ref_tree) == {
+            b for b in tree_bipartitions(cons)
+        }
+
+    def test_mixed_trees_give_partial_resolution(self, mixed_trees):
+        t = BipartitionTable(6)
+        t.add_trees(mixed_trees)
+        cons = majority_consensus(t, TAXA6)
+        # Majority splits of the 70% reference component survive.
+        assert len(tree_bipartitions(cons)) >= 1
+        # Consensus supports recorded on internal nodes.
+        internal = [n for n in cons.postorder() if not n.is_leaf and n.parent]
+        assert all(n.support is not None and n.support > 0.5 for n in internal)
+
+    def test_extended_resolves_more(self, mixed_trees):
+        """MRE adds compatible minority splits on top of the MR set."""
+        t = BipartitionTable(6)
+        t.add_trees(mixed_trees)
+        mr = majority_consensus(t, TAXA6)
+        mre = majority_consensus(t, TAXA6, extended=True)
+        assert tree_bipartitions(mr) <= tree_bipartitions(mre)
+        assert len(tree_bipartitions(mre)) >= len(tree_bipartitions(mr))
+
+    def test_extended_fully_resolves_unanimous(self, ref_tree):
+        t = BipartitionTable(6)
+        for _ in range(4):
+            t.add_tree(ref_tree.copy())
+        mre = majority_consensus(t, TAXA6, extended=True)
+        assert tree_bipartitions(mre) == tree_bipartitions(ref_tree)
+
+    def test_low_threshold_rejected(self, mixed_trees):
+        t = BipartitionTable(6)
+        t.add_trees(mixed_trees)
+        with pytest.raises(ValueError):
+            majority_consensus(t, TAXA6, threshold=0.3)
+
+    def test_taxa_mismatch_rejected(self, ref_tree):
+        t = BipartitionTable(6)
+        t.add_tree(ref_tree)
+        with pytest.raises(ValueError):
+            majority_consensus(t, TAXA6 + ("G",))
+
+
+class TestMapSupport:
+    def test_supports_in_unit_interval(self, ref_tree, mixed_trees):
+        table = BipartitionTable(6)
+        table.add_trees(mixed_trees)
+        annotated = map_support(ref_tree, table)
+        sups = [e.support for e in annotated.internal_edges()]
+        assert all(0.0 <= s <= 1.0 for s in sups)
+        assert any(s >= 0.7 for s in sups)  # the 14/20 majority component
+
+    def test_original_not_mutated(self, ref_tree, mixed_trees):
+        table = BipartitionTable(6)
+        table.add_trees(mixed_trees)
+        map_support(ref_tree, table)
+        assert all(e.support is None for e in ref_tree.internal_edges())
+
+    def test_support_serialises(self, ref_tree, mixed_trees):
+        table = BipartitionTable(6)
+        table.add_trees(mixed_trees)
+        out = write_newick(map_support(ref_tree, table), support=True)
+        assert any(ch.isdigit() for ch in out.split(")")[1])
+
+    def test_empty_table_rejected(self, ref_tree):
+        with pytest.raises(ValueError):
+            map_support(ref_tree, BipartitionTable(6))
+
+
+class TestWCTest:
+    def test_identical_trees_converge(self, ref_tree):
+        trees = [ref_tree.copy() for _ in range(20)]
+        ok, stat = wc_converged(trees, RAxMLRandom(1))
+        assert ok
+        assert stat == pytest.approx(0.0)
+
+    def test_random_trees_do_not_converge(self):
+        rng = RAxMLRandom(5)
+        trees = [random_topology(tuple("ABCDEFGH"), rng) for _ in range(20)]
+        ok, stat = wc_converged(trees, RAxMLRandom(1))
+        assert not ok
+        assert stat > 0.05
+
+    def test_statistic_requires_even_count(self, ref_tree):
+        with pytest.raises(ValueError):
+            wc_statistic([ref_tree.copy() for _ in range(5)], RAxMLRandom(1))
+
+    def test_statistic_deterministic(self, mixed_trees):
+        a = wc_statistic(mixed_trees, RAxMLRandom(9))
+        b = wc_statistic(mixed_trees, RAxMLRandom(9))
+        assert a == b
+
+    def test_recommended_bootstraps_stops_on_convergence(self, ref_tree):
+        source = lambda i: ref_tree.copy()
+        n, trace = wc_recommended_bootstraps(
+            source, RAxMLRandom(2), step=4, max_replicates=40
+        )
+        assert n == 4  # converges at the first checkpoint
+        assert trace[0][0] == 4
+
+    def test_recommended_bootstraps_hits_cap(self):
+        rng = RAxMLRandom(5)
+        source = lambda i: random_topology(tuple("ABCDEFGH"), rng)
+        n, trace = wc_recommended_bootstraps(
+            source, RAxMLRandom(2), step=4, max_replicates=12
+        )
+        assert n == 12
+        assert len(trace) == 3
+
+    def test_step_validation(self, ref_tree):
+        with pytest.raises(ValueError):
+            wc_recommended_bootstraps(lambda i: ref_tree, RAxMLRandom(1), step=3)

@@ -1,0 +1,148 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, load_alignment, main
+from repro.datasets import test_dataset as make_test_dataset
+from repro.seq.io_phylip import write_phylip
+
+
+class TestParser:
+    def test_raxml_style_flags(self):
+        args = build_parser().parse_args(
+            ["-s", "x.phy", "-m", "GTRCAT", "-N", "100", "-p", "12345",
+             "-x", "12345", "-f", "a", "-np", "10", "-T", "8"]
+        )
+        assert args.alignment == "x.phy"
+        assert args.bootstraps == 100
+        assert args.processes == 10
+        assert args.threads == 8
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--simulate", "6", "80"])
+        assert args.model == "GTRCAT"
+        assert args.seed_p == 12345
+        assert args.machine == "dash"
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-m", "WAG"])
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-f", "z"])
+
+
+class TestLoadAlignment:
+    def test_simulate(self):
+        args = build_parser().parse_args(["--simulate", "6", "50"])
+        pal = load_alignment(args)
+        assert pal.n_taxa == 6
+        assert pal.n_sites == 50
+
+    def test_missing_input_errors(self):
+        args = build_parser().parse_args([])
+        with pytest.raises(SystemExit):
+            load_alignment(args)
+
+    def test_missing_file_errors(self):
+        args = build_parser().parse_args(["-s", "/does/not/exist.phy"])
+        with pytest.raises(SystemExit):
+            load_alignment(args)
+
+    def test_phylip_file(self, tmp_path):
+        pal, _ = make_test_dataset(n_taxa=5, n_sites=40, seed=1)
+        path = tmp_path / "in.phy"
+        write_phylip(pal.expand(), path)
+        args = build_parser().parse_args(["-s", str(path)])
+        loaded = load_alignment(args)
+        assert loaded.n_taxa == 5
+
+    def test_fasta_file(self, tmp_path):
+        from repro.seq.io_fasta import write_fasta
+
+        pal, _ = make_test_dataset(n_taxa=5, n_sites=40, seed=1)
+        path = tmp_path / "in.fasta"
+        write_fasta(pal.expand(), path)
+        args = build_parser().parse_args(["-s", str(path)])
+        assert load_alignment(args).n_taxa == 5
+
+
+class TestOtherAlgorithms:
+    def test_multistart_mode(self, tmp_path, capsys):
+        rc = main(
+            ["--simulate", "5", "50", "-f", "d", "-N", "2", "-np", "2",
+             "--quick", "-n", "ms", "-w", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "multiple ML searches" in capsys.readouterr().out
+        assert (tmp_path / "RAxML_bestTree.ms.nwk").exists()
+
+    def test_standard_bootstrap_mode(self, tmp_path, capsys):
+        rc = main(
+            ["--simulate", "5", "50", "-b", "777", "-N", "2", "-np", "2",
+             "--quick", "-n", "sb", "-w", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "standard bootstrap" in capsys.readouterr().out
+        trees = (tmp_path / "RAxML_bootstrap.sb.nwk").read_text().strip().splitlines()
+        assert len(trees) == 2
+
+    def test_evaluate_mode(self, tmp_path, capsys):
+        # First produce a tree, then score it under -f e.
+        main(["--simulate", "5", "50", "-f", "d", "-N", "1", "--quick",
+              "-n", "src", "-w", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(
+            ["--simulate", "5", "50", "-f", "e",
+             "-t", str(tmp_path / "RAxML_bestTree.src.nwk"),
+             "-n", "ev", "-w", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "evaluated fixed topology" in capsys.readouterr().out
+        assert (tmp_path / "RAxML_result.ev.nwk").exists()
+
+    def test_evaluate_gtrgammai(self, tmp_path, capsys):
+        main(["--simulate", "5", "50", "-f", "d", "-N", "1", "--quick",
+              "-n", "srcI", "-w", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(
+            ["--simulate", "5", "50", "-f", "e", "-m", "GTRGAMMAI",
+             "-t", str(tmp_path / "RAxML_bestTree.srcI.nwk"),
+             "-n", "evI", "-w", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "p-invariant" in capsys.readouterr().out
+
+    def test_evaluate_requires_tree(self, tmp_path):
+        with pytest.raises(SystemExit, match="-t"):
+            main(["--simulate", "5", "50", "-f", "e", "-w", str(tmp_path)])
+
+    def test_evaluate_missing_tree_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["--simulate", "5", "50", "-f", "e", "-t", "/nope.nwk",
+                  "-w", str(tmp_path)])
+
+
+class TestMainEndToEnd:
+    def test_full_run_writes_outputs(self, tmp_path, capsys):
+        rc = main(
+            ["--simulate", "5", "60", "-N", "2", "-np", "2", "-T", "1",
+             "--quick", "-n", "t1", "-w", str(tmp_path), "-J", "MRE"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Final GAMMA log-likelihood" in out
+        assert (tmp_path / "RAxML_bestTree.t1.nwk").exists()
+        assert (tmp_path / "RAxML_bipartitions.t1.nwk").exists()
+        # -J MRE writes a consensus tree; the info JSON is always written.
+        assert (tmp_path / "RAxML_MajorityRuleConsensusTree.t1.nwk").exists()
+        import json
+
+        report = json.loads((tmp_path / "RAxML_info.t1.json").read_text())
+        assert report["schedule"]["n_processes"] == 2
+        # The best tree parses back.
+        from repro.tree.newick import parse_newick
+
+        tree = parse_newick((tmp_path / "RAxML_bestTree.t1.nwk").read_text())
+        tree.validate()

@@ -1,0 +1,122 @@
+"""Tests for the dataset registry and simulator (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import (
+    SimulationParams,
+    simulate_alignment,
+)
+from repro.datasets.generator import test_dataset as make_test_dataset
+from repro.datasets.registry import (
+    BENCHMARK_DATASETS,
+    DatasetSpec,
+    dataset_by_name,
+    dataset_by_patterns,
+)
+
+
+class TestRegistry:
+    def test_table3_values(self):
+        """The five Table 3 rows, exactly as published."""
+        rows = [
+            (354, 460, 348, 1200),
+            (150, 1269, 1130, 650),
+            (218, 2294, 1846, 550),
+            (404, 13158, 7429, 700),
+            (125, 29149, 19436, 50),
+        ]
+        assert len(BENCHMARK_DATASETS) == 5
+        for spec, (taxa, chars, pats, bs) in zip(BENCHMARK_DATASETS, rows):
+            assert (spec.taxa, spec.characters, spec.patterns,
+                    spec.recommended_bootstraps) == (taxa, chars, pats, bs)
+
+    def test_ordered_by_patterns(self):
+        pats = [d.patterns for d in BENCHMARK_DATASETS]
+        assert pats == sorted(pats)
+
+    def test_lookup(self):
+        assert dataset_by_patterns(1846).taxa == 218
+        assert dataset_by_name("dna_218").patterns == 1846
+        with pytest.raises(KeyError):
+            dataset_by_patterns(999)
+        with pytest.raises(KeyError):
+            dataset_by_name("none")
+
+    def test_redundancy(self):
+        assert dataset_by_patterns(19436).redundancy == pytest.approx(29149 / 19436)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", taxa=2, characters=10, patterns=5, recommended_bootstraps=10)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", taxa=10, characters=10, patterns=20, recommended_bootstraps=10)
+
+
+class TestSimulator:
+    def test_shapes(self):
+        aln, tree = simulate_alignment(SimulationParams(n_taxa=10, n_sites=200, seed=1))
+        assert aln.n_taxa == 10
+        assert aln.n_sites == 200
+        tree.validate()
+        assert sorted(l.name for l in tree.leaves()) == sorted(aln.taxa)
+
+    def test_deterministic(self):
+        p = SimulationParams(n_taxa=6, n_sites=100, seed=9)
+        a1, _ = simulate_alignment(p)
+        a2, _ = simulate_alignment(p)
+        assert a1 == a2
+
+    def test_seed_changes_data(self):
+        a1, _ = simulate_alignment(SimulationParams(n_taxa=6, n_sites=100, seed=9))
+        a2, _ = simulate_alignment(SimulationParams(n_taxa=6, n_sites=100, seed=10))
+        assert a1 != a2
+
+    def test_invariant_fraction_increases_redundancy(self):
+        lo, _ = simulate_alignment(
+            SimulationParams(n_taxa=8, n_sites=400, seed=3, proportion_invariant=0.0)
+        )
+        hi, _ = simulate_alignment(
+            SimulationParams(n_taxa=8, n_sites=400, seed=3, proportion_invariant=0.6)
+        )
+        from repro.seq.patterns import compress_alignment
+
+        assert compress_alignment(hi).n_patterns < compress_alignment(lo).n_patterns
+
+    def test_phylogenetic_signal_present(self):
+        """Closely related taxa must be more similar than distant ones —
+        the property that makes ML search meaningful."""
+        aln, tree = simulate_alignment(
+            SimulationParams(n_taxa=10, n_sites=500, seed=7, branch_scale=0.15)
+        )
+        # Find a cherry (two taxa joined by one internal node).
+        cherry = None
+        for node in tree.postorder():
+            if not node.is_leaf and all(c.is_leaf for c in node.children) and node.parent:
+                cherry = [c.name for c in node.children]
+                break
+        assert cherry is not None
+        a, b = cherry
+        others = [t for t in aln.taxa if t not in cherry]
+
+        def diff(x, y):
+            return np.mean(
+                np.array(list(aln.sequence(x))) != np.array(list(aln.sequence(y)))
+            )
+
+        mean_other = np.mean([diff(a, t) for t in others])
+        assert diff(a, b) < mean_other
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationParams(n_taxa=3, n_sites=10)
+        with pytest.raises(ValueError):
+            SimulationParams(n_taxa=5, n_sites=0)
+        with pytest.raises(ValueError):
+            SimulationParams(n_taxa=5, n_sites=10, proportion_invariant=1.5)
+
+    def test_test_dataset_helper(self):
+        pal, tree = make_test_dataset(n_taxa=5, n_sites=60, seed=2)
+        assert pal.n_taxa == 5
+        assert pal.n_sites == 60
+        tree.validate()

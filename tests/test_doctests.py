@@ -1,0 +1,22 @@
+"""Run the package's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.likelihood.gamma
+import repro.seq.encoding
+import repro.util.rng
+
+MODULES = [
+    repro.util.rng,
+    repro.seq.encoding,
+    repro.likelihood.gamma,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

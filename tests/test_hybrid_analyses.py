@@ -1,0 +1,146 @@
+"""Tests for the multiple-search analyses (repro.hybrid.analyses).
+
+These are the paper Introduction's analysis types 1 (multiple ML
+searches) and 2 (standard bootstrapping), with "essentially constant
+parallelism throughout".
+"""
+
+import pytest
+
+from repro.hybrid.analyses import (
+    MultiSearchConfig,
+    run_multiple_ml_searches,
+    run_standard_bootstrap,
+    searches_per_rank,
+)
+from repro.search.searches import StageParams
+
+
+@pytest.fixture(scope="module")
+def pal():
+    from repro.datasets import test_dataset
+
+    pal, _ = test_dataset(n_taxa=6, n_sites=90, seed=606)
+    return pal
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MultiSearchConfig(
+        n_searches=4,
+        stage_params=StageParams(slow_max_rounds=1, brlen_passes=1),
+    )
+
+
+class TestSearchesPerRank:
+    def test_even_division(self):
+        assert searches_per_rank(10, 5) == 2
+
+    def test_ceiling(self):
+        assert searches_per_rank(10, 4) == 3
+
+    def test_serial(self):
+        assert searches_per_rank(10, 1) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            searches_per_rank(10, 0)
+
+    def test_constant_parallelism_property(self):
+        """Introduction: these analyses have 'essentially constant
+        parallelism': per-rank work stays within one unit of N/p."""
+        for n in (10, 100, 137):
+            for p in (1, 3, 7, 16):
+                k = searches_per_rank(n, p)
+                assert n / p <= k < n / p + 1
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiSearchConfig(n_searches=0)
+        with pytest.raises(ValueError):
+            MultiSearchConfig(seed_p=0)
+
+
+class TestMultipleMLSearches:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        pal = request.getfixturevalue("pal")
+        cfg = request.getfixturevalue("cfg")
+        return run_multiple_ml_searches(pal, cfg, n_processes=2, n_threads=2)
+
+    def test_counts(self, result):
+        assert result.per_rank_counts == [2, 2]
+        assert len(result.trees) == 4
+        assert len(result.lnls) == 4
+
+    def test_best_is_max(self, result):
+        assert result.best_lnl == max(result.lnls)
+
+    def test_trees_valid(self, result, pal):
+        for t in result.trees:
+            t.validate()
+            assert t.taxa == pal.taxa
+
+    def test_start_diversity(self, result):
+        """Different starting trees explore: the searches should not all
+        return identical likelihoods."""
+        assert len({round(l, 6) for l in result.lnls}) >= 2
+
+    def test_reproducible(self, result, pal, cfg):
+        again = run_multiple_ml_searches(pal, cfg, n_processes=2, n_threads=2)
+        assert again.lnls == result.lnls
+        assert again.total_seconds == result.total_seconds
+
+    def test_process_count_changes_streams(self, result, pal, cfg):
+        """Rank-offset seeding: p=4 runs different searches than p=2."""
+        p4 = run_multiple_ml_searches(pal, cfg, n_processes=4, n_threads=1)
+        assert p4.lnls != result.lnls
+
+    def test_virtual_time_positive(self, result):
+        assert result.total_seconds > 0
+        assert all(t > 0 for t in result.stage_seconds_per_rank)
+
+    def test_thread_limit(self, pal, cfg):
+        with pytest.raises(ValueError):
+            run_multiple_ml_searches(pal, cfg, n_processes=1, n_threads=64)
+
+    def test_random_starts_mode(self, pal):
+        cfg = MultiSearchConfig(
+            n_searches=2, random_starts=True,
+            stage_params=StageParams(slow_max_rounds=1, brlen_passes=1),
+        )
+        res = run_multiple_ml_searches(pal, cfg, n_processes=1, n_threads=1)
+        assert len(res.trees) == 2
+
+
+class TestStandardBootstrap:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        pal = request.getfixturevalue("pal")
+        cfg = request.getfixturevalue("cfg")
+        return run_standard_bootstrap(pal, cfg, n_processes=2, n_threads=1)
+
+    def test_support_table_built(self, result):
+        assert result.support_table is not None
+        assert result.support_table.n_trees == len(result.trees)
+        assert len(result.support_table) > 0
+
+    def test_counts(self, result):
+        assert sum(result.per_rank_counts) == len(result.trees)
+
+    def test_replicates_differ(self, result):
+        """Different resampled weights should usually give different trees
+        or likelihoods."""
+        assert len({round(l, 4) for l in result.lnls}) >= 2
+
+    def test_seed_b_controls_replicates(self, pal):
+        params = StageParams(slow_max_rounds=1, brlen_passes=1)
+        a = run_standard_bootstrap(
+            pal, MultiSearchConfig(n_searches=2, seed_b=111, stage_params=params)
+        )
+        b = run_standard_bootstrap(
+            pal, MultiSearchConfig(n_searches=2, seed_b=222, stage_params=params)
+        )
+        assert a.lnls != b.lnls

@@ -1,0 +1,82 @@
+"""Tests for the bootstopping-enabled hybrid driver (extension feature)."""
+
+import pytest
+
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+
+
+@pytest.fixture(scope="module")
+def pal():
+    from repro.datasets import test_dataset
+
+    pal, _ = test_dataset(n_taxa=6, n_sites=90, seed=404)
+    return pal
+
+
+@pytest.fixture(scope="module")
+def quick_cc():
+    return ComprehensiveConfig(
+        n_bootstraps=4,
+        cat_categories=3,
+        stage_params=StageParams(
+            bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+            thorough_max_rounds=1, brlen_passes=1,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def result(pal, quick_cc):
+    return run_hybrid_analysis(
+        pal,
+        HybridConfig(
+            n_processes=2, n_threads=1, comprehensive=quick_cc,
+            bootstopping=True, bootstop_step=4, bootstop_max=12,
+        ),
+    )
+
+
+class TestBootstopping:
+    def test_trace_recorded(self, result):
+        assert result.wc_trace
+        counts = [n for n, _ in result.wc_trace]
+        assert counts == sorted(counts)
+
+    def test_replicates_within_cap(self, result):
+        assert 4 <= result.n_bootstraps_done <= 12
+
+    def test_stops_at_convergence_or_cap(self, result):
+        last_n, last_stat = result.wc_trace[-1]
+        from repro.bootstop.wc_test import DEFAULT_THRESHOLD
+
+        assert last_stat <= DEFAULT_THRESHOLD or last_n >= 12
+
+    def test_result_still_valid(self, result, pal):
+        result.best_tree.validate()
+        assert result.best_lnl < 0
+
+    def test_sharded_support_matches_global(self, result, pal):
+        """The support tree assembled from rank-sharded tables must equal
+        a support tree recomputed from a single global table."""
+        from repro.bootstop.support import map_support
+        from repro.bootstop.table import BipartitionTable
+
+        table = BipartitionTable(len(pal.taxa))
+        table.add_trees(result.bootstrap_trees)
+        redo = map_support(result.best_tree, table)
+        got = sorted(e.support for e in result.support_tree.internal_edges())
+        expected = sorted(e.support for e in redo.internal_edges())
+        assert got == expected
+
+    def test_reproducible(self, result, pal, quick_cc):
+        again = run_hybrid_analysis(
+            pal,
+            HybridConfig(
+                n_processes=2, n_threads=1, comprehensive=quick_cc,
+                bootstopping=True, bootstop_step=4, bootstop_max=12,
+            ),
+        )
+        assert again.wc_trace == result.wc_trace
+        assert again.best_lnl == result.best_lnl

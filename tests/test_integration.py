@@ -1,0 +1,126 @@
+"""Cross-module integration tests: full workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.search.comprehensive import ComprehensiveConfig, run_comprehensive
+from repro.search.searches import StageParams
+from repro.tree.newick import parse_newick, write_newick
+
+QUICK = StageParams(
+    bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+    thorough_max_rounds=2, brlen_passes=1,
+)
+
+
+@pytest.fixture(scope="module")
+def pal():
+    from repro.datasets import test_dataset
+
+    pal, _ = test_dataset(n_taxa=6, n_sites=100, seed=909)
+    return pal
+
+
+class TestGammaOnlyPipeline:
+    def test_comprehensive_without_cat(self, pal):
+        """-m GTRGAMMA path: every stage under the gamma model."""
+        cfg = ComprehensiveConfig(n_bootstraps=3, use_cat=False, stage_params=QUICK)
+        res = run_comprehensive(pal, cfg)
+        assert res.best_lnl < 0
+        res.best_tree.validate()
+
+    def test_cat_and_gamma_agree_on_topology_ranking(self, pal):
+        """CAT is an approximation: both modes should find trees of
+        comparable final (GAMMA) quality on easy data."""
+        cat = run_comprehensive(
+            pal, ComprehensiveConfig(n_bootstraps=3, use_cat=True,
+                                     cat_categories=4, stage_params=QUICK)
+        )
+        gamma = run_comprehensive(
+            pal, ComprehensiveConfig(n_bootstraps=3, use_cat=False,
+                                     stage_params=QUICK)
+        )
+        assert abs(cat.best_lnl - gamma.best_lnl) < 15.0
+
+
+class TestFileRoundtripWorkflow:
+    def test_phylip_to_analysis_to_newick(self, pal, tmp_path):
+        """Write PHYLIP, re-read, analyse, write Newick, re-parse."""
+        from repro.seq.io_phylip import read_phylip, write_phylip
+        from repro.seq.patterns import compress_alignment
+
+        path = tmp_path / "data.phy"
+        write_phylip(pal.expand(), path)
+        pal2 = compress_alignment(read_phylip(path))
+        assert pal2.n_patterns == pal.n_patterns
+
+        cfg = ComprehensiveConfig(n_bootstraps=3, cat_categories=3, stage_params=QUICK)
+        res = run_comprehensive(pal2, cfg)
+        nwk = write_newick(res.best_tree, digits=10)
+        back = parse_newick(nwk, taxa=pal2.taxa)
+        back.validate()
+        from repro.tree.bipartitions import tree_bipartitions
+
+        assert tree_bipartitions(back) == tree_bipartitions(res.best_tree)
+
+
+class TestMachineVariants:
+    @pytest.mark.parametrize("machine,threads", [("ranger", 16), ("triton", 32), ("abe", 8)])
+    def test_hybrid_runs_on_every_machine(self, pal, machine, threads):
+        cfg = ComprehensiveConfig(n_bootstraps=2, cat_categories=3, stage_params=QUICK)
+        res = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=1, n_threads=threads,
+                              machine=machine, comprehensive=cfg)
+        )
+        assert res.total_seconds > 0
+        res.best_tree.validate()
+
+    def test_machine_changes_time_not_result(self, pal):
+        cfg = ComprehensiveConfig(n_bootstraps=2, cat_categories=3, stage_params=QUICK)
+        dash = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=2, n_threads=2, machine="dash",
+                              comprehensive=cfg)
+        )
+        abe = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=2, n_threads=2, machine="abe",
+                              comprehensive=cfg)
+        )
+        assert write_newick(dash.best_tree) == write_newick(abe.best_tree)
+        assert dash.best_lnl == abe.best_lnl
+        assert dash.total_seconds != abe.total_seconds  # different machine model
+
+
+class TestSupportWorkflow:
+    def test_support_values_consistent_with_tables(self, pal):
+        """Driver-produced support equals independently recomputed support."""
+        from repro.bootstop.support import map_support
+        from repro.bootstop.table import BipartitionTable
+
+        cfg = ComprehensiveConfig(n_bootstraps=4, cat_categories=3, stage_params=QUICK)
+        res = run_hybrid_analysis(
+            pal, HybridConfig(n_processes=2, n_threads=1, comprehensive=cfg)
+        )
+        table = BipartitionTable(len(pal.taxa))
+        table.add_trees(res.bootstrap_trees)
+        redo = map_support(res.best_tree, table)
+        got = sorted(e.support for e in res.support_tree.internal_edges())
+        expected = sorted(e.support for e in redo.internal_edges())
+        assert got == pytest.approx(expected)
+
+
+class TestEvaluateAgainstSearch:
+    def test_search_result_scores_at_least_evaluated_random(self, pal):
+        """A searched tree must beat a random topology evaluated with the
+        same machinery."""
+        from repro.search.evaluate import evaluate_tree
+        from repro.search.starting_tree import random_starting_tree
+        from repro.util.rng import RAxMLRandom
+
+        cfg = ComprehensiveConfig(n_bootstraps=3, cat_categories=3, stage_params=QUICK)
+        searched = run_comprehensive(pal, cfg)
+        random_eval = evaluate_tree(
+            pal, random_starting_tree(pal, RAxMLRandom(12321)),
+            model_rounds=1, brlen_passes=3,
+        )
+        assert searched.best_lnl >= random_eval.lnl - 1.0

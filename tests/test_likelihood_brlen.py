@@ -1,0 +1,115 @@
+"""Tests for branch-length optimisation (repro.likelihood.brlen)."""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.brlen import (
+    newton_branch_length,
+    optimize_branch_lengths,
+    optimize_edge,
+)
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+from repro.tree.topology import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
+
+
+@pytest.fixture()
+def engine_and_tree(tiny_pal, gtr_model, tiny_tree):
+    engine = LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4))
+    return engine, tiny_tree.copy()
+
+
+class TestNewton:
+    def test_finds_scalar_optimum(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        e = tree.edges()[0]
+        coef, exps, ls = engine.edge_coefficients(down[id(e)], up[id(e)])
+        t_opt, lnl_opt = newton_branch_length(engine, coef, exps, ls, 0.5)
+        # Grid search confirms optimality.
+        grid = np.linspace(max(t_opt - 0.05, MIN_BRANCH_LENGTH), t_opt + 0.05, 21)
+        grid_lnls = [
+            engine.edge_lnl_and_derivatives(coef, exps, ls, t)[0] for t in grid
+        ]
+        assert lnl_opt >= max(grid_lnls) - 1e-6
+
+    def test_result_within_bounds(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        for e in tree.edges():
+            coef, exps, ls = engine.edge_coefficients(down[id(e)], up[id(e)])
+            t_opt, _ = newton_branch_length(engine, coef, exps, ls, e.length)
+            assert MIN_BRANCH_LENGTH <= t_opt <= MAX_BRANCH_LENGTH
+
+    def test_start_point_insensitive(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        e = tree.edges()[1]
+        coef, exps, ls = engine.edge_coefficients(down[id(e)], up[id(e)])
+        t_a, _ = newton_branch_length(engine, coef, exps, ls, 0.001)
+        t_b, _ = newton_branch_length(engine, coef, exps, ls, 2.0)
+        assert t_a == pytest.approx(t_b, abs=1e-3)
+
+
+class TestOptimizeEdge:
+    def test_improves_or_keeps_lnl(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        before = engine.loglikelihood(tree)
+        e = tree.edges()[0]
+        e.length = 1.5  # deliberately bad
+        optimize_edge(engine, tree, e)
+        after = engine.loglikelihood(tree)
+        assert after >= before - 1e-9
+
+    def test_updates_length_in_place(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        e = tree.edges()[0]
+        e.length = 2.5
+        new_len = optimize_edge(engine, tree, e)
+        assert e.length == new_len
+        assert new_len != 2.5
+
+    def test_root_rejected(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        with pytest.raises(ValueError):
+            optimize_edge(engine, tree, tree.root)
+
+
+class TestOptimizeBranchLengths:
+    def test_monotone_improvement(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        before = engine.loglikelihood(tree)
+        after = optimize_branch_lengths(engine, tree, passes=4)
+        assert after >= before
+        assert after == pytest.approx(engine.loglikelihood(tree), abs=1e-9)
+
+    def test_never_worse_than_input(self, engine_and_tree):
+        """The rollback guard guarantees monotonicity even on one pass."""
+        engine, tree = engine_and_tree
+        tree.map_branch_lengths(lambda t: 3.0)  # awful start
+        before = engine.loglikelihood(tree)
+        after = optimize_branch_lengths(engine, tree, passes=1)
+        assert after >= before
+
+    def test_idempotent_at_optimum(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        l1 = optimize_branch_lengths(engine, tree, passes=6)
+        l2 = optimize_branch_lengths(engine, tree, passes=2)
+        assert l2 == pytest.approx(l1, abs=0.05)
+
+    def test_bad_passes_rejected(self, engine_and_tree):
+        engine, tree = engine_and_tree
+        with pytest.raises(ValueError):
+            optimize_branch_lengths(engine, tree, passes=0)
+
+    def test_cat_mode_supported(self, tiny_pal, gtr_model, tiny_tree):
+        p2c = np.arange(tiny_pal.n_patterns) % 4
+        engine = LikelihoodEngine(
+            tiny_pal, gtr_model, RateModel.cat(np.array([0.2, 0.7, 1.3, 2.5]), p2c)
+        )
+        tree = tiny_tree.copy()
+        before = engine.loglikelihood(tree)
+        after = optimize_branch_lengths(engine, tree, passes=3)
+        assert after >= before

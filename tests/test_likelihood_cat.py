@@ -1,0 +1,92 @@
+"""Tests for the CAT approximation (repro.likelihood.cat)."""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.cat import cluster_rates, estimate_cat_rates, per_pattern_rates
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+
+
+@pytest.fixture()
+def setup(tiny_pal, gtr_model, tiny_tree):
+    engine = LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(1.0, 4))
+    return engine, tiny_tree
+
+
+class TestPerPatternRates:
+    def test_shape_and_positivity(self, setup):
+        engine, tree = setup
+        rates = per_pattern_rates(engine, tree)
+        assert rates.shape == (engine.n_patterns,)
+        assert np.all(rates > 0)
+
+    def test_rates_on_grid(self, setup):
+        engine, tree = setup
+        from repro.likelihood.cat import _RATE_GRID
+
+        rates = per_pattern_rates(engine, tree)
+        assert set(np.round(rates, 10)) <= set(np.round(_RATE_GRID, 10))
+
+
+class TestClusterRates:
+    def test_basic_clustering(self):
+        pattern_rates = np.array([0.1, 0.1, 1.0, 1.0, 4.0, 4.0])
+        weights = np.ones(6)
+        rates, p2c = cluster_rates(pattern_rates, weights, n_categories=3)
+        assert rates.shape[0] <= 3
+        assert p2c.shape == (6,)
+        # Equal rates cluster together.
+        assert p2c[0] == p2c[1]
+        assert p2c[4] == p2c[5]
+
+    def test_weighted_mean_rate_is_one(self):
+        pattern_rates = np.array([0.2, 0.5, 1.0, 3.0, 6.0])
+        weights = np.array([3.0, 1.0, 5.0, 2.0, 1.0])
+        rates, p2c = cluster_rates(pattern_rates, weights, n_categories=3)
+        mean = float((rates[p2c] * weights).sum() / weights.sum())
+        assert mean == pytest.approx(1.0)
+
+    def test_zero_weight_patterns_get_valid_category(self):
+        pattern_rates = np.array([0.1, 0.5, 1.0, 2.0])
+        weights = np.array([1.0, 0.0, 0.0, 1.0])
+        rates, p2c = cluster_rates(pattern_rates, weights, n_categories=4)
+        assert np.all(p2c < rates.shape[0])
+
+    def test_single_category(self):
+        rates, p2c = cluster_rates(np.array([0.5, 2.0]), np.ones(2), n_categories=1)
+        assert rates.shape == (1,)
+        assert rates[0] == pytest.approx(1.0)  # normalised mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_rates(np.ones(3), np.ones(3), n_categories=0)
+        with pytest.raises(ValueError):
+            cluster_rates(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            cluster_rates(np.ones(2), np.zeros(2))
+
+
+class TestEstimateCatRates:
+    def test_rate_model_valid(self, setup):
+        engine, tree = setup
+        cat = estimate_cat_rates(engine, tree, n_categories=5)
+        rm = cat.rate_model()
+        assert rm.kind == "cat"
+        assert rm.pattern_to_cat.shape == (engine.n_patterns,)
+
+    def test_cat_likelihood_close_to_gamma(self, setup):
+        """CAT is an approximation of rate heterogeneity; on data simulated
+        with gamma rates its fitted lnL should be in the same ballpark."""
+        engine, tree = setup
+        cat = estimate_cat_rates(engine, tree, n_categories=8)
+        cat_engine = engine.with_rate_model(cat.rate_model())
+        g = engine.loglikelihood(tree)
+        c = cat_engine.loglikelihood(tree)
+        assert abs(c - g) / abs(g) < 0.15
+
+    def test_deterministic(self, setup):
+        engine, tree = setup
+        a = estimate_cat_rates(engine, tree, n_categories=4)
+        b = estimate_cat_rates(engine, tree, n_categories=4)
+        assert np.array_equal(a.category_rates, b.category_rates)
+        assert np.array_equal(a.pattern_to_cat, b.pattern_to_cat)

@@ -1,0 +1,253 @@
+"""Tests for the pruning engine (repro.likelihood.engine).
+
+The key guarantees: exact agreement with brute-force state enumeration,
+consistency of the edge-likelihood machinery with the plain evaluation,
+correct scaling behaviour on long chains, and CAT/gamma mode coherence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
+from repro.likelihood.gtr import GTRModel
+from repro.seq.alignment import Alignment
+from repro.seq.encoding import state_likelihood_rows
+from repro.seq.patterns import compress_alignment
+from repro.tree.newick import parse_newick
+
+
+@pytest.fixture()
+def quartet():
+    aln = Alignment.from_sequences(
+        [("A", "ACGTT"), ("B", "ACGTA"), ("C", "AGGAT"), ("D", "ATGTT")]
+    )
+    pal = compress_alignment(aln)
+    tree = parse_newick("((A:0.12,B:0.3):0.08,C:0.25,D:0.4);", taxa=pal.taxa)
+    return pal, tree
+
+
+def brute_force_lnl(pal, tree_lengths, model, rates):
+    """Enumerate internal states of the quartet topology ((A,B),C,D)."""
+    rows = state_likelihood_rows()
+    pi = model.pi
+    ta, tb, ti, tc, td = tree_lengths
+    total = 0.0
+    for p in range(pal.n_patterns):
+        tips = {
+            name: rows[pal.patterns[pal.taxon_index(name), p]]
+            for name in "ABCD"
+        }
+        site = 0.0
+        for r in rates:
+            P = lambda t: model.transition_matrices(t, r)[0]
+            Pa, Pb, Pi, Pc, Pd = P(ta), P(tb), P(ti), P(tc), P(td)
+            s = 0.0
+            for x in range(4):
+                for y in range(4):
+                    s += (
+                        pi[x]
+                        * Pi[x, y]
+                        * (Pa[y] @ tips["A"])
+                        * (Pb[y] @ tips["B"])
+                        * (Pc[x] @ tips["C"])
+                        * (Pd[x] @ tips["D"])
+                    )
+            site += s / len(rates)
+        total += np.log(site) * pal.weights[p]
+    return total
+
+
+class TestExactness:
+    def test_matches_brute_force_gamma(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.7, 4))
+        expected = brute_force_lnl(
+            pal, (0.12, 0.3, 0.08, 0.25, 0.4), gtr_model, engine.rate_model.rates
+        )
+        assert engine.loglikelihood(tree) == pytest.approx(expected, abs=1e-9)
+
+    def test_matches_brute_force_single_rate(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.single())
+        expected = brute_force_lnl(pal, (0.12, 0.3, 0.08, 0.25, 0.4), gtr_model, [1.0])
+        assert engine.loglikelihood(tree) == pytest.approx(expected, abs=1e-9)
+
+    def test_jc_uniform_site(self):
+        """A fully undetermined column has likelihood 1 (lnL 0)."""
+        aln = Alignment.from_sequences([("A", "-"), ("B", "-"), ("C", "-")])
+        pal = compress_alignment(aln)
+        tree = parse_newick("(A:0.1,B:0.1,C:0.1);", taxa=pal.taxa)
+        engine = LikelihoodEngine(pal, GTRModel.jc69(), RateModel.single())
+        assert engine.loglikelihood(tree) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_site_identical_bases(self):
+        """All-A column under JC: likelihood = sum_x pi_x prod P(x->A)."""
+        aln = Alignment.from_sequences([("A", "A"), ("B", "A"), ("C", "A")])
+        pal = compress_alignment(aln)
+        tree = parse_newick("(A:0.2,B:0.2,C:0.2);", taxa=pal.taxa)
+        m = GTRModel.jc69()
+        engine = LikelihoodEngine(pal, m, RateModel.single())
+        P = m.transition_matrices(0.2)[0]
+        expected = np.log(sum(0.25 * P[x, 0] ** 3 for x in range(4)))
+        assert engine.loglikelihood(tree) == pytest.approx(expected, abs=1e-12)
+
+
+class TestEdgeMachinery:
+    def test_edge_loglikelihood_consistent_all_edges(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.7, 4))
+        lnl = engine.loglikelihood(tree)
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        for e in tree.edges():
+            el = engine.edge_loglikelihood(e, e.length, down[id(e)], up[id(e)])
+            assert el == pytest.approx(lnl, abs=1e-8)
+
+    def test_sumtable_matches_edge_loglikelihood(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.7, 4))
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        e = tree.edges()[0]
+        coef, exps, ls = engine.edge_coefficients(down[id(e)], up[id(e)])
+        for t in (0.01, 0.1, 0.5, 2.0):
+            l1, _, _ = engine.edge_lnl_and_derivatives(coef, exps, ls, t)
+            l2 = engine.edge_loglikelihood(e, t, down[id(e)], up[id(e)])
+            assert l1 == pytest.approx(l2, abs=1e-8)
+
+    def test_derivatives_match_finite_differences(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.7, 4))
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        e = tree.edges()[2]
+        coef, exps, ls = engine.edge_coefficients(down[id(e)], up[id(e)])
+        t, eps = 0.3, 1e-5
+        l0, g, h = engine.edge_lnl_and_derivatives(coef, exps, ls, t)
+        lp, _, _ = engine.edge_lnl_and_derivatives(coef, exps, ls, t + eps)
+        lm, _, _ = engine.edge_lnl_and_derivatives(coef, exps, ls, t - eps)
+        assert g == pytest.approx((lp - lm) / (2 * eps), rel=1e-4)
+        assert h == pytest.approx((lp - 2 * l0 + lm) / eps**2, rel=1e-3)
+
+    def test_insertion_loglikelihood_finite(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.7, 4))
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        leaf = tree.find_leaf("A")
+        other = tree.find_leaf("C")
+        score = engine.insertion_loglikelihood(
+            down[id(other)], up[id(other)], down[id(leaf)], other.length, leaf.length
+        )
+        assert np.isfinite(score)
+        assert score < 0
+
+
+class TestScaling:
+    def test_long_chain_no_underflow(self, gtr_model):
+        """A caterpillar of 40 taxa with long branches must not underflow."""
+        n = 40
+        names = [f"t{i}" for i in range(n)]
+        aln = Alignment.from_sequences([(nm, "ACGT" * 5) for nm in names])
+        pal = compress_alignment(aln)
+        newick = names[0] + ":1.0"
+        for nm in names[1:-2]:
+            newick = f"({newick},{nm}:1.0):1.0"
+        newick = f"({newick},{names[-2]}:1.0,{names[-1]}:1.0);"
+        tree = parse_newick(newick, taxa=pal.taxa)
+        engine = LikelihoodEngine(pal, gtr_model, RateModel.gamma(0.5, 4))
+        lnl = engine.loglikelihood(tree)
+        assert np.isfinite(lnl)
+        assert lnl < 0
+
+    def test_site_loglikelihoods_shape(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model)
+        site = engine.site_loglikelihoods(tree)
+        assert site.shape == (pal.n_patterns,)
+        assert engine.loglikelihood(tree) == pytest.approx(
+            float(pal.weights @ site)
+        )
+
+
+class TestRateModes:
+    def test_cat_with_unit_rates_equals_single(self, quartet, gtr_model):
+        pal, tree = quartet
+        single = LikelihoodEngine(pal, gtr_model, RateModel.single())
+        cat = LikelihoodEngine(
+            pal,
+            gtr_model,
+            RateModel.cat(np.ones(3), np.zeros(pal.n_patterns, dtype=int)),
+        )
+        assert cat.loglikelihood(tree) == pytest.approx(
+            single.loglikelihood(tree), abs=1e-10
+        )
+
+    def test_cat_edge_consistency(self, quartet, gtr_model):
+        pal, tree = quartet
+        p2c = np.arange(pal.n_patterns) % 3
+        engine = LikelihoodEngine(
+            pal, gtr_model, RateModel.cat(np.array([0.3, 1.0, 2.2]), p2c)
+        )
+        lnl = engine.loglikelihood(tree)
+        down = engine.compute_down_partials(tree)
+        up = engine.compute_up_partials(tree, down)
+        for e in tree.edges():
+            el = engine.edge_loglikelihood(e, e.length, down[id(e)], up[id(e)])
+            assert el == pytest.approx(lnl, abs=1e-8)
+
+    def test_gamma_one_category_equals_single(self, quartet, gtr_model):
+        pal, tree = quartet
+        g1 = LikelihoodEngine(pal, gtr_model, RateModel.gamma(1.0, 1))
+        s = LikelihoodEngine(pal, gtr_model, RateModel.single())
+        assert g1.loglikelihood(tree) == pytest.approx(s.loglikelihood(tree))
+
+    def test_rate_model_validation(self, quartet, gtr_model):
+        pal, _ = quartet
+        with pytest.raises(ValueError):
+            RateModel("nonsense", np.ones(4))
+        with pytest.raises(ValueError):
+            RateModel("cat", np.ones(4))  # missing pattern_to_cat
+        with pytest.raises(ValueError):
+            RateModel.cat(np.ones(2), np.array([0, 5]))  # cat out of range
+        with pytest.raises(ValueError):
+            LikelihoodEngine(
+                pal, gtr_model, RateModel.cat(np.ones(2), np.zeros(3, dtype=int))
+            )
+
+
+class TestWeightsAndOps:
+    def test_zero_weights_drop_contributions(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model)
+        w = pal.weights.copy().astype(float)
+        w[0] = 0.0
+        reduced = engine.with_weights(w)
+        site = engine.site_loglikelihoods(tree)
+        assert reduced.loglikelihood(tree) == pytest.approx(float(w @ site))
+
+    def test_weight_scaling_linear(self, quartet, gtr_model):
+        pal, tree = quartet
+        engine = LikelihoodEngine(pal, gtr_model)
+        doubled = engine.with_weights(pal.weights * 2.0)
+        assert doubled.loglikelihood(tree) == pytest.approx(
+            2 * engine.loglikelihood(tree)
+        )
+
+    def test_op_counter_accumulates(self, quartet, gtr_model):
+        pal, tree = quartet
+        ops = OpCounter()
+        engine = LikelihoodEngine(pal, gtr_model, ops=ops)
+        engine.loglikelihood(tree)
+        assert ops.pattern_ops > 0
+        assert ops.clv_updates > 0
+        before = ops.pattern_ops
+        engine.loglikelihood(tree)
+        assert ops.pattern_ops == 2 * before
+
+    def test_bad_weights_rejected(self, quartet, gtr_model):
+        pal, _ = quartet
+        with pytest.raises(ValueError):
+            LikelihoodEngine(pal, gtr_model, weights=np.ones(pal.n_patterns + 1))
+        with pytest.raises(ValueError):
+            LikelihoodEngine(pal, gtr_model, weights=-np.ones(pal.n_patterns))

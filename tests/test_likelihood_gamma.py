@@ -1,0 +1,62 @@
+"""Tests for discrete-Γ rates (repro.likelihood.gamma)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.likelihood.gamma import MAX_ALPHA, MIN_ALPHA, discrete_gamma_rates
+
+
+class TestDiscreteGamma:
+    def test_mean_is_one(self):
+        for alpha in (0.1, 0.5, 1.0, 2.0, 10.0):
+            rates = discrete_gamma_rates(alpha, 4)
+            assert rates.mean() == pytest.approx(1.0, abs=1e-12)
+
+    def test_rates_increasing(self):
+        rates = discrete_gamma_rates(0.7, 4)
+        assert np.all(np.diff(rates) > 0)
+
+    def test_rates_positive(self):
+        rates = discrete_gamma_rates(0.05, 8)
+        assert np.all(rates > 0)
+
+    def test_single_category_is_one(self):
+        assert discrete_gamma_rates(0.5, 1).tolist() == [1.0]
+
+    def test_more_heterogeneity_for_small_alpha(self):
+        """Small alpha => wide rate spread; large alpha => rates near 1."""
+        spread_small = np.ptp(discrete_gamma_rates(0.2, 4))
+        spread_big = np.ptp(discrete_gamma_rates(20.0, 4))
+        assert spread_small > 2.0
+        assert spread_big < 0.6
+        assert spread_big < spread_small / 4
+
+    def test_large_alpha_approaches_uniform(self):
+        rates = discrete_gamma_rates(99.0, 4)
+        assert np.allclose(rates, 1.0, atol=0.15)
+
+    def test_known_yang_values(self):
+        """Spot-check against Yang (1994) Table: alpha=0.5, k=4 mean rates."""
+        rates = discrete_gamma_rates(0.5, 4)
+        # Published mean-category rates: ~0.0334, 0.2519, 0.8203, 2.8944
+        assert rates == pytest.approx([0.0334, 0.2519, 0.8203, 2.8944], abs=2e-3)
+
+    def test_alpha_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            discrete_gamma_rates(MIN_ALPHA / 2, 4)
+        with pytest.raises(ValueError):
+            discrete_gamma_rates(MAX_ALPHA * 2, 4)
+
+    def test_bad_category_count(self):
+        with pytest.raises(ValueError):
+            discrete_gamma_rates(1.0, 0)
+
+    @settings(max_examples=30)
+    @given(st.floats(0.05, 50.0), st.integers(2, 12))
+    def test_mean_one_property(self, alpha, k):
+        rates = discrete_gamma_rates(alpha, k)
+        assert rates.shape == (k,)
+        assert rates.mean() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(np.diff(rates) >= 0)

@@ -1,0 +1,101 @@
+"""Tests for model optimisation (repro.likelihood.model_opt)."""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+from repro.likelihood.gtr import GTRModel
+from repro.likelihood.model_opt import (
+    empirical_frequencies,
+    optimize_alpha,
+    optimize_model,
+    optimize_rates,
+)
+
+
+@pytest.fixture()
+def setup(tiny_pal, tiny_tree):
+    engine = LikelihoodEngine(tiny_pal, GTRModel.jc69(), RateModel.gamma(1.0, 4))
+    return engine, tiny_tree.copy()
+
+
+class TestEmpiricalFrequencies:
+    def test_probability_vector(self, setup):
+        engine, _ = setup
+        f = empirical_frequencies(engine)
+        assert f.shape == (4,)
+        assert f.sum() == pytest.approx(1.0)
+        assert np.all(f > 0)
+
+    def test_skewed_composition_detected(self):
+        from repro.seq.alignment import Alignment
+        from repro.seq.patterns import compress_alignment
+
+        aln = Alignment.from_sequences(
+            [("a", "AAAAAAAAGC"), ("b", "AAAAAAAAGC"), ("c", "AAAAAAAATC")]
+        )
+        engine = LikelihoodEngine(compress_alignment(aln), GTRModel.jc69())
+        f = empirical_frequencies(engine)
+        assert f[0] > 0.5  # A dominates
+
+
+class TestOptimizeAlpha:
+    def test_improves_lnl(self, setup):
+        engine, tree = setup
+        before = engine.loglikelihood(tree)
+        engine2, after = optimize_alpha(engine, tree)
+        assert after >= before - 1e-9
+        assert engine2.rate_model.alpha is not None
+
+    def test_cat_engine_passthrough(self, tiny_pal, tiny_tree, gtr_model):
+        p2c = np.zeros(tiny_pal.n_patterns, dtype=int)
+        engine = LikelihoodEngine(
+            tiny_pal, gtr_model, RateModel.cat(np.ones(1), p2c)
+        )
+        engine2, lnl = optimize_alpha(engine, tiny_tree.copy())
+        assert engine2 is engine
+
+    def test_result_is_evaluated_lnl(self, setup):
+        engine, tree = setup
+        engine2, lnl = optimize_alpha(engine, tree)
+        assert lnl == pytest.approx(engine2.loglikelihood(tree), abs=1e-9)
+
+
+class TestOptimizeRates:
+    def test_improves_lnl(self, setup):
+        engine, tree = setup
+        before = engine.loglikelihood(tree)
+        engine2, after = optimize_rates(engine, tree)
+        assert after >= before - 1e-9
+
+    def test_gt_rate_stays_one(self, setup):
+        engine, tree = setup
+        engine2, _ = optimize_rates(engine, tree)
+        assert engine2.model.rates[5] == 1.0
+
+
+class TestOptimizeModel:
+    def test_full_round_improves(self, setup):
+        engine, tree = setup
+        before = engine.loglikelihood(tree)
+        engine2, after = optimize_model(engine, tree, rounds=1)
+        assert after >= before - 1e-9
+
+    def test_frequencies_become_empirical(self, setup):
+        engine, tree = setup
+        emp = empirical_frequencies(engine)
+        engine2, _ = optimize_model(engine, tree, rounds=1)
+        assert np.allclose(engine2.model.pi, emp, atol=1e-9)
+
+    def test_can_disable_parts(self, setup):
+        engine, tree = setup
+        engine2, _ = optimize_model(
+            engine, tree, rounds=1, optimize_gtr=False, optimize_frequencies=False
+        )
+        assert engine2.model.rates == engine.model.rates
+        assert engine2.model.freqs == engine.model.freqs
+
+    def test_bad_rounds_rejected(self, setup):
+        engine, tree = setup
+        with pytest.raises(ValueError):
+            optimize_model(engine, tree, rounds=0)

@@ -1,0 +1,102 @@
+"""Tests for Fitch parsimony (repro.likelihood.parsimony)."""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.parsimony import ParsimonyEngine, fitch_score
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import compress_alignment
+from repro.tree.newick import parse_newick
+
+
+def quartet(seqs, newick="((A:0.1,B:0.1):0.1,C:0.1,D:0.1);"):
+    aln = Alignment.from_sequences(list(zip("ABCD", seqs)))
+    pal = compress_alignment(aln)
+    return pal, parse_newick(newick, taxa=pal.taxa)
+
+
+class TestFitchScore:
+    def test_constant_column_zero(self):
+        pal, tree = quartet(["A", "A", "A", "A"])
+        assert fitch_score(pal, tree) == 0.0
+
+    def test_single_difference_one(self):
+        pal, tree = quartet(["A", "A", "A", "C"])
+        assert fitch_score(pal, tree) == 1.0
+
+    def test_grouping_matters(self):
+        """AABB pattern costs 1 on ((A,B),(C,D)) but ACAC columns cost 2."""
+        pal1, tree1 = quartet(["A", "A", "C", "C"])
+        assert fitch_score(pal1, tree1) == 1.0
+        pal2, tree2 = quartet(["A", "C", "A", "C"])
+        assert fitch_score(pal2, tree2) == 2.0
+
+    def test_ambiguity_is_free_when_compatible(self):
+        pal, tree = quartet(["A", "A", "A", "N"])
+        assert fitch_score(pal, tree) == 0.0
+
+    def test_weights_multiply(self):
+        pal, tree = quartet(["AC", "AC", "AA", "CA"])
+        base = fitch_score(pal, tree)
+        doubled = fitch_score(pal, tree, weights=pal.weights * 2)
+        assert doubled == pytest.approx(2 * base)
+
+    def test_score_nonnegative_and_bounded(self, tiny_pal, tiny_tree):
+        score = fitch_score(tiny_pal, tiny_tree)
+        assert 0 <= score <= tiny_pal.n_sites * 3  # <= (taxa-1) per column
+
+
+class TestInsertionCosts:
+    def test_costs_bounded(self, tiny_pal, tiny_tree):
+        pe = ParsimonyEngine(tiny_pal)
+        costs = pe.insertion_costs(tiny_tree, 0)
+        assert len(costs) == len(tiny_tree.edges())
+        # Delta per column is in [-1, 2].
+        n = tiny_pal.n_sites
+        assert all(-n <= c <= 2 * n for _, c in costs)
+
+    def test_identical_taxon_cheapest_near_twin(self):
+        """Inserting a copy of A is cheapest on the edge next to A."""
+        sub = compress_alignment(
+            Alignment.from_sequences(
+                [("A", "AACCGGTT"), ("B", "TTTTTTTT"),
+                 ("C", "TTTTTTTT"), ("D", "TTTTTTTT"), ("E", "AACCGGTT")]
+            )
+        )
+        t = parse_newick("((A:0.1,B:0.1):0.1,C:0.1,D:0.1);", taxa=sub.taxa)
+        pe = ParsimonyEngine(sub)
+        costs = {
+            (edge.name if edge.is_leaf else "internal"): c
+            for edge, c in pe.insertion_costs(t, sub.taxon_index("E"))
+        }
+        assert costs["A"] == min(costs.values())
+        assert costs["A"] < costs["C"]
+        assert costs["A"] < costs["B"]
+
+    def test_validation(self, tiny_pal):
+        with pytest.raises(ValueError):
+            ParsimonyEngine(tiny_pal, weights=np.ones(tiny_pal.n_patterns + 1))
+        with pytest.raises(ValueError):
+            ParsimonyEngine(tiny_pal, weights=-np.ones(tiny_pal.n_patterns))
+
+
+class TestUpDownSets:
+    def test_down_sets_cover_all_nodes(self, tiny_pal, tiny_tree):
+        pe = ParsimonyEngine(tiny_pal)
+        down, score = pe.down_sets(tiny_tree)
+        assert len(down) == len(list(tiny_tree.postorder()))
+        assert score >= 0
+
+    def test_up_sets_cover_non_root(self, tiny_pal, tiny_tree):
+        pe = ParsimonyEngine(tiny_pal)
+        down, _ = pe.down_sets(tiny_tree)
+        up = pe.up_sets(tiny_tree, down)
+        non_root = [n for n in tiny_tree.postorder() if n.parent is not None]
+        assert set(up) == {id(n) for n in non_root}
+
+    def test_state_sets_are_valid_masks(self, tiny_pal, tiny_tree):
+        pe = ParsimonyEngine(tiny_pal)
+        down, _ = pe.down_sets(tiny_tree)
+        for sets in down.values():
+            assert np.all(sets >= 1)
+            assert np.all(sets <= 15)

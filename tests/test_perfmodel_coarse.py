@@ -1,0 +1,162 @@
+"""Tests for the coarse-grained stage-time model (repro.perfmodel.coarse,
+repro.perfmodel.profiles)."""
+
+import pytest
+
+from repro.datasets.registry import BENCHMARK_DATASETS, dataset_by_patterns
+from repro.perfmodel.coarse import StageTimes, analysis_time, imbalance_factor, serial_time
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.profiles import PROFILES, StageProfile, default_profile, profile_for
+
+DASH = MACHINES["dash"]
+
+
+class TestProfiles:
+    def test_all_benchmark_datasets_covered(self):
+        assert set(PROFILES) == {d.patterns for d in BENCHMARK_DATASETS}
+
+    def test_fractions_sum_to_one(self):
+        for p in PROFILES.values():
+            total = p.frac_bootstrap + p.frac_fast + p.frac_slow + p.frac_thorough
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_bootstraps_dominate_everywhere(self):
+        """Figs 3-4: the bootstrap stage is the largest serial component."""
+        for p in PROFILES.values():
+            assert p.frac_bootstrap == max(
+                p.frac_bootstrap, p.frac_fast, p.frac_slow, p.frac_thorough
+            )
+
+    def test_largest_thorough_fraction_is_19436(self):
+        """Paper: 'the fraction of time spent doing thorough searches is
+        much larger' for the 19,436-pattern set."""
+        thor = {k: p.frac_thorough for k, p in PROFILES.items()}
+        assert max(thor, key=thor.get) == 19436
+
+    def test_per_search_costs_reconstruct_serial(self):
+        p = profile_for(1846)
+        total = (
+            100 * p.bootstrap_search_seconds
+            + 20 * p.fast_search_seconds
+            + 10 * p.slow_search_seconds
+            + p.thorough_search_seconds
+        )
+        assert total == pytest.approx(p.serial_seconds_100, rel=1e-9)
+
+    def test_profile_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_for(1234)
+
+    def test_default_profile_valid(self):
+        from repro.datasets.registry import DatasetSpec
+
+        spec = DatasetSpec("custom", taxa=50, characters=5000, patterns=3000,
+                           recommended_bootstraps=100)
+        prof = default_profile(spec)
+        assert prof.serial_seconds_100 > 0
+        total = prof.frac_bootstrap + prof.frac_fast + prof.frac_slow + prof.frac_thorough
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        spec = dataset_by_patterns(1846)
+        with pytest.raises(ValueError):
+            StageProfile(spec, 100.0, 0.5, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            StageProfile(spec, -1.0, 0.25, 0.25, 0.25, 0.25)
+
+
+class TestImbalanceFactor:
+    def test_serial_is_one(self):
+        assert imbalance_factor(1, 100, 0.15) == 1.0
+
+    def test_zero_cv_is_one(self):
+        assert imbalance_factor(10, 5, 0.0) == 1.0
+
+    def test_grows_with_ranks(self):
+        assert imbalance_factor(20, 5, 0.15) > imbalance_factor(2, 5, 0.15)
+
+    def test_shrinks_with_items(self):
+        assert imbalance_factor(10, 100, 0.15) < imbalance_factor(10, 1, 0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_factor(0, 1, 0.1)
+        with pytest.raises(ValueError):
+            imbalance_factor(1, 0, 0.1)
+        with pytest.raises(ValueError):
+            imbalance_factor(1, 1, -0.1)
+
+
+class TestSerialTime:
+    def test_reference_serial_matches_table5(self):
+        """serial_time at N=100 must reproduce Table 5's 1c column."""
+        for patterns, expected in ((348, 1980), (1130, 2325), (1846, 9630),
+                                   (7429, 72866), (19436, 22970)):
+            assert serial_time(profile_for(patterns), DASH, 100) == pytest.approx(
+                expected, rel=1e-6
+            )
+
+    def test_scales_with_bootstraps(self):
+        p = profile_for(1846)
+        assert serial_time(p, DASH, 550) > 3 * serial_time(p, DASH, 100)
+
+
+class TestAnalysisTime:
+    def test_serial_case_equals_serial_time(self):
+        p = profile_for(1846)
+        st = analysis_time(p, DASH, 100, 1, 1)
+        assert st.total == pytest.approx(serial_time(p, DASH, 100))
+        assert st.comm == 0.0
+
+    def test_stage_times_positive(self):
+        st = analysis_time(profile_for(1846), DASH, 100, 10, 8)
+        for v in st.as_dict().values():
+            assert v >= 0
+        assert st.bootstrap > 0 and st.thorough > 0
+
+    def test_thorough_stage_constant_in_processes(self):
+        """Paper: 'the time for the last stage (thorough searches) is
+        roughly constant' as processes increase."""
+        p = profile_for(1846)
+        t2 = analysis_time(p, DASH, 100, 2, 4).thorough
+        t10 = analysis_time(p, DASH, 100, 10, 4).thorough
+        assert t10 == pytest.approx(t2, rel=0.20)
+
+    def test_bootstrap_stage_shrinks_with_processes(self):
+        p = profile_for(1846)
+        t2 = analysis_time(p, DASH, 100, 2, 4).bootstrap
+        t10 = analysis_time(p, DASH, 100, 10, 4).bootstrap
+        assert t10 < t2 / 3
+
+    def test_threads_speed_all_stages(self):
+        p = profile_for(19436)
+        a = analysis_time(p, DASH, 100, 2, 1)
+        b = analysis_time(p, DASH, 100, 2, 8)
+        assert b.bootstrap < a.bootstrap
+        assert b.thorough < a.thorough
+
+    def test_comm_negligible(self):
+        """Paper Section 4: interconnect speed has 'a negligible effect'."""
+        st = analysis_time(profile_for(1846), DASH, 100, 10, 8)
+        assert st.comm < st.total * 1e-4
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ValueError):
+            analysis_time(profile_for(1846), DASH, 100, 1, 16)
+
+    def test_more_processes_never_slower_per_stage_counts(self):
+        """More ranks => fewer bootstraps each (barring rounding bumps)."""
+        p = profile_for(1846)
+        t5 = analysis_time(p, DASH, 100, 5, 8)
+        t10 = analysis_time(p, DASH, 100, 10, 8)
+        assert t10.bootstrap < t5.bootstrap
+
+    def test_hybrid_beats_extremes_on_one_node(self):
+        """Paper: on one 8-core Dash node, 2 procs x 4 threads beats both
+        8 threads (Pthreads-only) and 8 processes (MPI-only) by ~1.3-1.4x."""
+        p = profile_for(1846)
+        hybrid = analysis_time(p, DASH, 100, 2, 4).total
+        pthreads_only = analysis_time(p, DASH, 100, 1, 8).total
+        mpi_only = analysis_time(p, DASH, 100, 8, 1).total
+        assert pthreads_only / hybrid > 1.1
+        assert mpi_only / hybrid > 1.2

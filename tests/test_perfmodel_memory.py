@@ -1,0 +1,82 @@
+"""Tests for the memory-footprint model (repro.perfmodel.memory).
+
+Reproduces the paper's Discussion claim: for pattern-rich future data
+sets, "not enough memory per core will be available to analyze a single
+tree using one MPI process per core" — hybrid layouts with several
+threads per process become mandatory, not just faster.
+"""
+
+import pytest
+
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.memory import (
+    feasible_node_layouts,
+    max_processes_per_node,
+    min_threads_per_process,
+    process_memory,
+)
+
+
+class TestProcessMemory:
+    def test_scales_with_shape(self):
+        small = process_memory(100, 1000)
+        big_patterns = process_memory(100, 100_000)
+        big_taxa = process_memory(1000, 1000)
+        assert big_patterns.total_bytes > small.total_bytes
+        assert big_taxa.total_bytes > small.total_bytes
+
+    def test_gamma_costs_four_times_cat(self):
+        cat = process_memory(100, 10_000, n_categories=1, overhead_mb=0)
+        gamma = process_memory(100, 10_000, n_categories=4, overhead_mb=0)
+        assert gamma.clv_bytes == pytest.approx(4 * cat.clv_bytes)
+
+    def test_benchmark_sets_are_modest(self):
+        """The paper's data sets fit comfortably on every machine."""
+        est = process_memory(404, 7429)  # the largest of Table 3
+        for m in MACHINES.values():
+            assert max_processes_per_node(m, est) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            process_memory(2, 100)
+        with pytest.raises(ValueError):
+            process_memory(10, 0)
+
+
+class TestNodeLayouts:
+    def test_small_dataset_allows_process_per_core(self):
+        est = process_memory(218, 1846)
+        dash = MACHINES["dash"]
+        assert max_processes_per_node(dash, est) == dash.cores_per_node
+        assert min_threads_per_process(dash, est) == 1
+
+    def test_future_dataset_forces_threads(self):
+        """Discussion scenario: a pattern-rich alignment where one process
+        per core does not fit, but thread-rich layouts do."""
+        est = process_memory(2000, 500_000)  # ~ tomorrow's data set
+        abe = MACHINES["abe"]  # 8 GB/node
+        assert est.total_gb > abe.memory_per_node_gb / abe.cores_per_node
+        # Either it doesn't fit at all, or it needs multiple cores' memory.
+        if max_processes_per_node(abe, est) >= 1:
+            assert min_threads_per_process(abe, est) > 1
+
+    def test_layouts_sorted_and_feasible(self):
+        est = process_memory(500, 50_000)
+        dash = MACHINES["dash"]
+        layouts = feasible_node_layouts(dash, est)
+        assert layouts  # something fits on 48 GB
+        for procs, threads in layouts:
+            assert procs * threads == dash.cores_per_node
+            assert procs * est.total_gb <= dash.memory_per_node_gb
+        procs_list = [p for p, _ in layouts]
+        assert procs_list == sorted(procs_list, reverse=True)
+
+    def test_infeasible_dataset_raises(self):
+        est = process_memory(5000, 2_000_000)  # ~ 1.9 TB under GAMMA
+        with pytest.raises(ValueError, match="GB"):
+            min_threads_per_process(MACHINES["abe"], est)
+
+    def test_more_node_memory_admits_more_processes(self):
+        est = process_memory(1000, 100_000)
+        assert max_processes_per_node(MACHINES["triton"], est) >= \
+            max_processes_per_node(MACHINES["abe"], est)

@@ -1,0 +1,92 @@
+"""Additional profile and calibration-machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import BENCHMARK_DATASETS, DatasetSpec
+from repro.perfmodel.calibrate import (
+    Anchor,
+    _fractions_from_logits,
+    anchors_for,
+)
+from repro.perfmodel.profiles import (
+    DEFAULT_JITTER_CV,
+    PROFILES,
+    default_profile,
+    profile_for,
+)
+
+
+class TestProfileCosts:
+    def test_per_search_cost_ordering(self):
+        """Per-search effort must grade bootstrap < fast < slow < thorough
+        (the comprehensive analysis's design) for every benchmark set."""
+        for prof in PROFILES.values():
+            assert prof.bootstrap_search_seconds < prof.fast_search_seconds
+            assert prof.fast_search_seconds < prof.slow_search_seconds
+            assert prof.slow_search_seconds < prof.thorough_search_seconds
+
+    def test_serial_seconds_match_table5(self):
+        expected = {348: 1980, 1130: 2325, 1846: 9630, 7429: 72866, 19436: 22970}
+        for patterns, seconds in expected.items():
+            assert profile_for(patterns).serial_seconds_100 == seconds
+
+    def test_jitter_cv_default(self):
+        for prof in PROFILES.values():
+            assert prof.jitter_cv == DEFAULT_JITTER_CV
+
+
+class TestDefaultProfile:
+    def _spec(self, taxa, patterns):
+        return DatasetSpec("x", taxa=taxa, characters=patterns * 2,
+                           patterns=patterns, recommended_bootstraps=100)
+
+    def test_serial_estimate_scales_with_size(self):
+        small = default_profile(self._spec(50, 1000))
+        big = default_profile(self._spec(500, 10000))
+        assert big.serial_seconds_100 > 10 * small.serial_seconds_100
+
+    def test_explicit_serial_respected(self):
+        prof = default_profile(self._spec(50, 1000), serial_seconds_100=1234.0)
+        assert prof.serial_seconds_100 == 1234.0
+
+    def test_thorough_fraction_grows_with_patterns_per_taxon(self):
+        low = default_profile(self._spec(500, 1000))
+        high = default_profile(self._spec(50, 50000))
+        assert high.frac_thorough > low.frac_thorough
+
+    def test_fractions_bounded(self):
+        for taxa, patterns in ((10, 100), (100, 10000), (20, 200000)):
+            prof = default_profile(self._spec(taxa, patterns))
+            assert 0 < prof.frac_thorough <= 0.35
+            assert prof.frac_bootstrap > prof.frac_fast
+
+
+class TestCalibrationMachinery:
+    def test_logits_to_fractions_simplex(self):
+        for logits in (np.zeros(3), np.array([2.0, -1.0, 0.5])):
+            f = _fractions_from_logits(logits)
+            assert len(f) == 4
+            assert sum(f) == pytest.approx(1.0)
+            assert all(x > 0 for x in f)
+
+    def test_anchor_consistency(self):
+        a = Anchor(1846, "dash", 100, 80, 8, 271)
+        assert a.processes == 10
+
+    def test_anchors_cover_all_benchmarks_on_dash(self):
+        for d in BENCHMARK_DATASETS:
+            assert len(anchors_for(d.patterns, "dash")) >= 5
+
+    def test_fit_profile_smoke(self):
+        """The fitter runs and produces a valid profile (frozen constants
+        were generated exactly this way)."""
+        from repro.perfmodel.calibrate import fit_profile
+
+        prof = fit_profile(1846)
+        total = (prof.frac_bootstrap + prof.frac_fast + prof.frac_slow
+                 + prof.frac_thorough)
+        assert total == pytest.approx(1.0)
+        # And it should land close to the committed constants.
+        frozen = profile_for(1846)
+        assert prof.frac_thorough == pytest.approx(frozen.frac_thorough, abs=0.02)

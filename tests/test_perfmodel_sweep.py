@@ -1,0 +1,101 @@
+"""Tests for sweeps and metrics (repro.perfmodel.sweep, .metrics, .history)."""
+
+import pytest
+
+from repro.perfmodel.history import RAXML_HISTORY
+from repro.perfmodel.machines import MACHINES
+from repro.perfmodel.metrics import parallel_efficiency, speed_per_core, speedup
+from repro.perfmodel.profiles import profile_for
+from repro.perfmodel.sweep import best_per_core_count, sweep_cores, thread_curves
+
+DASH = MACHINES["dash"]
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(100.0, 25.0, 8) == 0.5
+
+    def test_node_referenced_efficiency(self):
+        """The Discussion's node-reference: 40 cores of an 8-core node
+        machine count as 5 allocation units."""
+        assert parallel_efficiency(100.0, 25.0, 40, reference_cores=8) == pytest.approx(
+            4.0 / 5.0
+        )
+
+    def test_node_reference_divisibility(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(100.0, 25.0, 12, reference_cores=8)
+
+    def test_speed_per_core(self):
+        assert speed_per_core(100.0, 25.0, 4) == 1.0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_cores(profile_for(1846), DASH, 100)
+
+    def test_feasibility(self, points):
+        for p in points:
+            assert p.cores == p.n_processes * p.n_threads
+            assert p.n_threads <= DASH.cores_per_node
+
+    def test_serial_point_present(self, points):
+        serial = [p for p in points if p.cores == 1]
+        assert len(serial) == 1
+        assert serial[0].speedup == pytest.approx(1.0)
+
+    def test_thread_curves_grouped_sorted(self, points):
+        curves = thread_curves(points)
+        assert set(curves) <= {1, 2, 4, 8}
+        for series in curves.values():
+            cores = [q.cores for q in series]
+            assert cores == sorted(cores)
+
+    def test_best_per_core_count_is_minimum(self, points):
+        best = best_per_core_count(points)
+        for c, b in best.items():
+            assert all(b.seconds <= p.seconds for p in points if p.cores == c)
+
+    def test_fig2_crossover_threads(self, points):
+        """Fig 2: 4 threads fastest at 8 and 16 cores; 8 threads at 80."""
+        best = best_per_core_count(points)
+        assert best[8].n_threads == 4
+        assert best[16].n_threads == 4
+        assert best[80].n_threads == 8
+
+    def test_fig2_efficiency_bump_80_over_64(self, points):
+        """Fig 2: 80 cores (10 procs) more efficient than 64 (8 procs)."""
+        best = best_per_core_count(points)
+        assert best[80].efficiency > best[64].efficiency
+
+    def test_speedup_monotone_in_cores_for_best(self, points):
+        best = best_per_core_count(points)
+        cores = sorted(best)
+        speeds = [best[c].speedup for c in cores]
+        assert speeds == sorted(speeds)
+
+
+class TestHistory:
+    def test_table1_rows(self):
+        assert len(RAXML_HISTORY) == 9
+
+    def test_hybrid_only_in_cell_and_724(self):
+        hybrid = [r.version for r in RAXML_HISTORY if r.hybrid]
+        assert hybrid == ["Cell", "7.2.4"]
+
+    def test_724_is_mpi_pthreads_multigrained(self):
+        row = [r for r in RAXML_HISTORY if r.version == "7.2.4"][0]
+        assert row.coarse_grained == "MPI"
+        assert row.fine_grained == "Pthreads"
+        assert row.multi_grained and row.hybrid
+        assert row.year == 2009
+
+    def test_chronological(self):
+        years = [r.year for r in RAXML_HISTORY]
+        assert years == sorted(years)

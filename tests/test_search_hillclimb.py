@@ -1,0 +1,90 @@
+"""Tests for hill climbing and the stage searches (repro.search.hillclimb,
+repro.search.searches)."""
+
+import pytest
+
+from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
+from repro.search.hillclimb import SearchResult, hill_climb
+from repro.search.searches import (
+    StageParams,
+    bootstrap_replicate_search,
+    fast_search,
+    slow_search,
+    thorough_search,
+)
+from repro.search.starting_tree import random_starting_tree
+from repro.seq.bootstrap import bootstrap_pattern_weights
+from repro.util.rng import RAxMLRandom
+
+
+@pytest.fixture()
+def engine(tiny_pal, gtr_model):
+    return LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4))
+
+
+@pytest.fixture()
+def start(tiny_pal):
+    return random_starting_tree(tiny_pal, RAxMLRandom(555))
+
+
+class TestHillClimb:
+    def test_improves_and_validates(self, engine, start):
+        before = engine.loglikelihood(start)
+        res = hill_climb(engine, start, max_rounds=4, max_radius=8)
+        assert res.lnl > before
+        res.tree.validate()
+
+    def test_input_not_mutated(self, engine, start):
+        lengths = [e.length for e in start.edges()]
+        hill_climb(engine, start, max_rounds=2)
+        assert [e.length for e in start.edges()] == lengths
+
+    def test_result_iterable(self, engine, start):
+        res = hill_climb(engine, start, max_rounds=1)
+        tree, lnl = res
+        assert tree is res.tree and lnl == res.lnl
+
+    def test_bad_radius_schedule(self, engine, start):
+        with pytest.raises(ValueError):
+            hill_climb(engine, start, initial_radius=0)
+        with pytest.raises(ValueError):
+            hill_climb(engine, start, initial_radius=5, max_radius=3)
+
+
+class TestStageSearches:
+    def test_bootstrap_replicate_search(self, tiny_pal, gtr_model, start):
+        w = bootstrap_pattern_weights(tiny_pal, RAxMLRandom(4))
+        engine = LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4), weights=w)
+        res = bootstrap_replicate_search(engine, start, RAxMLRandom(5))
+        res.tree.validate()
+        assert isinstance(res, SearchResult)
+
+    def test_fast_search_improves(self, engine, start):
+        before = engine.loglikelihood(start)
+        res = fast_search(engine, start, RAxMLRandom(5))
+        assert res.lnl > before
+
+    def test_slow_beats_or_matches_fast(self, engine, start):
+        params = StageParams(slow_max_rounds=3)
+        f = fast_search(engine, start, RAxMLRandom(5), params)
+        s = slow_search(engine, f.tree, RAxMLRandom(6), params)
+        assert s.lnl >= f.lnl - 0.05
+
+    def test_thorough_search_returns_engine(self, tiny_pal, start):
+        from repro.likelihood.gtr import GTRModel
+
+        engine = LikelihoodEngine(tiny_pal, GTRModel.jc69(), RateModel.gamma(1.0, 4))
+        params = StageParams(thorough_max_rounds=2, model_opt_rounds=1)
+        res, final_engine = thorough_search(engine, start, RAxMLRandom(7), params)
+        res.tree.validate()
+        # Model optimisation should have moved frequencies off JC.
+        assert final_engine.model.freqs != (0.25, 0.25, 0.25, 0.25)
+        assert res.lnl == pytest.approx(
+            final_engine.loglikelihood(res.tree), abs=0.5
+        )
+
+    def test_searches_share_op_counter(self, tiny_pal, gtr_model, start):
+        ops = OpCounter()
+        engine = LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4), ops=ops)
+        fast_search(engine, start, RAxMLRandom(5))
+        assert ops.pattern_ops > 0

@@ -1,0 +1,117 @@
+"""Tests for NNI search and fixed-topology evaluation
+(repro.search.nni, repro.search.evaluate)."""
+
+import pytest
+
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+from repro.search.evaluate import evaluate_tree
+from repro.search.nni import NNIParams, nni_hill_climb, nni_round, try_nni
+from repro.search.starting_tree import random_starting_tree
+from repro.tree.bipartitions import tree_bipartitions
+from repro.util.rng import RAxMLRandom
+
+
+@pytest.fixture()
+def engine(tiny_pal, gtr_model):
+    return LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4))
+
+
+@pytest.fixture()
+def bad_tree(tiny_pal):
+    return random_starting_tree(tiny_pal, RAxMLRandom(4321))
+
+
+class TestTryNNI:
+    def test_changes_topology(self, engine, bad_tree):
+        result = try_nni(engine, bad_tree, 0, 0)
+        assert result is not None
+        new_tree, lnl = result
+        new_tree.validate()
+        assert tree_bipartitions(new_tree) != tree_bipartitions(bad_tree)
+
+    def test_out_of_range_returns_none(self, engine, bad_tree):
+        assert try_nni(engine, bad_tree, 999, 0) is None
+
+    def test_original_untouched(self, engine, bad_tree):
+        splits = tree_bipartitions(bad_tree)
+        try_nni(engine, bad_tree, 0, 1)
+        assert tree_bipartitions(bad_tree) == splits
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            NNIParams(min_improvement=-0.1)
+
+
+class TestNNIRound:
+    def test_never_regresses(self, engine, bad_tree):
+        before = engine.loglikelihood(bad_tree)
+        _, lnl, _ = nni_round(engine, bad_tree)
+        assert lnl >= before - 1e-9
+
+    def test_improves_random_tree(self, engine, bad_tree):
+        before = engine.loglikelihood(bad_tree)
+        tree, lnl, improved = nni_round(engine, bad_tree)
+        tree.validate()
+        # A random topology on signal-bearing data should improve via NNI.
+        assert improved
+        assert lnl > before
+
+
+class TestNNIHillClimb:
+    def test_reaches_local_optimum(self, engine, bad_tree):
+        tree, lnl = nni_hill_climb(engine, bad_tree, max_rounds=15)
+        _, lnl2, improved = nni_round(engine, tree, current_lnl=lnl)
+        assert not improved
+        assert lnl2 == lnl
+
+    def test_nni_weaker_or_equal_to_spr(self, engine, bad_tree):
+        """SPR's move set strictly contains NNI: with the same effort cap
+        the SPR climb should not be worse (modulo greedy noise)."""
+        from repro.search.hillclimb import hill_climb
+
+        nni_tree, nni_lnl = nni_hill_climb(engine, bad_tree, max_rounds=15)
+        spr = hill_climb(engine, bad_tree, max_rounds=6, max_radius=10)
+        assert spr.lnl >= nni_lnl - 1.0
+
+    def test_validation(self, engine, bad_tree):
+        with pytest.raises(ValueError):
+            nni_hill_climb(engine, bad_tree, max_rounds=0)
+
+
+class TestEvaluateTree:
+    def test_preserves_topology(self, tiny_pal, tiny_tree):
+        result = evaluate_tree(tiny_pal, tiny_tree, model_rounds=1, brlen_passes=2)
+        assert tree_bipartitions(result.tree) == tree_bipartitions(tiny_tree)
+
+    def test_optimises_model_and_lengths(self, tiny_pal, tiny_tree):
+        from repro.likelihood.gtr import GTRModel
+
+        result = evaluate_tree(tiny_pal, tiny_tree, model_rounds=1, brlen_passes=2)
+        # Frequencies move off the default quarter split.
+        assert result.model.freqs != GTRModel.default().freqs
+        assert result.alpha is not None
+        # lnL is the engine's value for the returned tree and model.
+        engine = LikelihoodEngine(
+            tiny_pal, result.model, RateModel.gamma(result.alpha, 4)
+        )
+        assert result.lnl == pytest.approx(engine.loglikelihood(result.tree), abs=1e-6)
+
+    def test_input_not_mutated(self, tiny_pal, tiny_tree):
+        lengths = [e.length for e in tiny_tree.edges()]
+        evaluate_tree(tiny_pal, tiny_tree, model_rounds=1, brlen_passes=1)
+        assert [e.length for e in tiny_tree.edges()] == lengths
+
+    def test_better_topology_scores_higher(self, tiny_pal, tiny_true_tree):
+        """The true tree should outscore a random topology after both are
+        fully optimised."""
+        rand = random_starting_tree(tiny_pal, RAxMLRandom(5))
+        good = evaluate_tree(tiny_pal, tiny_true_tree, model_rounds=1, brlen_passes=3)
+        bad = evaluate_tree(tiny_pal, rand, model_rounds=1, brlen_passes=3)
+        assert good.lnl > bad.lnl
+
+    def test_taxa_mismatch_rejected(self, tiny_pal):
+        from repro.tree.random_trees import random_topology
+
+        other = random_topology(tuple("ABCDEF"), RAxMLRandom(1))
+        with pytest.raises(ValueError):
+            evaluate_tree(tiny_pal, other)

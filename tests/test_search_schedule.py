@@ -1,0 +1,89 @@
+"""Tests for the Table 2 work schedule (repro.search.schedule)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.schedule import (
+    TABLE2_CONFIGS,
+    TABLE2_EXPECTED,
+    WorkSchedule,
+    make_schedule,
+)
+
+
+class TestTable2Exact:
+    @pytest.mark.parametrize("config,expected", zip(TABLE2_CONFIGS, TABLE2_EXPECTED))
+    def test_row(self, config, expected):
+        """Every row of the paper's Table 2 must be reproduced exactly."""
+        n, p = config
+        s = make_schedule(n, p)
+        assert (
+            s.n_processes,
+            s.total_bootstraps,
+            s.total_fast,
+            s.total_slow,
+            s.total_thorough,
+        ) == expected
+
+    def test_serial_matches_non_mpi_counts(self):
+        """p=1 must match the non-MPI code: 100 -> 20 fast, 10 slow, 1 thorough."""
+        s = make_schedule(100, 1)
+        assert s.fast_per_process == 20
+        assert s.slow_per_process == 10
+        assert s.thorough_per_process == 1
+
+
+class TestScheduleProperties:
+    def test_every_process_one_thorough(self):
+        """Section 2.1: each process runs its own thorough search."""
+        for p in range(1, 30):
+            assert make_schedule(100, p).thorough_per_process == 1
+
+    def test_total_bootstraps_at_least_requested(self):
+        """Section 2.3: totals can exceed N but never undershoot."""
+        for p in range(1, 40):
+            s = make_schedule(100, p)
+            assert s.total_bootstraps >= 100
+            assert s.total_bootstraps < 100 + p  # ceil rounding bound
+
+    def test_bootstraps_equal_per_process(self):
+        s = make_schedule(100, 8)
+        assert s.total_bootstraps == 8 * s.bootstraps_per_process
+
+    def test_slow_capped_at_ten_per_run_for_large_n(self):
+        """With N=500 and p=10, each rank does 1 slow search (Table 2)."""
+        s = make_schedule(500, 10)
+        assert s.slow_per_process == 1
+
+    def test_as_table_row(self):
+        row = make_schedule(100, 8).as_table_row()
+        assert row == (8, 104, 24, 16, 8, 13, 3, 2, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_schedule(0, 1)
+        with pytest.raises(ValueError):
+            make_schedule(100, 0)
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 2000), st.integers(1, 64))
+    def test_invariants_property(self, n, p):
+        s = make_schedule(n, p)
+        assert s.total_bootstraps >= n
+        assert s.fast_per_process >= 1
+        assert s.slow_per_process >= 1
+        assert s.slow_per_process <= s.fast_per_process or s.fast_per_process == 1
+        assert s.fast_per_process <= s.bootstraps_per_process
+        # At most one extra bootstrap batch per process from rounding.
+        assert s.bootstraps_per_process * (p - 1) < n + p
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 1000))
+    def test_p1_is_serial_counts(self, n):
+        import math
+
+        s = make_schedule(n, 1)
+        assert s.total_bootstraps == n
+        assert s.fast_per_process == math.ceil(n / 5)
+        assert s.slow_per_process == min(math.ceil(s.fast_per_process / 2), 10)

@@ -1,0 +1,104 @@
+"""Tests for lazy SPR moves (repro.search.spr)."""
+
+import pytest
+
+from repro.likelihood.engine import LikelihoodEngine, RateModel
+from repro.search.spr import SPRParams, edges_within_radius, spr_round, try_spr
+from repro.search.starting_tree import random_starting_tree
+from repro.util.rng import RAxMLRandom
+
+
+@pytest.fixture()
+def engine(tiny_pal, gtr_model):
+    return LikelihoodEngine(tiny_pal, gtr_model, RateModel.gamma(0.8, 4))
+
+
+@pytest.fixture()
+def bad_tree(tiny_pal):
+    """A deliberately random (poor) starting topology."""
+    return random_starting_tree(tiny_pal, RAxMLRandom(987))
+
+
+class TestEdgesWithinRadius:
+    def test_radius_one_is_neighbourhood(self, tiny_tree):
+        origin = tiny_tree.internal_edges()[0]
+        edges = edges_within_radius(tiny_tree, origin, 1)
+        # Origin itself plus its direct neighbours only.
+        assert origin in edges
+        assert len(edges) <= 5
+
+    def test_large_radius_covers_tree(self, tiny_tree):
+        origin = tiny_tree.edges()[0]
+        edges = edges_within_radius(tiny_tree, origin, 100)
+        assert len(edges) == len(tiny_tree.edges())
+
+    def test_radius_monotone(self, tiny_tree):
+        origin = tiny_tree.edges()[0]
+        sizes = [len(edges_within_radius(tiny_tree, origin, r)) for r in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+
+class TestTrySPR:
+    def test_root_index_returns_none(self, engine, tiny_tree):
+        nodes = list(tiny_tree.postorder())
+        root_idx = nodes.index(tiny_tree.root)
+        assert try_spr(engine, tiny_tree, root_idx, SPRParams()) is None
+
+    def test_returns_valid_tree(self, engine, bad_tree):
+        res = try_spr(engine, bad_tree, 0, SPRParams(radius=5))
+        assert res is not None
+        new_tree, lnl = res
+        new_tree.validate()
+        assert sorted(l.name for l in new_tree.leaves()) == sorted(bad_tree.taxa)
+        assert lnl == pytest.approx(engine.loglikelihood(new_tree), abs=1e-9)
+
+    def test_original_tree_untouched(self, engine, bad_tree):
+        from repro.tree.bipartitions import tree_bipartitions
+
+        before = tree_bipartitions(bad_tree)
+        lengths = [e.length for e in bad_tree.edges()]
+        try_spr(engine, bad_tree, 0, SPRParams())
+        assert tree_bipartitions(bad_tree) == before
+        assert [e.length for e in bad_tree.edges()] == lengths
+
+    def test_out_of_range_index(self, engine, bad_tree):
+        with pytest.raises(IndexError):
+            try_spr(engine, bad_tree, 9999, SPRParams())
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SPRParams(radius=0)
+        with pytest.raises(ValueError):
+            SPRParams(min_improvement=-1)
+
+
+class TestSPRRound:
+    def test_improves_bad_tree(self, engine, bad_tree):
+        before = engine.loglikelihood(bad_tree)
+        tree, lnl, improved = spr_round(engine, bad_tree, SPRParams(radius=6))
+        assert lnl >= before
+        tree.validate()
+
+    def test_no_regression(self, engine, bad_tree):
+        """A round never returns a tree worse than its input."""
+        before = engine.loglikelihood(bad_tree)
+        _, lnl, _ = spr_round(engine, bad_tree, SPRParams(radius=3))
+        assert lnl >= before - 1e-9
+
+    def test_converges_to_fixpoint(self, engine, bad_tree):
+        tree, lnl, improved = spr_round(engine, bad_tree, SPRParams(radius=8))
+        while improved:
+            tree, lnl, improved = spr_round(
+                engine, tree, SPRParams(radius=8), current_lnl=lnl
+            )
+        # One more round finds nothing.
+        _, lnl2, improved2 = spr_round(engine, tree, SPRParams(radius=8), current_lnl=lnl)
+        assert not improved2
+        assert lnl2 == lnl
+
+    def test_prune_subsampling(self, engine, bad_tree):
+        rng = RAxMLRandom(3)
+        tree, lnl, _ = spr_round(
+            engine, bad_tree, SPRParams(radius=5, max_prune_candidates=3), rng=rng
+        )
+        tree.validate()

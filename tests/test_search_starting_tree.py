@@ -1,0 +1,51 @@
+"""Tests for starting-tree construction (repro.search.starting_tree)."""
+
+import pytest
+
+from repro.likelihood.parsimony import fitch_score
+from repro.search.starting_tree import parsimony_starting_tree, random_starting_tree
+from repro.tree.bipartitions import tree_bipartitions
+from repro.util.rng import RAxMLRandom
+
+
+class TestParsimonyStartingTree:
+    def test_valid_complete_tree(self, tiny_pal):
+        t = parsimony_starting_tree(tiny_pal, RAxMLRandom(1))
+        t.validate()
+        assert sorted(l.name for l in t.leaves()) == sorted(tiny_pal.taxa)
+
+    def test_deterministic(self, tiny_pal):
+        t1 = parsimony_starting_tree(tiny_pal, RAxMLRandom(5))
+        t2 = parsimony_starting_tree(tiny_pal, RAxMLRandom(5))
+        assert tree_bipartitions(t1) == tree_bipartitions(t2)
+
+    def test_seeds_diversify(self, small_pal):
+        """Different addition orders should usually give different trees."""
+        trees = [
+            parsimony_starting_tree(small_pal, RAxMLRandom(s)) for s in range(1, 6)
+        ]
+        splits = {frozenset(tree_bipartitions(t)) for t in trees}
+        assert len(splits) >= 2
+
+    def test_beats_random_on_parsimony(self, small_pal):
+        """The guided tree must score no worse than a random topology."""
+        pars = parsimony_starting_tree(small_pal, RAxMLRandom(3))
+        rand = random_starting_tree(small_pal, RAxMLRandom(3))
+        assert fitch_score(small_pal, pars) <= fitch_score(small_pal, rand)
+
+    def test_bootstrap_weights_respected(self, tiny_pal):
+        """Different replicate weights can change the chosen topology, and
+        at minimum must not break construction."""
+        import numpy as np
+
+        w = np.zeros(tiny_pal.n_patterns)
+        w[: max(1, tiny_pal.n_patterns // 4)] = 4.0
+        t = parsimony_starting_tree(tiny_pal, RAxMLRandom(2), weights=w)
+        t.validate()
+
+
+class TestRandomStartingTree:
+    def test_valid(self, tiny_pal):
+        t = random_starting_tree(tiny_pal, RAxMLRandom(1))
+        t.validate()
+        assert t.taxa == tiny_pal.taxa

@@ -1,0 +1,102 @@
+"""Tests for the alignment container (repro.seq.alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.seq.alignment import Alignment
+
+
+def make(records):
+    return Alignment.from_sequences(records)
+
+
+class TestConstruction:
+    def test_from_sequences(self):
+        aln = make([("a", "ACGT"), ("b", "AC-T"), ("c", "ANGT")])
+        assert aln.n_taxa == 3
+        assert aln.n_sites == 4
+        assert aln.taxa == ("a", "b", "c")
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            make([("a", "ACGT"), ("b", "ACG"), ("c", "ACGT")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            make([("a", "ACGT"), ("a", "ACGT"), ("c", "ACGT")])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            make([("a", "ACGT"), ("", "ACGT"), ("c", "ACGT")])
+
+    def test_fewer_than_three_taxa_rejected(self):
+        with pytest.raises(ValueError, match="3 taxa"):
+            make([("a", "ACGT"), ("b", "ACGT")])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            make([])
+
+    def test_invalid_matrix_codes_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(("a", "b", "c"), np.zeros((3, 4), dtype=np.uint8))
+
+    def test_matrix_immutable(self):
+        aln = make([("a", "ACGT"), ("b", "ACGT"), ("c", "ACGT")])
+        with pytest.raises((ValueError, RuntimeError)):
+            aln.matrix[0, 0] = 2
+
+
+class TestQueries:
+    def test_sequence_roundtrip(self):
+        aln = make([("a", "ACGT"), ("b", "AC-T"), ("c", "ANGT")])
+        assert aln.sequence("a") == "ACGT"
+        assert aln.sequence("b") == "AC-T"
+        # N decodes canonically as '-'
+        assert aln.sequence("c") == "A-GT"
+
+    def test_taxon_index(self):
+        aln = make([("a", "A"), ("b", "C"), ("c", "G")])
+        assert aln.taxon_index("b") == 1
+        with pytest.raises(KeyError):
+            aln.taxon_index("zzz")
+
+    def test_records(self):
+        recs = [("a", "ACGT"), ("b", "AAAA"), ("c", "TTTT")]
+        assert make(recs).records() == recs
+
+
+class TestTransforms:
+    def test_take_sites(self):
+        aln = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        sub = aln.take_sites(np.array([3, 0]))
+        assert sub.sequence("a") == "TA"
+        assert sub.sequence("b") == "AT"
+
+    def test_take_sites_out_of_range(self):
+        aln = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        with pytest.raises(IndexError):
+            aln.take_sites(np.array([4]))
+
+    def test_take_sites_empty_rejected(self):
+        aln = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        with pytest.raises(ValueError):
+            aln.take_sites(np.array([], dtype=int))
+
+    def test_take_taxa(self):
+        aln = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA"), ("d", "CCCC")])
+        sub = aln.take_taxa(["d", "a", "b"])
+        assert sub.taxa == ("d", "a", "b")
+        assert sub.sequence("d") == "CCCC"
+
+    def test_equality_and_hash(self):
+        a1 = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        a2 = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        a3 = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAT")])
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != a3
+
+    def test_repr(self):
+        aln = make([("a", "ACGT"), ("b", "TGCA"), ("c", "AAAA")])
+        assert "n_taxa=3" in repr(aln)

@@ -1,0 +1,61 @@
+"""Tests for bootstrap resampling (repro.seq.bootstrap)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.bootstrap import bootstrap_pattern_weights, bootstrap_weights
+from repro.util.rng import RAxMLRandom
+
+
+class TestBootstrapWeights:
+    def test_sums_to_n_sites(self):
+        w = bootstrap_weights(50, RAxMLRandom(1))
+        assert w.sum() == 50
+        assert w.shape == (50,)
+
+    def test_deterministic(self):
+        a = bootstrap_weights(30, RAxMLRandom(7))
+        b = bootstrap_weights(30, RAxMLRandom(7))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = bootstrap_weights(100, RAxMLRandom(7))
+        b = bootstrap_weights(100, RAxMLRandom(8))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            bootstrap_weights(0, RAxMLRandom(1))
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 200), st.integers(1, 10**6))
+    def test_sum_property(self, n, seed):
+        assert bootstrap_weights(n, RAxMLRandom(seed)).sum() == n
+
+
+class TestBootstrapPatternWeights:
+    def test_sums_to_original_sites(self, handmade_pal):
+        w = bootstrap_pattern_weights(handmade_pal, RAxMLRandom(3))
+        assert w.sum() == handmade_pal.n_sites
+
+    def test_zero_weight_patterns_possible(self, small_pal):
+        """With enough patterns, some never get drawn (that's the point)."""
+        w = bootstrap_pattern_weights(small_pal, RAxMLRandom(3))
+        assert (w == 0).any()
+
+    def test_respects_original_multiplicities(self, tiny_pal):
+        """Heavier patterns should be drawn more often on average."""
+        totals = np.zeros(tiny_pal.n_patterns)
+        for seed in range(1, 40):
+            totals += bootstrap_pattern_weights(tiny_pal, RAxMLRandom(seed))
+        heavy = np.argmax(tiny_pal.weights)
+        light = np.argmin(tiny_pal.weights)
+        if tiny_pal.weights[heavy] > 2 * tiny_pal.weights[light]:
+            assert totals[heavy] > totals[light]
+
+    def test_deterministic(self, handmade_pal):
+        a = bootstrap_pattern_weights(handmade_pal, RAxMLRandom(5))
+        b = bootstrap_pattern_weights(handmade_pal, RAxMLRandom(5))
+        assert np.array_equal(a, b)

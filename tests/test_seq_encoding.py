@@ -1,0 +1,93 @@
+"""Tests for DNA encoding (repro.seq.encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq.encoding import (
+    GAP_CODE,
+    UNDETERMINED,
+    decode_sequence,
+    encode_sequence,
+    state_likelihood_rows,
+)
+
+
+class TestEncode:
+    def test_plain_bases(self):
+        assert encode_sequence("ACGT").tolist() == [1, 2, 4, 8]
+
+    def test_lowercase(self):
+        assert encode_sequence("acgt").tolist() == [1, 2, 4, 8]
+
+    def test_rna_u_maps_to_t(self):
+        assert encode_sequence("U").tolist() == encode_sequence("T").tolist()
+
+    def test_gap_and_n_fully_ambiguous(self):
+        codes = encode_sequence("-N?.")
+        assert all(c == UNDETERMINED for c in codes)
+        assert GAP_CODE == 0b1111
+
+    def test_iupac_two_state_codes(self):
+        assert encode_sequence("R")[0] == (1 | 4)  # A|G
+        assert encode_sequence("Y")[0] == (2 | 8)  # C|T
+        assert encode_sequence("S")[0] == (2 | 4)
+        assert encode_sequence("W")[0] == (1 | 8)
+        assert encode_sequence("K")[0] == (4 | 8)
+        assert encode_sequence("M")[0] == (1 | 2)
+
+    def test_iupac_three_state_codes(self):
+        assert encode_sequence("B")[0] == (2 | 4 | 8)
+        assert encode_sequence("D")[0] == (1 | 4 | 8)
+        assert encode_sequence("H")[0] == (1 | 2 | 8)
+        assert encode_sequence("V")[0] == (1 | 2 | 4)
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            encode_sequence("ACGZ")
+
+    def test_empty_sequence(self):
+        assert encode_sequence("").shape == (0,)
+
+
+class TestDecode:
+    def test_roundtrip_plain(self):
+        assert decode_sequence(encode_sequence("ACGTACGT")) == "ACGTACGT"
+
+    def test_roundtrip_ambiguity(self):
+        # Note: N/?/. all decode to '-' (the canonical undetermined char).
+        assert decode_sequence(encode_sequence("RYSWKM-")) == "RYSWKM-"
+
+    def test_invalid_mask_rejected(self):
+        with pytest.raises(ValueError):
+            decode_sequence(np.array([0], dtype=np.uint8))
+
+    @given(st.text(alphabet="ACGTRYSWKMBDHV-", min_size=0, max_size=50))
+    def test_roundtrip_property(self, seq):
+        assert decode_sequence(encode_sequence(seq)) == seq
+
+
+class TestTipRows:
+    def test_shape(self):
+        assert state_likelihood_rows().shape == (16, 4)
+
+    def test_pure_states_are_unit_vectors(self):
+        rows = state_likelihood_rows()
+        assert rows[1].tolist() == [1, 0, 0, 0]  # A
+        assert rows[2].tolist() == [0, 1, 0, 0]  # C
+        assert rows[4].tolist() == [0, 0, 1, 0]  # G
+        assert rows[8].tolist() == [0, 0, 0, 1]  # T
+
+    def test_undetermined_is_all_ones(self):
+        assert state_likelihood_rows()[15].tolist() == [1, 1, 1, 1]
+
+    def test_row_sums_equal_popcount(self):
+        rows = state_likelihood_rows()
+        for mask in range(1, 16):
+            assert rows[mask].sum() == bin(mask).count("1")
+
+    def test_returns_copy(self):
+        a = state_likelihood_rows()
+        a[1, 0] = 99.0
+        assert state_likelihood_rows()[1, 0] == 1.0

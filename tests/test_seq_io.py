@@ -1,0 +1,95 @@
+"""Tests for FASTA and PHYLIP I/O (repro.seq.io_fasta, repro.seq.io_phylip)."""
+
+import pytest
+
+from repro.seq.alignment import Alignment
+from repro.seq.io_fasta import parse_fasta, read_fasta, write_fasta
+from repro.seq.io_phylip import parse_phylip, read_phylip, write_phylip
+
+
+@pytest.fixture()
+def aln():
+    return Alignment.from_sequences(
+        [("taxon_a", "ACGTACGTAC"), ("taxon_b", "AC-TACGTAA"), ("taxon_c", "ACGTANGTAC")]
+    )
+
+
+class TestFasta:
+    def test_parse_basic(self):
+        aln = parse_fasta(">a\nACGT\n>b\nAC-T\n>c\nACNT\n")
+        assert aln.taxa == ("a", "b", "c")
+        assert aln.sequence("a") == "ACGT"
+
+    def test_parse_multiline_sequences(self):
+        aln = parse_fasta(">a\nAC\nGT\n>b\nACGT\n>c\nACGT\n")
+        assert aln.sequence("a") == "ACGT"
+
+    def test_parse_name_stops_at_whitespace(self):
+        aln = parse_fasta(">a description here\nACGT\n>b\nACGT\n>c\nACGT\n")
+        assert aln.taxa[0] == "a"
+
+    def test_parse_rejects_data_before_header(self):
+        with pytest.raises(ValueError, match="before"):
+            parse_fasta("ACGT\n>a\nACGT\n")
+
+    def test_parse_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_fasta(">\nACGT\n>b\nACGT\n>c\nACGT\n")
+
+    def test_parse_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            parse_fasta("")
+
+    def test_roundtrip(self, aln, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(aln, path, width=4)
+        assert read_fasta(path) == aln
+
+    def test_write_rejects_bad_width(self, aln, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(aln, tmp_path / "x.fasta", width=0)
+
+
+class TestPhylip:
+    def test_parse_sequential(self):
+        aln = parse_phylip("3 4\na ACGT\nb AC-T\nc ACNT\n")
+        assert aln.n_taxa == 3
+        assert aln.sequence("b") == "AC-T"
+
+    def test_parse_interleaved(self):
+        text = "3 8\na ACGT\nb ACGT\nc ACGT\nTTTT\nGGGG\nCCCC\n"
+        aln = parse_phylip(text)
+        assert aln.sequence("a") == "ACGTTTTT"
+        assert aln.sequence("b") == "ACGTGGGG"
+        assert aln.sequence("c") == "ACGTCCCC"
+
+    def test_parse_sequence_with_spaces(self):
+        aln = parse_phylip("3 8\na ACGT ACGT\nb ACGTACGT\nc ACGTACGT\n")
+        assert aln.sequence("a") == "ACGTACGT"
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_phylip("nonsense\na ACGT\n")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="characters"):
+            parse_phylip("3 5\na ACGT\nb ACGTA\nc ACGTA\n")
+
+    def test_rejects_too_few_lines(self):
+        with pytest.raises(ValueError):
+            parse_phylip("3 4\na ACGT\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_phylip("")
+
+    def test_roundtrip(self, aln, tmp_path):
+        path = tmp_path / "x.phy"
+        write_phylip(aln, path)
+        assert read_phylip(path) == aln
+
+    def test_written_header_counts(self, aln, tmp_path):
+        path = tmp_path / "x.phy"
+        write_phylip(aln, path)
+        header = path.read_text().splitlines()[0].split()
+        assert header == ["3", "10"]

@@ -1,0 +1,103 @@
+"""Extra edge-case coverage for the sequence and tree substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import compress_alignment
+from repro.tree.bipartitions import Bipartition, tree_bipartitions
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.topology import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
+
+
+class TestAlignmentColumns:
+    def test_all_ambiguous_column_is_one_pattern(self):
+        aln = Alignment.from_sequences([("a", "-A"), ("b", "-C"), ("c", "-G")])
+        pal = compress_alignment(aln)
+        assert pal.n_patterns == 2
+
+    def test_case_insensitive_columns_collapse(self):
+        aln = Alignment.from_sequences([("a", "Aa"), ("b", "cC"), ("c", "gG")])
+        pal = compress_alignment(aln)
+        assert pal.n_patterns == 1
+        assert pal.weights.tolist() == [2]
+
+    def test_column_order_of_patterns_is_stable(self):
+        """Compressing twice gives identical pattern matrices."""
+        aln = Alignment.from_sequences(
+            [("a", "ACGTAC"), ("b", "CCGTAC"), ("c", "ACGTCC")]
+        )
+        p1 = compress_alignment(aln)
+        p2 = compress_alignment(aln)
+        assert np.array_equal(p1.patterns, p2.patterns)
+        assert np.array_equal(p1.site_to_pattern, p2.site_to_pattern)
+
+    @settings(max_examples=25)
+    @given(st.integers(3, 8), st.integers(1, 40), st.integers(1, 10**6))
+    def test_pattern_count_bounds(self, n_taxa, n_sites, seed):
+        from repro.util.rng import RAxMLRandom
+
+        rng = RAxMLRandom(seed)
+        recs = [
+            (f"t{i}", "".join("ACGT"[rng.next_int(4)] for _ in range(n_sites)))
+            for i in range(n_taxa)
+        ]
+        pal = compress_alignment(Alignment.from_sequences(recs))
+        assert 1 <= pal.n_patterns <= min(n_sites, 4**n_taxa)
+
+
+class TestBranchLengthBounds:
+    def test_constants_sane(self):
+        assert 0 < MIN_BRANCH_LENGTH < 1e-3
+        assert MAX_BRANCH_LENGTH >= 10
+
+    def test_prune_clamps_merged_lengths(self):
+        """Splicing a degree-two node sums lengths but stays within the
+        clamp."""
+        t = parse_newick(
+            f"((A:{MAX_BRANCH_LENGTH},B:1):{MAX_BRANCH_LENGTH},C:1,(D:1,E:1):1);"
+        )
+        leaf_b = t.find_leaf("B")
+        t.prune(leaf_b)
+        t.validate()
+        for e in t.edges():
+            assert e.length <= MAX_BRANCH_LENGTH
+
+
+class TestBipartitionScaling:
+    def test_many_taxa_bitmask(self):
+        """Python big-int masks handle hundreds of taxa."""
+        n = 200
+        b = Bipartition.from_leafset(range(50, 150), n)
+        assert b.side_size == 100
+        assert b.n_taxa == 200
+
+    def test_large_tree_split_count(self):
+        from repro.tree.random_trees import random_topology
+        from repro.util.rng import RAxMLRandom
+
+        taxa = tuple(f"t{i}" for i in range(80))
+        t = random_topology(taxa, RAxMLRandom(3))
+        assert len(tree_bipartitions(t)) == 80 - 3
+
+    def test_newick_roundtrip_large(self):
+        from repro.tree.random_trees import yule_tree
+        from repro.util.rng import RAxMLRandom
+
+        taxa = tuple(f"t{i}" for i in range(120))
+        t = yule_tree(taxa, RAxMLRandom(4))
+        t2 = parse_newick(write_newick(t, digits=10), taxa=taxa)
+        assert tree_bipartitions(t) == tree_bipartitions(t2)
+
+
+class TestSupportRoundTrip:
+    def test_support_survives_newick(self):
+        t = parse_newick("((A:1,B:1):1,C:1,(D:1,E:1):1);")
+        for e in t.internal_edges():
+            e.support = 0.73
+        out = write_newick(t, support=True)
+        back = parse_newick(out, taxa=t.taxa)
+        sups = [e.support for e in back.internal_edges()]
+        assert all(s == pytest.approx(0.73) for s in sups)

@@ -1,0 +1,137 @@
+"""Tests for bipartitions and tree distances (repro.tree.bipartitions,
+repro.tree.distances)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.bipartitions import Bipartition, bipartition_of_edge, tree_bipartitions
+from repro.tree.distances import branch_score_distance, robinson_foulds
+from repro.tree.newick import parse_newick
+from repro.tree.random_trees import random_topology
+from repro.util.rng import RAxMLRandom
+
+
+class TestBipartition:
+    def test_canonical_excludes_taxon_zero(self):
+        b = Bipartition.from_leafset([1, 2], 5)
+        assert b.mask == 0b00110
+
+    def test_complement_canonicalised(self):
+        b1 = Bipartition.from_leafset([0, 3, 4], 5)
+        b2 = Bipartition.from_leafset([1, 2], 5)
+        assert b1 == b2
+
+    def test_hashable_equality(self):
+        a = Bipartition.from_leafset([2, 3], 6)
+        b = Bipartition.from_leafset([0, 1, 4, 5], 6)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_side_size(self):
+        assert Bipartition.from_leafset([1, 2, 3], 6).side_size == 3
+
+    def test_trivial_detection(self):
+        assert Bipartition.from_leafset([1], 5).is_trivial()
+        assert not Bipartition.from_leafset([1, 2], 5).is_trivial()
+
+    def test_rejects_small_taxon_sets(self):
+        with pytest.raises(ValueError):
+            Bipartition.from_leafset([1], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Bipartition.from_leafset([9], 5)
+
+    def test_rejects_full_or_empty(self):
+        with pytest.raises(ValueError):
+            Bipartition(0, 5)
+
+
+class TestTreeBipartitions:
+    def test_count_for_binary_tree(self):
+        t = parse_newick("((A,B),(C,D),(E,F));")
+        assert len(tree_bipartitions(t)) == 6 - 3
+
+    def test_known_splits(self):
+        t = parse_newick("((A,B),C,(D,E));")
+        splits = tree_bipartitions(t)
+        ab = Bipartition.from_leafset([0, 1], 5)  # A,B
+        de = Bipartition.from_leafset([3, 4], 5)
+        assert splits == {ab, de}
+
+    def test_with_lengths(self):
+        t = parse_newick("((A:0.1,B:0.1):0.7,C:0.1,(D:0.1,E:0.1):0.9);")
+        lengths = tree_bipartitions(t, with_lengths=True)
+        assert set(lengths.values()) == {0.7, 0.9}
+
+    def test_edge_bipartition_matches_set(self):
+        t = parse_newick("((A,B),C,(D,E));")
+        for e in t.internal_edges():
+            assert bipartition_of_edge(t, e) in tree_bipartitions(t)
+
+    def test_three_leaf_tree_has_no_splits(self):
+        t = parse_newick("(A,B,C);")
+        assert tree_bipartitions(t) == set()
+
+
+class TestRobinsonFoulds:
+    def test_identity_is_zero(self):
+        t = parse_newick("((A,B),(C,D),(E,F));")
+        assert robinson_foulds(t, t.copy()) == 0.0
+
+    def test_symmetry(self):
+        rng = RAxMLRandom(4)
+        taxa = tuple("ABCDEFG")
+        t1 = random_topology(taxa, rng)
+        t2 = random_topology(taxa, rng)
+        assert robinson_foulds(t1, t2) == robinson_foulds(t2, t1)
+
+    def test_known_distance(self):
+        taxa = ("A", "B", "C", "D", "E")
+        a = parse_newick("((A,B),C,(D,E));", taxa=taxa)
+        b = parse_newick("((A,C),B,(D,E));", taxa=taxa)
+        # AB split vs AC split differ; DE shared -> symmetric difference 2.
+        assert robinson_foulds(a, b) == 2.0
+
+    def test_normalized_in_unit_interval(self):
+        rng = RAxMLRandom(9)
+        taxa = tuple(f"t{i}" for i in range(10))
+        t1 = random_topology(taxa, rng)
+        t2 = random_topology(taxa, rng)
+        d = robinson_foulds(t1, t2, normalized=True)
+        assert 0.0 <= d <= 1.0
+
+    def test_different_taxa_rejected(self):
+        t1 = parse_newick("((A,B),C,(D,E));")
+        t2 = parse_newick("((A,B),C,(D,F));")
+        with pytest.raises(ValueError):
+            robinson_foulds(t1, t2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 10**5))
+    def test_rf_nonnegative_and_bounded(self, seed):
+        rng = RAxMLRandom(seed)
+        taxa = tuple(f"t{i}" for i in range(8))
+        t1 = random_topology(taxa, rng)
+        t2 = random_topology(taxa, rng)
+        d = robinson_foulds(t1, t2)
+        assert 0 <= d <= 2 * (8 - 3)
+
+
+class TestBranchScore:
+    def test_identity_zero(self):
+        t = parse_newick("((A:0.1,B:0.1):0.2,C:0.1,(D:0.1,E:0.1):0.3);")
+        assert branch_score_distance(t, t.copy()) == pytest.approx(0.0)
+
+    def test_length_difference_measured(self):
+        a = parse_newick("((A:0.1,B:0.1):0.2,C:0.1,(D:0.1,E:0.1):0.3);")
+        b = parse_newick("((A:0.1,B:0.1):0.5,C:0.1,(D:0.1,E:0.1):0.3);")
+        assert branch_score_distance(a, b) == pytest.approx(0.3)
+
+    def test_disjoint_splits_accumulate(self):
+        taxa = ("A", "B", "C", "D", "E")
+        a = parse_newick("((A:1,B:1):0.4,C:1,(D:1,E:1):0.3);", taxa=taxa)
+        b = parse_newick("((A:1,C:1):0.4,B:1,(D:1,E:1):0.3);", taxa=taxa)
+        # AB (0.4) only in a; AC (0.4) only in b; DE shared equal.
+        assert branch_score_distance(a, b) == pytest.approx((0.4**2 + 0.4**2) ** 0.5)

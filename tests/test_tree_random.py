@@ -1,0 +1,80 @@
+"""Tests for random tree generation (repro.tree.random_trees)."""
+
+import pytest
+
+from repro.tree.bipartitions import tree_bipartitions
+from repro.tree.random_trees import random_topology, yule_tree
+from repro.util.rng import RAxMLRandom
+
+
+class TestRandomTopology:
+    def test_valid_and_complete(self):
+        taxa = tuple(f"t{i}" for i in range(9))
+        t = random_topology(taxa, RAxMLRandom(1))
+        t.validate()
+        assert sorted(l.name for l in t.leaves()) == sorted(taxa)
+        assert t.taxa == taxa
+
+    def test_leaf_indices_global(self):
+        taxa = ("x", "y", "z", "w")
+        t = random_topology(taxa, RAxMLRandom(2))
+        for leaf in t.leaves():
+            assert taxa[leaf.leaf_index] == leaf.name
+
+    def test_deterministic(self):
+        taxa = tuple(f"t{i}" for i in range(7))
+        t1 = random_topology(taxa, RAxMLRandom(5))
+        t2 = random_topology(taxa, RAxMLRandom(5))
+        assert tree_bipartitions(t1) == tree_bipartitions(t2)
+
+    def test_seeds_give_different_topologies(self):
+        taxa = tuple(f"t{i}" for i in range(10))
+        t1 = random_topology(taxa, RAxMLRandom(5))
+        t2 = random_topology(taxa, RAxMLRandom(6))
+        assert tree_bipartitions(t1) != tree_bipartitions(t2)
+
+    def test_uniform_branch_lengths(self):
+        taxa = tuple(f"t{i}" for i in range(5))
+        t = random_topology(taxa, RAxMLRandom(1), branch_length=0.42)
+        for e in t.edges():
+            assert 0 < e.length <= 0.84  # insertion splits edges
+
+    def test_too_few_taxa_rejected(self):
+        with pytest.raises(ValueError):
+            random_topology(("a", "b"), RAxMLRandom(1))
+
+
+class TestYuleTree:
+    def test_valid_and_complete(self):
+        taxa = tuple(f"t{i}" for i in range(12))
+        t = yule_tree(taxa, RAxMLRandom(3))
+        t.validate()
+        assert sorted(l.name for l in t.leaves()) == sorted(taxa)
+
+    def test_three_taxa(self):
+        t = yule_tree(("a", "b", "c"), RAxMLRandom(3))
+        t.validate()
+        assert t.n_leaves == 3
+
+    def test_deterministic(self):
+        taxa = tuple(f"t{i}" for i in range(8))
+        t1 = yule_tree(taxa, RAxMLRandom(11))
+        t2 = yule_tree(taxa, RAxMLRandom(11))
+        assert tree_bipartitions(t1) == tree_bipartitions(t2)
+        assert t1.total_branch_length() == pytest.approx(t2.total_branch_length())
+
+    def test_scale_scales_lengths(self):
+        taxa = tuple(f"t{i}" for i in range(8))
+        t1 = yule_tree(taxa, RAxMLRandom(11), scale=0.1)
+        t2 = yule_tree(taxa, RAxMLRandom(11), scale=0.2)
+        assert t2.total_branch_length() == pytest.approx(
+            2 * t1.total_branch_length(), rel=1e-6
+        )
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            yule_tree(("a", "b"), RAxMLRandom(1))
+        with pytest.raises(ValueError):
+            yule_tree(("a", "b", "c"), RAxMLRandom(1), birth_rate=0)
+        with pytest.raises(ValueError):
+            yule_tree(("a", "b", "c"), RAxMLRandom(1), scale=-1)

@@ -1,0 +1,66 @@
+"""Tests for re-rooting (repro.tree.topology.Tree.reroot_at)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.bipartitions import tree_bipartitions
+from repro.tree.newick import parse_newick
+from repro.tree.random_trees import yule_tree
+from repro.util.rng import RAxMLRandom
+
+
+@pytest.fixture()
+def tree():
+    return parse_newick(
+        "((A:0.1,B:0.2):0.3,(C:0.4,D:0.5):0.6,(E:0.7,F:0.8):0.9);"
+    )
+
+
+class TestRerootAt:
+    def test_noop_on_current_root(self, tree):
+        before = tree_bipartitions(tree, with_lengths=True)
+        tree.reroot_at(tree.root)
+        assert tree_bipartitions(tree, with_lengths=True) == before
+
+    def test_preserves_topology_and_lengths(self, tree):
+        before = tree_bipartitions(tree, with_lengths=True)
+        total = tree.total_branch_length()
+        target = tree.internal_edges()[0]
+        tree.reroot_at(target)
+        tree.validate()
+        assert tree.root is target
+        assert tree_bipartitions(tree, with_lengths=True) == before
+        assert tree.total_branch_length() == pytest.approx(total)
+
+    def test_leaf_rejected(self, tree):
+        with pytest.raises(ValueError, match="internal"):
+            tree.reroot_at(tree.find_leaf("A"))
+
+    def test_foreign_node_rejected(self, tree):
+        other = parse_newick("((A,B),C,D);")
+        with pytest.raises(ValueError, match="belong"):
+            tree.reroot_at(other.root.children[0])
+
+    def test_round_trip(self, tree):
+        original_root = tree.root
+        before = tree_bipartitions(tree, with_lengths=True)
+        target = tree.internal_edges()[0]
+        tree.reroot_at(target)
+        tree.reroot_at(original_root)
+        tree.validate()
+        assert tree.root is original_root
+        assert tree_bipartitions(tree, with_lengths=True) == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 10**6), st.integers(0, 10**6))
+    def test_random_reroots_keep_invariants(self, tree_seed, pick_seed):
+        taxa = tuple(f"t{i}" for i in range(9))
+        t = yule_tree(taxa, RAxMLRandom(tree_seed))
+        before = tree_bipartitions(t, with_lengths=True)
+        rng = RAxMLRandom(pick_seed + 1)
+        for _ in range(4):
+            internals = t.internal_nodes()
+            t.reroot_at(internals[rng.next_int(len(internals))])
+            t.validate()
+            assert tree_bipartitions(t, with_lengths=True) == before

@@ -1,0 +1,241 @@
+"""Tests for tree topology and rearrangement (repro.tree.topology)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.newick import parse_newick
+from repro.tree.random_trees import random_topology
+from repro.tree.topology import Node, Tree
+from repro.util.rng import RAxMLRandom
+
+
+def leaf_names(tree):
+    return sorted(l.name for l in tree.leaves())
+
+
+@pytest.fixture()
+def six_tree():
+    return parse_newick("((A:0.1,B:0.2):0.1,(C:0.1,D:0.1):0.2,(E:0.1,F:0.1):0.3);")
+
+
+class TestConstruction:
+    def test_star(self):
+        t = Tree.star(("a", "b", "c"))
+        t.validate()
+        assert t.n_leaves == 3
+        assert len(t.root.children) == 3
+
+    def test_star_needs_three_taxa(self):
+        with pytest.raises(ValueError):
+            Tree.star(("a", "b"))
+
+    def test_copy_is_deep(self, six_tree):
+        c = six_tree.copy()
+        c.validate()
+        assert leaf_names(c) == leaf_names(six_tree)
+        # Mutating the copy leaves the original untouched.
+        next(iter(c.postorder())).length = 9.9
+        assert all(n.length != 9.9 for n in six_tree.postorder())
+
+    def test_copy_preserves_postorder_structure(self, six_tree):
+        orig = [(n.name, round(n.length, 6)) for n in six_tree.postorder()]
+        copy = [(n.name, round(n.length, 6)) for n in six_tree.copy().postorder()]
+        assert orig == copy
+
+
+class TestTraversal:
+    def test_postorder_children_first(self, six_tree):
+        seen = set()
+        for node in six_tree.postorder():
+            for ch in node.children:
+                assert id(ch) in seen
+            seen.add(id(node))
+
+    def test_preorder_parents_first(self, six_tree):
+        seen = set()
+        for node in six_tree.preorder():
+            if node.parent is not None:
+                assert id(node.parent) in seen
+            seen.add(id(node))
+
+    def test_node_counts(self, six_tree):
+        nodes = list(six_tree.postorder())
+        # Unrooted binary: 2n-2 nodes for n leaves.
+        assert len(nodes) == 2 * 6 - 2
+        assert six_tree.n_leaves == 6
+        assert len(six_tree.edges()) == 2 * 6 - 3
+        assert len(six_tree.internal_edges()) == 6 - 3
+
+    def test_find_leaf(self, six_tree):
+        assert six_tree.find_leaf("C").name == "C"
+        with pytest.raises(KeyError):
+            six_tree.find_leaf("nope")
+
+    def test_subtree_leaves(self, six_tree):
+        ab = six_tree.root.children[0]
+        assert sorted(l.name for l in six_tree.subtree_leaves(ab)) == ["A", "B"]
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, six_tree):
+        six_tree.validate()
+
+    def test_detects_nonpositive_length(self, six_tree):
+        six_tree.find_leaf("A").length = 0.0
+        with pytest.raises(ValueError, match="branch length"):
+            six_tree.validate()
+
+    def test_detects_bad_root_degree(self, six_tree):
+        six_tree.root.children.pop()
+        with pytest.raises(ValueError, match="root"):
+            six_tree.validate()
+
+    def test_detects_duplicate_leaf_index(self, six_tree):
+        six_tree.find_leaf("A").leaf_index = six_tree.find_leaf("B").leaf_index
+        with pytest.raises(ValueError):
+            six_tree.validate()
+
+
+class TestPruneRegraft:
+    def test_prune_leaf_restores_invariants(self, six_tree):
+        leaf = six_tree.find_leaf("A")
+        pruned, length = six_tree.prune(leaf)
+        six_tree.validate()
+        assert pruned is leaf
+        assert length > 0
+        assert six_tree.n_leaves == 5
+        assert "A" not in leaf_names(six_tree)
+
+    def test_prune_internal_subtree(self, six_tree):
+        cd = [
+            e for e in six_tree.internal_edges()
+            if sorted(l.name for l in six_tree.subtree_leaves(e)) == ["C", "D"]
+        ][0]
+        six_tree.prune(cd)
+        six_tree.validate()
+        assert leaf_names(six_tree) == ["A", "B", "E", "F"]
+
+    def test_prune_root_rejected(self, six_tree):
+        with pytest.raises(ValueError):
+            six_tree.prune(six_tree.root)
+
+    def test_prune_too_much_rejected(self):
+        t = parse_newick("((A:0.1,B:0.1):0.1,C:0.1,D:0.1);")
+        ab = t.root.children[0]
+        with pytest.raises(ValueError, match="fewer than 3"):
+            t.prune(ab)
+
+    def test_prune_root_child_promotes_root(self, six_tree):
+        # Pruning a child of the root forces root re-forming.
+        victim = six_tree.root.children[0]
+        six_tree.prune(victim)
+        six_tree.validate()
+        assert six_tree.n_leaves == 4
+
+    def test_regraft_roundtrip_preserves_leafset(self, six_tree):
+        names_before = leaf_names(six_tree)
+        leaf = six_tree.find_leaf("A")
+        pruned, length = six_tree.prune(leaf)
+        target = six_tree.edges()[0]
+        six_tree.regraft(pruned, leaf_or_length_check := target, length=length)
+        six_tree.validate()
+        assert leaf_names(six_tree) == names_before
+
+    def test_regraft_attached_node_rejected(self, six_tree):
+        leaf = six_tree.find_leaf("A")
+        with pytest.raises(ValueError, match="detached"):
+            six_tree.regraft(leaf, six_tree.edges()[0])
+
+    def test_spr_move(self, six_tree):
+        leaf = six_tree.find_leaf("A")
+        targets = [
+            e for e in six_tree.edges()
+            if all(l.name != "A" for l in six_tree.subtree_leaves(e))
+        ]
+        six_tree.spr(leaf, targets[-1])
+        six_tree.validate()
+        assert six_tree.n_leaves == 6
+
+    def test_spr_into_own_subtree_rejected(self, six_tree):
+        ab = six_tree.root.children[0]
+        inside = ab.children[0]
+        with pytest.raises(ValueError, match="inside"):
+            six_tree.spr(ab, inside)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 10**6), st.integers(6, 12))
+    def test_random_spr_sequence_keeps_invariants(self, seed, n):
+        rng = RAxMLRandom(seed)
+        taxa = tuple(f"t{i}" for i in range(n))
+        tree = random_topology(taxa, rng)
+        for _ in range(5):
+            nodes = [x for x in tree.postorder() if x.parent is not None]
+            node = nodes[rng.next_int(len(nodes))]
+            if tree.n_leaves - len(tree.subtree_leaves(node)) < 3:
+                continue
+            in_sub = {id(x) for x in tree._nodes_under(node)}
+            targets = [e for e in tree.edges() if id(e) not in in_sub]
+            # The pruned node's own edge and parent edge are degenerate targets.
+            targets = [e for e in targets if e is not node and e is not node.parent]
+            if not targets:
+                continue
+            tree.spr(node, targets[rng.next_int(len(targets))])
+            tree.validate()
+            assert sorted(l.name for l in tree.leaves()) == sorted(taxa)
+
+
+class TestNNI:
+    def test_nni_changes_topology(self, six_tree):
+        from repro.tree.bipartitions import tree_bipartitions
+
+        before = tree_bipartitions(six_tree)
+        edge = six_tree.internal_edges()[0]
+        six_tree.nni(edge, 0)
+        six_tree.validate()
+        after = tree_bipartitions(six_tree)
+        assert before != after
+
+    def test_nni_variants_differ(self, six_tree):
+        from repro.tree.bipartitions import tree_bipartitions
+
+        t0 = six_tree.copy()
+        t1 = six_tree.copy()
+        t0.nni(t0.internal_edges()[0], 0)
+        t1.nni(t1.internal_edges()[0], 1)
+        assert tree_bipartitions(t0) != tree_bipartitions(t1)
+
+    def test_nni_on_leaf_rejected(self, six_tree):
+        with pytest.raises(ValueError):
+            six_tree.nni(six_tree.find_leaf("A"), 0)
+
+    def test_nni_bad_variant_rejected(self, six_tree):
+        with pytest.raises(ValueError):
+            six_tree.nni(six_tree.internal_edges()[0], 2)
+
+
+class TestMisc:
+    def test_total_branch_length(self, six_tree):
+        assert six_tree.total_branch_length() == pytest.approx(1.3)
+
+    def test_map_branch_lengths(self, six_tree):
+        before = six_tree.total_branch_length()
+        six_tree.map_branch_lengths(lambda t: t * 2)
+        assert six_tree.total_branch_length() == pytest.approx(2 * before)
+
+    def test_map_branch_lengths_clamps(self, six_tree):
+        six_tree.map_branch_lengths(lambda t: -1.0)
+        six_tree.validate()  # clamped to MIN_BRANCH_LENGTH
+
+    def test_insert_leaf_on_edge(self, six_tree):
+        leaf = Node(name="G", leaf_index=None)
+        # Use a taxa tuple including G so validation passes.
+        six_tree.taxa = six_tree.taxa + ("G",)
+        leaf.leaf_index = 6
+        six_tree.insert_leaf_on_edge(leaf, six_tree.find_leaf("A"))
+        six_tree.validate()
+        assert six_tree.n_leaves == 7
+
+    def test_insert_on_root_rejected(self, six_tree):
+        with pytest.raises(ValueError):
+            six_tree.insert_leaf_on_edge(Node(name="X"), six_tree.root)

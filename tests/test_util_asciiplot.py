@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart renderer (repro.util.asciiplot)."""
+
+import pytest
+
+from repro.util.asciiplot import Series, line_plot
+
+
+@pytest.fixture()
+def simple():
+    return [
+        Series("up", ((1.0, 1.0), (2.0, 2.0), (4.0, 4.0))),
+        Series("flat", ((1.0, 2.0), (2.0, 2.0), (4.0, 2.0))),
+    ]
+
+
+class TestSeries:
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            Series("empty", ())
+
+    def test_requires_ascending_x(self):
+        with pytest.raises(ValueError):
+            Series("bad", ((2.0, 1.0), (1.0, 2.0)))
+
+
+class TestLinePlot:
+    def test_contains_glyphs_and_legend(self, simple):
+        out = line_plot(simple)
+        assert "o up" in out
+        assert "* flat" in out
+        assert "o" in out.splitlines()[0] or any("o" in l for l in out.splitlines())
+
+    def test_title_and_labels(self, simple):
+        out = line_plot(simple, title="T", xlabel="cores", ylabel="speedup")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("cores" in l for l in lines)
+        assert "speedup" in lines[-1]
+
+    def test_dimensions(self, simple):
+        out = line_plot(simple, width=40, height=10)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        for row in plot_rows:
+            assert len(row.split("|", 1)[1]) == 40
+
+    def test_log_x(self, simple):
+        out = line_plot(simple, logx=True)
+        assert out  # renders without error
+
+    def test_log_x_rejects_nonpositive(self):
+        s = [Series("bad", ((0.0, 1.0), (1.0, 2.0)))]
+        with pytest.raises(ValueError):
+            line_plot(s, logx=True)
+
+    def test_extreme_dimensions_rejected(self, simple):
+        with pytest.raises(ValueError):
+            line_plot(simple, width=5)
+        with pytest.raises(ValueError):
+            line_plot(simple, height=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_constant_series_renders(self):
+        out = line_plot([Series("c", ((1.0, 5.0), (2.0, 5.0)))])
+        assert "o" in out
+
+    def test_single_point_series(self):
+        out = line_plot([Series("dot", ((1.0, 1.0),))])
+        assert "o" in out
+
+    def test_axis_ticks_present(self, simple):
+        out = line_plot(simple)
+        # y ticks include min and max values.
+        assert "4" in out
+        assert "1" in out
+
+    def test_many_series_glyph_cycling(self):
+        series = [
+            Series(f"s{i}", ((1.0, float(i)), (2.0, float(i + 1)))) for i in range(10)
+        ]
+        out = line_plot(series)
+        assert "s9" in out

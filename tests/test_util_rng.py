@@ -1,0 +1,189 @@
+"""Tests for the deterministic RNG streams (repro.util.rng)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import RANK_SEED_STRIDE, RAxMLRandom, rank_seed, spawn_stream
+
+
+class TestRankSeed:
+    def test_rank_zero_is_identity(self):
+        assert rank_seed(12345, 0) == 12345
+
+    def test_stride_is_ten_thousand(self):
+        # Section 2.4: "seeds incremented by ... multiples of 10,000".
+        assert rank_seed(12345, 1) == 22345
+        assert rank_seed(12345, 3) == 42345
+        assert RANK_SEED_STRIDE == 10_000
+
+    def test_custom_stride(self):
+        assert rank_seed(7, 2, stride=100) == 207
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            rank_seed(1, -1)
+
+    @given(st.integers(1, 10**6), st.integers(0, 100))
+    def test_rank_seeds_distinct(self, seed, rank):
+        assert rank_seed(seed, rank) == seed + 10_000 * rank
+
+
+class TestRAxMLRandom:
+    def test_deterministic_sequence(self):
+        a = RAxMLRandom(42)
+        b = RAxMLRandom(42)
+        assert [a.next_double() for _ in range(10)] == [
+            b.next_double() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RAxMLRandom(42)
+        b = RAxMLRandom(43)
+        assert [a.next_double() for _ in range(5)] != [b.next_double() for _ in range(5)]
+
+    def test_doubles_in_unit_interval(self):
+        r = RAxMLRandom(7)
+        for _ in range(1000):
+            x = r.next_double()
+            assert 0.0 <= x < 1.0
+
+    def test_doubles_roughly_uniform(self):
+        r = RAxMLRandom(12345)
+        xs = [r.next_double() for _ in range(5000)]
+        assert abs(sum(xs) / len(xs) - 0.5) < 0.02
+
+    def test_rejects_non_positive_seed(self):
+        with pytest.raises(ValueError):
+            RAxMLRandom(0)
+        with pytest.raises(ValueError):
+            RAxMLRandom(-5)
+
+    def test_next_int_range(self):
+        r = RAxMLRandom(3)
+        vals = {r.next_int(7) for _ in range(500)}
+        assert vals <= set(range(7))
+        assert len(vals) == 7  # all values hit eventually
+
+    def test_next_int_rejects_bad_upper(self):
+        r = RAxMLRandom(3)
+        with pytest.raises(ValueError):
+            r.next_int(0)
+
+    def test_next_seed_positive(self):
+        r = RAxMLRandom(3)
+        for _ in range(100):
+            assert r.next_seed() > 0
+
+    def test_shuffle_is_permutation(self):
+        r = RAxMLRandom(5)
+        items = list(range(20))
+        shuffled = items.copy()
+        r.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_permutation(self):
+        r = RAxMLRandom(5)
+        p = r.permutation(10)
+        assert sorted(p) == list(range(10))
+
+    def test_choice(self):
+        r = RAxMLRandom(5)
+        items = ["a", "b", "c"]
+        assert r.choice(items) in items
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RAxMLRandom(5).choice([])
+
+    def test_multinomial_counts_sum(self):
+        r = RAxMLRandom(9)
+        counts = r.multinomial_counts(100, 10)
+        assert counts.sum() == 100
+        assert counts.shape == (10,)
+        assert np.all(counts >= 0)
+
+    def test_weighted_multinomial_counts_sum(self):
+        r = RAxMLRandom(9)
+        w = np.array([1.0, 2.0, 3.0, 0.0])
+        counts = r.weighted_multinomial_counts(60, w)
+        assert counts.sum() == 60
+        assert counts[3] == 0  # zero-weight bin never drawn
+
+    def test_weighted_multinomial_respects_weights(self):
+        r = RAxMLRandom(11)
+        w = np.array([1.0, 9.0])
+        counts = r.weighted_multinomial_counts(2000, w)
+        assert counts[1] > counts[0] * 4
+
+    def test_weighted_multinomial_validates(self):
+        r = RAxMLRandom(1)
+        with pytest.raises(ValueError):
+            r.weighted_multinomial_counts(5, np.array([]))
+        with pytest.raises(ValueError):
+            r.weighted_multinomial_counts(5, np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            r.weighted_multinomial_counts(5, np.array([0.0, 0.0]))
+
+    def test_gauss_moments(self):
+        r = RAxMLRandom(2024)
+        xs = [r.gauss() for _ in range(4000)]
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / len(xs)
+        assert abs(mean) < 0.06
+        assert abs(var - 1.0) < 0.12
+
+    def test_lognormal_mean_and_cv(self):
+        r = RAxMLRandom(31)
+        xs = [r.lognormal(mean=2.0, cv=0.3) for _ in range(5000)]
+        mean = sum(xs) / len(xs)
+        sd = math.sqrt(sum((x - mean) ** 2 for x in xs) / len(xs))
+        assert abs(mean - 2.0) < 0.1
+        assert abs(sd / mean - 0.3) < 0.05
+
+    def test_lognormal_zero_cv_is_constant(self):
+        r = RAxMLRandom(31)
+        assert r.lognormal(mean=3.0, cv=0.0) == 3.0
+
+    def test_lognormal_validates(self):
+        r = RAxMLRandom(31)
+        with pytest.raises(ValueError):
+            r.lognormal(mean=0.0)
+        with pytest.raises(ValueError):
+            r.lognormal(mean=1.0, cv=-0.1)
+
+
+class TestSpawnStream:
+    def test_deterministic(self):
+        p = RAxMLRandom(99)
+        a = spawn_stream(p, 5)
+        b = spawn_stream(p, 5)
+        assert a.next_double() == b.next_double()
+
+    def test_does_not_advance_parent(self):
+        p = RAxMLRandom(99)
+        before = RAxMLRandom(99).next_double()
+        spawn_stream(p, 3)
+        assert p.next_double() == before
+
+    def test_labels_give_distinct_streams(self):
+        p = RAxMLRandom(99)
+        streams = [spawn_stream(p, i) for i in range(50)]
+        firsts = {round(s.next_double(), 12) for s in streams}
+        assert len(firsts) == 50
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_stream(RAxMLRandom(1), -1)
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 10**9), st.integers(0, 10**5))
+    def test_spawn_order_independent(self, seed, label):
+        p1 = RAxMLRandom(seed)
+        _ = spawn_stream(p1, 0)
+        late = spawn_stream(p1, label)
+        fresh = spawn_stream(RAxMLRandom(seed), label)
+        assert late.next_double() == fresh.next_double()

@@ -1,0 +1,43 @@
+"""Tests for text-table rendering (repro.util.tables)."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].endswith("bb")
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_numeric_format(self):
+        out = format_table(["v"], [[3.14159]], formats=[".2f"])
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["v"], [[None]])
+        assert out.splitlines()[-1].strip() == "-"
+
+    def test_string_cells_ignore_format(self):
+        out = format_table(["v"], [["hello"]], formats=[".2f"])
+        assert "hello" in out
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1]], formats=[".2f", ".2f"])
+
+    def test_bool_not_formatted_as_number(self):
+        out = format_table(["v"], [[True]], formats=[".2f"])
+        assert "True" in out

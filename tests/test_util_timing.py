@@ -1,0 +1,77 @@
+"""Tests for virtual clocks and stage timers (repro.util.timing)."""
+
+import pytest
+
+from repro.util.timing import StageTimer, VirtualClock, WallTimer
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_synchronize_moves_forward_only(self):
+        c = VirtualClock(10.0)
+        c.synchronize(5.0)
+        assert c.now == 10.0  # never backwards
+        c.synchronize(12.0)
+        assert c.now == 12.0
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        t = StageTimer()
+        t.add("bootstrap", 2.0)
+        t.add("bootstrap", 1.0)
+        t.add("fast", 0.5)
+        assert t.get("bootstrap") == 3.0
+        assert t.get("fast") == 0.5
+        assert t.get("missing") == 0.0
+
+    def test_total(self):
+        t = StageTimer()
+        t.add("a", 1.0)
+        t.add("b", 2.0)
+        assert t.total == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("a", -1.0)
+
+    def test_merged_max_is_elementwise(self):
+        a = StageTimer({"x": 1.0, "y": 5.0})
+        b = StageTimer({"x": 3.0, "z": 2.0})
+        m = a.merged_max(b)
+        assert m.stages == {"x": 3.0, "y": 5.0, "z": 2.0}
+
+    def test_as_dict_copies(self):
+        t = StageTimer({"a": 1.0})
+        d = t.as_dict()
+        d["a"] = 99.0
+        assert t.get("a") == 1.0
+
+
+class TestWallTimer:
+    def test_measures_something(self):
+        with WallTimer() as w:
+            sum(range(10000))
+        assert w.elapsed >= 0.0

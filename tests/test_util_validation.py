@@ -1,0 +1,42 @@
+"""Tests for shared validation helpers (repro.util.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import check_positive, check_probability_vector
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -3)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        v = check_probability_vector("p", [0.25, 0.25, 0.5])
+        assert isinstance(v, np.ndarray)
+        assert v.dtype == np.float64
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector("p", [0.5, 0.6])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [1.5, -0.5])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_probability_vector("p", [[0.5, 0.5]])
+
+    def test_tolerance(self):
+        check_probability_vector("p", [0.5, 0.5 + 1e-10])
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [0.5, 0.51], atol=1e-8)
