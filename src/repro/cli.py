@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine timing model: abe|dash|ranger|triton")
     parser.add_argument("--bootstopping", action="store_true",
                         help="enable the WC bootstopping test (extension)")
+    parser.add_argument("--checkpoint-dir", dest="checkpoint_dir", default=None,
+                        help="write per-rank, per-stage checkpoints to this "
+                             "directory (atomic JSON; enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed run from --checkpoint-dir "
+                             "(bit-identical to an uninterrupted run)")
     parser.add_argument("--simulate", nargs=2, type=int, metavar=("TAXA", "SITES"),
                         help="simulate an alignment instead of reading one")
     parser.add_argument("--simulate-seed", type=int, default=4242,
@@ -189,12 +195,16 @@ def main(argv: list[str] | None = None) -> int:
         use_cat=(args.model == "GTRCAT"),
         stage_params=stage_params,
     )
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     config = HybridConfig(
         n_processes=args.processes,
         n_threads=args.threads,
         comprehensive=ccfg,
         machine=args.machine,
         bootstopping=args.bootstopping,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
 
     print(f"repro-raxml: {pal.n_taxa} taxa, {pal.n_sites} sites, "
@@ -242,6 +252,16 @@ def main(argv: list[str] | None = None) -> int:
           f"(winner: rank {result.winner_rank} of {args.processes})")
     print(f"Bootstraps done: {result.n_bootstraps_done} "
           f"(requested {args.bootstraps})")
+    if result.failed_ranks:
+        adopters = {
+            d: r.rank for r in result.ranks for d in r.recovered_for
+        }
+        recovered = ", ".join(
+            f"rank {d} (replayed by rank {adopters[d]})" if d in adopters
+            else f"rank {d}"
+            for d in result.failed_ranks
+        )
+        print(f"Recovered from failures: {recovered}")
     if result.wc_trace:
         last_n, last_stat = result.wc_trace[-1]
         print(f"WC bootstopping: stopped at {last_n} replicates "

@@ -14,6 +14,12 @@ four algorithmic deltas of the paper's Section 2:
 """
 
 from repro.search.schedule import WorkSchedule, make_schedule, TABLE2_CONFIGS, TABLE2_EXPECTED
+from repro.hybrid.checkpoint import (
+    STAGE_ORDER,
+    CheckpointError,
+    CheckpointStore,
+    config_fingerprint,
+)
 from repro.hybrid.results import RankReport, HybridResult
 from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
 from repro.hybrid.analyses import (
@@ -33,6 +39,10 @@ __all__ = [
     "HybridResult",
     "HybridConfig",
     "run_hybrid_analysis",
+    "CheckpointStore",
+    "CheckpointError",
+    "config_fingerprint",
+    "STAGE_ORDER",
     "MultiSearchConfig",
     "MultiSearchResult",
     "run_multiple_ml_searches",

@@ -1,0 +1,170 @@
+"""Per-rank, per-stage checkpoints of a hybrid run.
+
+The determinism discipline (explicit :class:`~repro.util.rng.RAxMLRandom`
+streams, the paper's ``seed + 10000·r`` rank seeding) makes *exact*
+checkpoint/restart possible: everything a stage produces is a pure
+function of the configuration and the rank's seed streams, so a
+checkpoint only has to record the stage *outputs* (Newick trees at full
+float precision, log-likelihoods, RNG stream state) plus the rank's
+virtual-clock time and stage accounting.  A run killed mid-pipeline and
+resumed from these files yields a bit-identical
+:class:`~repro.hybrid.results.HybridResult`.
+
+Format: one JSON document per (rank, stage), written atomically
+(temp-file + ``os.replace``) so a kill mid-write can never leave a
+half-readable checkpoint.  Each document embeds a fingerprint of the run
+configuration and alignment; loading under a different configuration
+raises :class:`CheckpointError` instead of silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.search.hillclimb import SearchResult
+from repro.tree.newick import parse_newick, write_newick
+
+#: Checkpointable stages, in pipeline order.  A rank's usable checkpoints
+#: are the contiguous prefix of this sequence present on disk.
+STAGE_ORDER = ("setup", "bootstrap", "fast", "slow", "thorough")
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is unreadable, corrupt, or from a different run."""
+
+
+def alignment_digest(pal) -> str:
+    """Content hash of a :class:`PatternAlignment` (taxa + patterns +
+    weights) — checkpoints must never be resumed against other data."""
+    h = hashlib.sha256()
+    h.update(json.dumps(list(pal.taxa)).encode("ascii"))
+    h.update(pal.patterns.tobytes())
+    h.update(pal.weights.tobytes())
+    return h.hexdigest()
+
+
+def config_fingerprint(pal, config) -> str:
+    """Hash of every input that determines a run's results and timings.
+
+    Resilience-only knobs (``fault_plan``, ``checkpoint_dir``, ``resume``)
+    are deliberately excluded: a resumed run and its killed predecessor
+    share a fingerprint by construction.
+    """
+    cfg = config.comprehensive
+    doc = {
+        "format": FORMAT_VERSION,
+        "n_processes": config.n_processes,
+        "n_threads": config.n_threads,
+        "machine": config.machine,
+        "seconds_per_pattern_unit": config.seconds_per_pattern_unit,
+        "bootstopping": config.bootstopping,
+        "bootstop_step": config.bootstop_step,
+        "bootstop_max": config.bootstop_max,
+        "comprehensive": {
+            "n_bootstraps": cfg.n_bootstraps,
+            "seed_p": cfg.seed_p,
+            "seed_x": cfg.seed_x,
+            "gamma_categories": cfg.gamma_categories,
+            "cat_categories": cfg.cat_categories,
+            "use_cat": cfg.use_cat,
+            "parsimony_refresh_every": cfg.parsimony_refresh_every,
+            "compress_bootstrap_patterns": cfg.compress_bootstrap_patterns,
+            "stage_params": asdict(cfg.stage_params),
+        },
+        "alignment": alignment_digest(pal),
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode("ascii")
+    ).hexdigest()
+
+
+def results_to_payload(results) -> list[list]:
+    """Serialise SearchResults exactly: full-precision (repr) Newick
+    branch lengths round-trip floats bit-for-bit."""
+    return [
+        [write_newick(r.tree, digits=None), float(r.lnl), int(r.rounds)]
+        for r in results
+    ]
+
+
+def payload_to_results(payload, taxa) -> list[SearchResult]:
+    return [
+        SearchResult(parse_newick(newick, taxa=taxa), lnl, rounds)
+        for newick, lnl, rounds in payload
+    ]
+
+
+class CheckpointStore:
+    """Atomic JSON checkpoints for one logical rank in one directory.
+
+    A survivor adopting a dead rank's work opens a second store for the
+    dead rank's files — the per-rank naming keeps them disjoint.
+    """
+
+    def __init__(self, directory: str | Path, rank: int, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.rank = rank
+        self.fingerprint = fingerprint
+
+    def path(self, stage: str) -> Path:
+        return self.directory / f"ckpt-rank{self.rank:04d}-{stage}.json"
+
+    def save(self, stage: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": FORMAT_VERSION,
+            "rank": self.rank,
+            "stage": stage,
+            "fingerprint": self.fingerprint,
+            "payload": payload,
+        }
+        final = self.path(stage)
+        tmp = final.with_name(final.name + ".tmp")
+        tmp.write_text(json.dumps(doc), encoding="ascii")
+        os.replace(tmp, final)  # atomic: readers see old or new, never half
+
+    def load(self, stage: str) -> dict | None:
+        """The payload checkpointed for ``stage``, or None if absent."""
+        final = self.path(stage)
+        try:
+            text = final.read_text(encoding="ascii")
+        except FileNotFoundError:
+            return None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint {final}: {exc}") from exc
+        if doc.get("format") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"{final}: unsupported checkpoint format {doc.get('format')!r}"
+            )
+        if doc.get("rank") != self.rank or doc.get("stage") != stage:
+            raise CheckpointError(
+                f"{final}: names rank {doc.get('rank')}/stage "
+                f"{doc.get('stage')!r}, expected rank {self.rank}/{stage!r}"
+            )
+        if doc.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"{final} was written by a different run configuration or "
+                "alignment; refusing to resume from it"
+            )
+        return doc["payload"]
+
+    def available_stages(self) -> tuple[str, ...]:
+        """The contiguous prefix of :data:`STAGE_ORDER` present on disk.
+
+        A gap truncates the prefix: later checkpoints depend on earlier
+        stages, so a missing middle file invalidates what follows.
+        """
+        stages: list[str] = []
+        for stage in STAGE_ORDER:
+            if not self.path(stage).exists():
+                break
+            stages.append(stage)
+        return tuple(stages)

@@ -11,17 +11,27 @@ after the bootstrap stage are the only noteworthy MPI communications").
 Optionally the driver runs the WC bootstopping test across ranks — the
 paper's stated future-work item — using shard-partitioned bipartition
 tables (:mod:`repro.bootstop.table`).
+
+Resilience (see ``docs/ARCHITECTURE.md`` §6): with ``checkpoint_dir``
+set, every rank checkpoints each completed stage atomically and a run can
+``resume`` bit-identically; with a :class:`~repro.mpi.faults.FaultPlan`
+attached, rank deaths are survived — the survivors re-derive the dead
+rank's seed streams (§2.4 makes them exact), replay its replicates so the
+global bootstrap set is unchanged, recompute the Table 2 shares over the
+smaller world, and charge the whole recovery to their virtual clocks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.bootstop.support import map_support
 from repro.bootstop.table import BipartitionTable, merge_tables
 from repro.bootstop.wc_test import wc_converged
 from repro.likelihood.engine import OpCounter
-from repro.mpi.comm import SimComm
+from repro.mpi.comm import DistributedStateError, RankFailure, SimComm
+from repro.mpi.faults import FaultPlan
 from repro.mpi.launcher import run_spmd
 from repro.perfmodel.finegrain import MachineRegionTiming
 from repro.perfmodel.machines import machine_by_name
@@ -35,12 +45,22 @@ from repro.search.comprehensive import (
     slow_stage,
     thorough_stage,
 )
+from repro.search.hillclimb import SearchResult
 from repro.search.schedule import make_schedule
 from repro.seq.patterns import PatternAlignment
 from repro.threads.pool import VirtualThreadPool
 from repro.threads.threaded_engine import ThreadedLikelihoodEngine
 from repro.tree.newick import parse_newick, write_newick
 from repro.util.rng import RAxMLRandom, rank_seed
+from repro.util.timing import VirtualClock
+from repro.hybrid.checkpoint import (
+    STAGE_ORDER,
+    CheckpointError,
+    CheckpointStore,
+    config_fingerprint,
+    payload_to_results,
+    results_to_payload,
+)
 from repro.hybrid.results import HybridResult, RankReport
 
 
@@ -62,6 +82,13 @@ class HybridConfig:
     bootstopping: bool = False
     bootstop_step: int = 4  # check WC every this-many *global* replicates
     bootstop_max: int | None = None  # cap when bootstopping (default: 4x requested)
+    #: Directory for per-rank, per-stage checkpoints (None: no checkpoints).
+    checkpoint_dir: str | None = None
+    #: Resume from ``checkpoint_dir`` (bit-identical continuation).
+    resume: bool = False
+    #: Deterministic fault schedule; also switches the simulated world
+    #: into resilient mode (rank deaths are survived, not fatal).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -77,133 +104,434 @@ class HybridConfig:
             )
         if self.bootstop_step < 2 or self.bootstop_step % 2:
             raise ValueError("bootstop_step must be an even number >= 2")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+
+
+class _RankPipeline:
+    """One *logical* rank's collective-free compute pipeline.
+
+    Owns the rank's seed streams (``seed + 10000·r``), virtual thread
+    pool, per-stage accounting, checkpoint store, and fault hooks.  The
+    pipeline never communicates, which is what makes it reusable: a
+    surviving rank replays a dead peer's share by running a second
+    pipeline for the dead *logical* rank on its own clock — the seed
+    discipline guarantees bit-identical replicates.
+    """
+
+    def __init__(
+        self,
+        pal: PatternAlignment,
+        config: HybridConfig,
+        logical_rank: int,
+        clock: VirtualClock,
+        ckpt: CheckpointStore | None = None,
+        resume_through: int = -1,
+        plan: FaultPlan | None = None,
+        save_checkpoints: bool = True,
+    ) -> None:
+        self.pal = pal
+        self.config = config
+        self.cfg = config.comprehensive
+        self.rank = logical_rank
+        self.clock = clock
+        self.p_rng = RAxMLRandom(rank_seed(self.cfg.seed_p, logical_rank))
+        self.x_rng = RAxMLRandom(rank_seed(self.cfg.seed_x, logical_rank))
+        machine = machine_by_name(config.machine)
+        self.pool = VirtualThreadPool(
+            config.n_threads,
+            MachineRegionTiming(machine, config.seconds_per_pattern_unit),
+            clock=clock,
+        )
+        self.ops = OpCounter()
+        self.stage_seconds: dict[str, float] = {}
+        self.stage_ops: dict[str, int] = {}
+        self.ckpt = ckpt
+        self.resume_through = resume_through
+        self.plan = plan
+        self.save_checkpoints = save_checkpoints
+        #: Virtual time spent replaying dead peers' work (charged to a
+        #: dedicated "recovery" bucket, not to the stage it interrupted).
+        self.recovery_seconds = 0.0
+        self._t0 = 0.0
+        self._o0 = 0
+        self._r0 = 0.0
+
+    def engine_factory(self, pal_, model_, rate_model_, weights_, ops_):
+        return ThreadedLikelihoodEngine(
+            pal_, model_, self.pool, rate_model_, weights=weights_, ops=ops_
+        )
+
+    # -- fault hooks --------------------------------------------------------
+
+    def kill_hook(self, stage: str) -> None:
+        if self.plan is not None:
+            self.plan.kill_at_stage(self.rank, stage)
+
+    def replicate_hook(self, b: int) -> None:
+        if self.plan is not None:
+            self.plan.kill_at_replicate(self.rank, b)
+
+    # -- stage accounting and checkpoints ------------------------------------
+
+    def begin_stage(self) -> None:
+        self._t0 = self.clock.now
+        self._o0 = self.ops.pattern_ops
+        self._r0 = self.recovery_seconds
+
+    def end_stage(self, stage: str, payload: dict | None = None,
+                  save: bool = True) -> None:
+        recovered = self.recovery_seconds - self._r0
+        self.stage_seconds[stage] = (self.clock.now - self._t0) - recovered
+        self.stage_ops[stage] = self.ops.pattern_ops - self._o0
+        if save and self.ckpt is not None and self.save_checkpoints:
+            doc = dict(payload or {})
+            doc["stage_seconds"] = self.stage_seconds[stage]
+            doc["stage_ops"] = self.stage_ops[stage]
+            doc["clock"] = self.clock.now
+            self.ckpt.save(stage, doc)
+
+    def add_recovery(self, dt: float) -> None:
+        self.recovery_seconds += dt
+
+    def will_load(self, stage: str) -> bool:
+        return self.ckpt is not None and STAGE_ORDER.index(stage) <= self.resume_through
+
+    def _load(self, stage: str) -> dict:
+        data = self.ckpt.load(stage)
+        if data is None:
+            raise CheckpointError(
+                f"rank {self.rank}: negotiated checkpoint for stage "
+                f"{stage!r} disappeared from {self.ckpt.directory}"
+            )
+        self.stage_seconds[stage] = data["stage_seconds"]
+        self.stage_ops[stage] = data["stage_ops"]
+        # Restore the rank's timeline (synchronize only moves forward, and
+        # a fresh run starts at 0, so this is an exact restore).
+        self.clock.synchronize(data["clock"])
+        return data
+
+    # -- the four compute stages ---------------------------------------------
+
+    def run_setup(self):
+        self.kill_hook("setup")
+        if self.will_load("setup"):
+            self._load("setup")
+            # Setup artefacts (frequencies, CAT rates, parsimony tree) are
+            # cheap deterministic preparation; recomputing them on a
+            # throwaway clock avoids serialising models entirely.  p_rng is
+            # only forked (never advanced) by setup, so reusing it keeps
+            # the live and resumed streams identical.
+            shadow = _RankPipeline(self.pal, self.config, self.rank, VirtualClock())
+            return prepare_model_and_rates(
+                self.pal, self.cfg, self.p_rng, shadow.engine_factory, shadow.ops
+            )
+        self.begin_stage()
+        out = prepare_model_and_rates(
+            self.pal, self.cfg, self.p_rng, self.engine_factory, self.ops
+        )
+        self.end_stage("setup")
+        return out
+
+    def load_bootstrap(self):
+        data = self._load("bootstrap")
+        results = payload_to_results(data["results"], self.pal.taxa)
+        # x_rng advanced during the bootstrap stage; restore its stream so
+        # the resumed rank is in exactly the checkpointed state.
+        self.x_rng._state = int(data["x_state"])
+        wc_trace = [tuple(t) for t in data["wc_trace"]]
+        shard = None
+        if data["all_newicks"] is not None:
+            shard = BipartitionTable(
+                self.pal.n_taxa, shard=self.rank, n_shards=data["n_shards"]
+            )
+            shard.add_trees(
+                [parse_newick(n, taxa=self.pal.taxa) for n in data["all_newicks"]]
+            )
+        return results, wc_trace, shard
+
+    def bootstrap_payload(self, results, wc_trace, all_newicks, n_shards) -> dict:
+        return {
+            "results": results_to_payload(results),
+            "wc_trace": [list(t) for t in wc_trace],
+            "all_newicks": all_newicks,
+            "n_shards": n_shards,
+            "x_state": self.x_rng._state,
+        }
+
+    def compute_bootstrap(self, model, search_rm, init_tree):
+        """The standard (non-bootstopping) bootstrap share: ceil(N/p)
+        replicates from this logical rank's streams."""
+        sched = make_schedule(self.cfg.n_bootstraps, self.config.n_processes)
+        return bootstrap_stage(
+            self.pal, model, search_rm, sched.bootstraps_per_process,
+            self.x_rng, self.p_rng, self.engine_factory, self.ops, self.cfg,
+            init_tree, on_replicate=self.replicate_hook,
+        )
+
+    def run_fast(self, model, search_rm, start_trees, n_fast):
+        self.kill_hook("fast")
+        if self.will_load("fast"):
+            return payload_to_results(self._load("fast")["results"], self.pal.taxa)
+        self.begin_stage()
+        starts = select_fast_starts(start_trees, min(n_fast, len(start_trees)))
+        results = fast_stage(
+            self.pal, model, search_rm, starts, self.p_rng,
+            self.engine_factory, self.ops, self.cfg,
+        )
+        self.end_stage("fast", {"results": results_to_payload(results)})
+        return results
+
+    def run_slow(self, model, search_rm, fast_results, n_slow):
+        self.kill_hook("slow")
+        if self.will_load("slow"):
+            return payload_to_results(self._load("slow")["results"], self.pal.taxa)
+        self.begin_stage()
+        starts = [
+            r.tree for r in select_best(fast_results, min(n_slow, len(fast_results)))
+        ]
+        results = slow_stage(
+            self.pal, model, search_rm, starts, self.p_rng,
+            self.engine_factory, self.ops, self.cfg,
+        )
+        self.end_stage("slow", {"results": results_to_payload(results)})
+        return results
+
+    def run_thorough(self, model, gamma_rm, slow_results) -> SearchResult:
+        self.kill_hook("thorough")
+        if self.will_load("thorough"):
+            data = self._load("thorough")
+            return SearchResult(
+                parse_newick(data["newick"], taxa=self.pal.taxa),
+                data["lnl"], data["rounds"],
+            )
+        self.begin_stage()
+        best_slow = select_best(slow_results, 1)[0]
+        thorough, _final_model = thorough_stage(
+            self.pal, model, gamma_rm, best_slow.tree, self.p_rng,
+            self.engine_factory, self.ops, self.cfg,
+        )
+        self.end_stage("thorough", {
+            "newick": write_newick(thorough.tree, digits=None),
+            "lnl": float(thorough.lnl),
+            "rounds": int(thorough.rounds),
+        })
+        return thorough
+
+
+def _open_store(pal, config: HybridConfig, logical_rank: int) -> CheckpointStore | None:
+    if config.checkpoint_dir is None:
+        return None
+    return CheckpointStore(
+        Path(config.checkpoint_dir), logical_rank, config_fingerprint(pal, config)
+    )
+
+
+def _replay_rank(dead_rank: int, comm: SimComm, pal, config: HybridConfig,
+                 upto: str) -> dict:
+    """Re-derive a dead rank's work share on this rank's virtual clock.
+
+    The §2.4 seed discipline (``seed + 10000·r``) makes the dead rank's
+    replicate streams exactly re-derivable, so the global replicate set is
+    unchanged by recovery.  Checkpoints the dead rank managed to write are
+    used instead of recomputation; kill specs are *not* re-armed (the
+    fault already happened — the adopter is a different node).
+
+    ``upto="bootstrap"`` replays only the replicates (the adopter folds
+    the trees into its own fast starts); ``upto="thorough"`` replays the
+    dead rank's whole pipeline with its original Table 2 shares, so the
+    final selection sees the same candidate set as a failure-free run.
+    """
+    ckpt = _open_store(pal, config, dead_rank)
+    resume_through = len(ckpt.available_stages()) - 1 if ckpt is not None else -1
+    pipe = _RankPipeline(
+        pal, config, dead_rank, comm.clock,
+        ckpt=ckpt, resume_through=resume_through, plan=None,
+        save_checkpoints=False,
+    )
+    model, search_rm, gamma_rm, init_tree = pipe.run_setup()
+    if pipe.will_load("bootstrap"):
+        bs_results, _, _ = pipe.load_bootstrap()
+    else:
+        pipe.begin_stage()
+        bs_results = pipe.compute_bootstrap(model, search_rm, init_tree)
+        pipe.end_stage("bootstrap", save=False)
+    trees = [r.tree for r in bs_results]
+    out = {
+        "bootstrap_trees": trees,
+        "bootstrap_newicks": [write_newick(t) for t in trees],
+        "thorough": None,
+    }
+    if upto == "bootstrap":
+        return out
+    sched = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
+    fast = pipe.run_fast(model, search_rm, trees, sched.fast_per_process)
+    slow = pipe.run_slow(model, search_rm, fast, sched.slow_per_process)
+    out["thorough"] = pipe.run_thorough(model, gamma_rm, slow)
+    return out
 
 
 def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
     """The SPMD body: one rank's share of the comprehensive analysis."""
     cfg = config.comprehensive
-    machine = machine_by_name(config.machine)
     rank = comm.rank
     sched = make_schedule(cfg.n_bootstraps, comm.size)
 
-    # Section 2.4: rank r derives its streams from seed + 10000*r.
-    p_rng = RAxMLRandom(rank_seed(cfg.seed_p, rank))
-    x_rng = RAxMLRandom(rank_seed(cfg.seed_x, rank))
-
-    pool = VirtualThreadPool(
-        config.n_threads,
-        MachineRegionTiming(machine, config.seconds_per_pattern_unit),
-        clock=comm.clock,
-    )
-    ops = OpCounter()
-
-    def engine_factory(pal_, model_, rate_model_, weights_, ops_):
-        return ThreadedLikelihoodEngine(
-            pal_, model_, pool, rate_model_, weights=weights_, ops=ops_
+    ckpt = _open_store(pal, config, rank)
+    resume_through = -1
+    if ckpt is not None and config.resume:
+        # Negotiate a common resume point: every rank must skip the same
+        # collectives, so resume through the *minimum* contiguous stage
+        # prefix available across ranks.  Cost-free exchange: a resumed
+        # run must stay bit-identical to an uninterrupted one.
+        counts = comm._plain_allgather(
+            len(ckpt.available_stages()), op="resume-negotiation"
         )
+        resume_through = min(c for c in counts if c is not None) - 1
 
-    stage_seconds: dict[str, float] = {}
-    stage_ops: dict[str, int] = {}
-
-    def mark(stage: str, t0: float, ops0: int) -> tuple[float, int]:
-        stage_seconds[stage] = comm.clock.now - t0
-        stage_ops[stage] = ops.pattern_ops - ops0
-        return comm.clock.now, ops.pattern_ops
-
-    t0, o0 = comm.clock.now, ops.pattern_ops
-    model, search_rm, gamma_rm, init_tree = prepare_model_and_rates(
-        pal, cfg, p_rng, engine_factory, ops
+    pipe = _RankPipeline(
+        pal, config, rank, comm.clock,
+        ckpt=ckpt, resume_through=resume_through, plan=config.fault_plan,
     )
-    t0, o0 = mark("setup", t0, o0)
+    #: Dead logical ranks this physical rank replayed: rank -> replay dict.
+    adopted: dict[int, dict] = {}
+
+    def recover(upto: str) -> None:
+        """Adopt (replay) dead ranks assigned to this survivor.
+
+        Assignment is a pure function of the consistent death/survivor
+        sets (``dead % n_survivors``), so every survivor computes the
+        same adoption map without communicating — including takeovers of
+        work a now-dead adopter had previously replayed.
+        """
+        survivors = comm.alive_ranks()
+        t_r = comm.clock.now
+        for d in comm.known_dead:
+            if config.bootstopping:
+                # Bootstopping gathers replicates every round, so the dead
+                # rank's completed trees are already replicated on every
+                # survivor; the round loop just continues with a smaller
+                # world (degraded, but convergence-driven).
+                continue
+            if survivors[d % len(survivors)] != rank:
+                continue
+            if d not in adopted:
+                adopted[d] = _replay_rank(d, comm, pal, config, upto)
+        pipe.add_recovery(comm.clock.now - t_r)
+
+    model, search_rm, gamma_rm, init_tree = pipe.run_setup()
 
     # ---- Stage 1: bootstraps (each rank: ceil(N/p) replicates) ----------
-    if config.bootstopping:
-        bs_results, wc_trace, shard = _bootstrap_with_bootstopping(
-            comm, pal, config, model, search_rm, x_rng, p_rng, engine_factory,
-            ops, init_tree,
-        )
+    pipe.kill_hook("bootstrap")
+    if pipe.will_load("bootstrap"):
+        # The post-bootstrap barrier already happened in the checkpointed
+        # timeline (its cost is inside the restored clock); every rank
+        # resumes past it symmetrically, so it is skipped, not replayed.
+        bs_results, wc_trace, shard = pipe.load_bootstrap()
     else:
-        bs_results = bootstrap_stage(
-            pal, model, search_rm, sched.bootstraps_per_process, x_rng, p_rng,
-            engine_factory, ops, cfg, init_tree,
+        pipe.begin_stage()
+        if config.bootstopping:
+            bs_results, wc_trace, shard, all_newicks = _bootstrap_with_bootstopping(
+                comm, pipe, model, search_rm, init_tree
+            )
+        else:
+            bs_results = pipe.compute_bootstrap(model, search_rm, init_tree)
+            wc_trace, shard, all_newicks = [], None, None
+        # The one noteworthy barrier of the MPI code (paper Section 2.1) —
+        # retried after recovery so survivors leave it in lockstep.
+        while True:
+            try:
+                comm.barrier()
+                break
+            except RankFailure:
+                recover(upto="bootstrap")
+        pipe.end_stage(
+            "bootstrap",
+            pipe.bootstrap_payload(bs_results, wc_trace, all_newicks, comm.size),
         )
-        wc_trace = []
-        shard = None
-    # The one noteworthy barrier of the MPI code (paper Section 2.1).
-    comm.barrier()
-    t0, o0 = mark("bootstrap", t0, o0)
 
-    # ---- Stage 2: fast searches from local bootstrap trees --------------
+    # ---- Stage 2+3: fast and slow searches (Section 2.2: local sort) ----
+    survivors = comm.alive_ranks()
+    if len(survivors) < comm.size:
+        # Degraded mode: Table 2 shares recomputed over the survivors.
+        dsched = sched.shrink(len(survivors))
+        n_fast_share, n_slow_share = dsched.fast_per_process, dsched.slow_per_process
+    else:
+        n_fast_share, n_slow_share = sched.fast_per_process, sched.slow_per_process
     local_bs_trees = [r.tree for r in bs_results]
-    n_fast_local = (
-        sched.fast_per_process
-        if not config.bootstopping
-        else max(1, -(-len(local_bs_trees) // 5))
-    )
-    fast_starts = select_fast_starts(local_bs_trees, n_fast_local)
-    fast_results = fast_stage(
-        pal, model, search_rm, fast_starts, p_rng, engine_factory, ops, cfg
-    )
-    t0, o0 = mark("fast", t0, o0)
-
-    # ---- Stage 3: slow searches — LOCAL sort only (Section 2.2) ---------
-    n_slow_local = min(sched.slow_per_process, len(fast_results))
-    slow_starts = [r.tree for r in select_best(fast_results, n_slow_local)]
-    slow_results = slow_stage(
-        pal, model, search_rm, slow_starts, p_rng, engine_factory, ops, cfg
-    )
-    t0, o0 = mark("slow", t0, o0)
+    pool_trees = local_bs_trees + [
+        t for d in sorted(adopted) for t in adopted[d]["bootstrap_trees"]
+    ]
+    if config.bootstopping:
+        n_fast_share = max(1, -(-len(pool_trees) // 5))
+    fast_results = pipe.run_fast(model, search_rm, pool_trees, n_fast_share)
+    slow_results = pipe.run_slow(model, search_rm, fast_results, n_slow_share)
 
     # ---- Stage 4: every rank runs its own thorough search (Section 2.1) --
-    best_slow = select_best(slow_results, 1)[0]
-    thorough, final_model = thorough_stage(
-        pal, model, gamma_rm, best_slow.tree, p_rng, engine_factory, ops, cfg
-    )
-    t0, o0 = mark("thorough", t0, o0)
+    thorough = pipe.run_thorough(model, gamma_rm, slow_results)
 
     # ---- Final selection: gather scores, broadcast the winner ------------
     # Scores are rounded to 1e-6 for the argmax (ties break to the lowest
-    # rank) so the winner is independent of thread-count float noise.
+    # logical rank) so the winner is independent of thread-count float
+    # noise.  Each physical rank also submits entries for fully-replayed
+    # adoptees; a death here triggers a full replay and a retry.
+    pipe.begin_stage()
+    pipe.kill_hook("finalize")
     local_newick = write_newick(thorough.tree)
-    scores = comm.allgather((round(thorough.lnl, 6), -rank, thorough.lnl))
-    _, neg_rank, winner_lnl = max(scores)
-    winner_rank = -neg_rank
-    best_newick = comm.bcast(
-        local_newick if rank == winner_rank else None, root=winner_rank
-    )
-    mark("finalize", t0, o0)
+    while True:
+        entries = [(round(thorough.lnl, 6), -rank, thorough.lnl)]
+        for d in sorted(adopted):
+            replayed = adopted[d]["thorough"]
+            if replayed is not None:
+                entries.append((round(replayed.lnl, 6), -d, replayed.lnl))
+        try:
+            boards = comm.allgather(entries)
+            flat = [
+                (tuple(entry), carrier)
+                for carrier, lst in enumerate(boards)
+                if lst is not None
+                for entry in lst
+            ]
+            (_, neg_rank, winner_lnl), carrier = max(flat)
+            winner_rank = -neg_rank
+            if comm.rank == carrier:
+                win_newick = (
+                    local_newick if winner_rank == rank
+                    else write_newick(adopted[winner_rank]["thorough"].tree)
+                )
+            else:
+                win_newick = None
+            best_newick = comm.bcast(win_newick, root=carrier)
+            break
+        except RankFailure:
+            recover(upto="thorough")
+    pipe.end_stage("finalize", save=False)
 
     return {
         "rank": rank,
-        "stage_seconds": stage_seconds,
-        "stage_ops": stage_ops,
+        "stage_seconds": {**pipe.stage_seconds, "recovery": pipe.recovery_seconds},
+        "stage_ops": pipe.stage_ops,
         "local_lnl": thorough.lnl,
         "local_newick": local_newick,
         "winner_rank": winner_rank,
         "winner_lnl": winner_lnl,
         "best_newick": best_newick,
-        "bootstrap_newicks": [write_newick(t) for t in local_bs_trees],
+        "bootstrap_newicks": [write_newick(t) for t in local_bs_trees]
+        + [n for d in sorted(adopted) for n in adopted[d]["bootstrap_newicks"]],
         "wc_trace": wc_trace,
         "shard": shard,
         "n_fast": len(fast_results),
         "n_slow": len(slow_results),
         "finish_time": comm.clock.now,
         "comm_seconds": comm.comm_seconds(),
+        "n_retries": comm.n_retries,
+        "recovered_for": sorted(adopted),
+        "failed_ranks": comm.known_dead,
     }
 
 
-def _bootstrap_with_bootstopping(
-    comm: SimComm,
-    pal: PatternAlignment,
-    config: HybridConfig,
-    model,
-    search_rm,
-    x_rng: RAxMLRandom,
-    p_rng: RAxMLRandom,
-    engine_factory,
-    ops: OpCounter,
-    init_tree,
-):
+def _bootstrap_with_bootstopping(comm: SimComm, pipe: _RankPipeline,
+                                 model, search_rm, init_tree):
     """Bootstraps in rounds with a cross-rank WC convergence test.
 
     Every round each rank runs ``bootstop_step / p`` (at least 1)
@@ -212,13 +540,15 @@ def _bootstrap_with_bootstopping(
     for parallel operations on hash tables") and every rank runs the WC
     test on the identical global set (identical seeds → identical
     decision, no extra broadcast needed).  The loop stops on convergence
-    or at the cap.
+    or at the cap.  A rank death mid-loop shrinks the per-round share;
+    replicates the dead rank already shared stay in the global set.
     """
-    cfg = config.comprehensive
+    config, cfg, pal = pipe.config, pipe.cfg, pipe.pal
     cap = config.bootstop_max or cfg.n_bootstraps * 4
-    per_round = max(1, config.bootstop_step // comm.size)
+    per_round = max(1, config.bootstop_step // len(comm.alive_ranks()))
     results = []
     all_trees: list = []
+    all_newicks: list[str] = []
     trace: list[tuple[int, float]] = []
     # This rank's shard of the distributed bipartition table: it owns the
     # splits whose hash maps to its rank, over *all* replicates seen.
@@ -228,19 +558,29 @@ def _bootstrap_with_bootstopping(
     round_no = 0
     while True:
         chunk = bootstrap_stage(
-            pal, model, search_rm, per_round, x_rng, p_rng, engine_factory,
-            ops, cfg, current_init,
+            pal, model, search_rm, per_round, pipe.x_rng, pipe.p_rng,
+            pipe.engine_factory, pipe.ops, cfg, current_init,
+            on_replicate=pipe.replicate_hook,
         )
         round_no += 1
         results.extend(chunk)
         current_init = chunk[-1].tree
         local_newicks = [write_newick(r.tree) for r in chunk]
-        gathered = comm.allgather(local_newicks)
+        while True:
+            try:
+                gathered = comm.allgather(local_newicks)
+                break
+            except RankFailure:
+                per_round = max(1, config.bootstop_step // len(comm.alive_ranks()))
         round_trees = [
             parse_newick(n, taxa=pal.taxa)
             for rank_list in gathered
+            if rank_list is not None
             for n in rank_list
         ]
+        all_newicks.extend(
+            n for rank_list in gathered if rank_list is not None for n in rank_list
+        )
         all_trees.extend(round_trees)
         shard.add_trees(round_trees)
         total = len(all_trees)
@@ -251,9 +591,15 @@ def _bootstrap_with_bootstopping(
                 break
         elif total >= cap:
             break
-    # Sanity of the distributed table: each shard saw every tree.
-    assert shard.n_trees == len(all_trees)
-    return results, trace, shard
+    # Sanity of the distributed table: each shard saw every tree.  A real
+    # exception, not an assert — this invariant must hold under python -O.
+    if shard.n_trees != len(all_trees):
+        raise DistributedStateError(
+            f"rank {comm.rank}: bipartition-table shard counted "
+            f"{shard.n_trees} trees but {len(all_trees)} were gathered — "
+            "replicated state diverged across ranks"
+        )
+    return results, trace, shard, all_newicks
 
 
 def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridResult:
@@ -261,13 +607,17 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
 
     Executes the *real* search pipeline on every rank (results are genuine
     phylogenetic inferences; virtual clocks give machine-model times) and
-    assembles the global result the way the MPI code does.
+    assembles the global result the way the MPI code does.  Ranks killed
+    by an attached fault plan contribute nothing here — their work was
+    adopted by the survivors.
     """
-    results = run_spmd(
+    raw = run_spmd(
         lambda comm: _rank_main(comm, pal, config),
         config.n_processes,
         timeout=config.spmd_timeout,
+        fault_plan=config.fault_plan,
     )
+    results = [r for r in raw if r is not None]
     results.sort(key=lambda r: r["rank"])
 
     ranks = [
@@ -282,10 +632,13 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
             n_slow=r["n_slow"],
             finish_time=r["finish_time"],
             comm_seconds=r["comm_seconds"],
+            n_retries=r["n_retries"],
+            recovered_for=tuple(r["recovered_for"]),
         )
         for r in results
     ]
-    stages = ("setup", "bootstrap", "fast", "slow", "thorough", "finalize")
+    stages = ("setup", "bootstrap", "fast", "slow", "thorough", "finalize",
+              "recovery")
     stage_seconds = {
         s: max(r.stage_seconds.get(s, 0.0) for r in ranks) for s in stages
     }
@@ -300,7 +653,7 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
     support_tree = None
     if config.map_bootstrap_support and len(pal.taxa) >= 4:
         shards = [r["shard"] for r in results]
-        if all(s is not None for s in shards):
+        if len(results) == config.n_processes and all(s is not None for s in shards):
             # Bootstopping runs kept a rank-sharded distributed table;
             # merging the shards reproduces the global table exactly.
             table = merge_tables(shards)
@@ -320,4 +673,5 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
         support_tree=support_tree,
         bootstrap_trees=bootstrap_trees,
         wc_trace=results[0]["wc_trace"],
+        failed_ranks=results[0]["failed_ranks"],
     )

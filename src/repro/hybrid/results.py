@@ -22,6 +22,8 @@ class RankReport:
     n_slow: int
     finish_time: float  # rank virtual clock at completion
     comm_seconds: float = 0.0  # virtual time spent communicating/waiting
+    n_retries: int = 0  # transiently-failed collectives retried (with backoff)
+    recovered_for: tuple[int, ...] = ()  # dead ranks whose work this rank replayed
 
     @property
     def total_seconds(self) -> float:
@@ -42,6 +44,7 @@ class HybridResult:
     support_tree: Tree | None = None
     bootstrap_trees: list[Tree] = field(default_factory=list)
     wc_trace: list[tuple[int, float]] = field(default_factory=list)
+    failed_ranks: list[int] = field(default_factory=list)  # ranks that died mid-run
 
     @property
     def n_bootstraps_done(self) -> int:
@@ -72,6 +75,7 @@ class HybridResult:
                 "total_bootstraps": self.schedule.total_bootstraps,
             },
             "n_bootstraps_done": self.n_bootstraps_done,
+            "failed_ranks": list(self.failed_ranks),
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,
             "wc_trace": [list(t) for t in self.wc_trace],
@@ -85,6 +89,8 @@ class HybridResult:
                     "n_fast": r.n_fast,
                     "n_slow": r.n_slow,
                     "finish_time": r.finish_time,
+                    "n_retries": r.n_retries,
+                    "recovered_for": list(r.recovered_for),
                 }
                 for r in self.ranks
             ],

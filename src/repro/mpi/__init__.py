@@ -15,7 +15,17 @@ the final best solution (Section 2.1).  This package provides:
   virtual-clock runtime is what the benchmarks time).
 """
 
-from repro.mpi.comm import SimComm, CommTiming, CommEvent, SPMDError
+from repro.mpi.comm import (
+    AllRanksDeadError,
+    CommEvent,
+    CommTiming,
+    DistributedStateError,
+    RankFailure,
+    RetryExhaustedError,
+    SimComm,
+    SPMDError,
+)
+from repro.mpi.faults import CollectiveGlitch, FaultPlan, KillSpec, RankKilledError
 from repro.mpi.launcher import run_spmd
 from repro.mpi.mp_backend import run_coarse_multiprocessing
 from repro.util.rng import rank_seed
@@ -25,6 +35,14 @@ __all__ = [
     "CommTiming",
     "CommEvent",
     "SPMDError",
+    "RankFailure",
+    "DistributedStateError",
+    "RetryExhaustedError",
+    "AllRanksDeadError",
+    "FaultPlan",
+    "KillSpec",
+    "CollectiveGlitch",
+    "RankKilledError",
     "run_spmd",
     "run_coarse_multiprocessing",
     "rank_seed",

@@ -2,15 +2,25 @@
 
 Ranks execute as cooperating Python threads; messages travel through
 in-memory mailboxes; collectives are built from a shared generation-tagged
-scratch board plus a thread barrier.  All ranks must call collectives in
-the same order (the standard SPMD contract — violations raise
-:class:`SPMDError` via generation mismatches or barrier timeouts).
+scratch board guarded by a condition variable.  All ranks must call
+collectives in the same order (the standard SPMD contract — violations
+raise :class:`SPMDError` via generation mismatches or broken exchanges).
 
 Virtual time: each rank owns a clock; a collective advances every
 participant to ``max(entry clocks) + cost(p, payload)``.  The cost model
 (:class:`CommTiming`) defaults to realistic-but-small cluster constants —
 the paper stresses that "a fast and expensive interconnect is not
 required" because communication is negligible.
+
+Fault tolerance: when a :class:`~repro.mpi.faults.FaultPlan` is attached
+the world runs in *resilient* mode.  Every collective carries a per-call
+deadline; a peer that dies (fail-stop) or misses the deadline is declared
+dead, the exchange completes over the survivors, and each survivor
+receives a :class:`RankFailure` carrying a *consistent* death set (the
+first rank to complete an exchange freezes the participant view for that
+generation, so every survivor observes the same deaths at the same
+collective).  Transiently failing collectives are retried with
+exponential backoff charged to the virtual clock.
 """
 
 from __future__ import annotations
@@ -18,14 +28,58 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from math import ceil, log2
 
+from repro.mpi.faults import FaultPlan, RankKilledError
 from repro.util.timing import VirtualClock
 
 
 class SPMDError(RuntimeError):
     """Raised when ranks violate the SPMD collective-ordering contract."""
+
+
+class RankFailure(SPMDError):
+    """One or more peers died (fail-stop) during a communication call.
+
+    Raised only in resilient mode, on every survivor, at the same
+    collective generation, with the same ``dead`` tuple — so survivors
+    can run recovery in lockstep.
+    """
+
+    def __init__(self, dead, op: str = "collective") -> None:
+        self.dead = tuple(dead)
+        self.op = op
+        super().__init__(
+            f"rank(s) {list(self.dead)} died during {op!r}; "
+            "surviving ranks must recover their work"
+        )
+
+
+class DistributedStateError(SPMDError):
+    """Replicated or sharded state diverged across ranks (a bug, not a
+    recoverable failure) — e.g. a bipartition-table shard that missed
+    trees its peers saw."""
+
+
+class RetryExhaustedError(SPMDError):
+    """A transiently-failing collective exceeded the retry budget."""
+
+
+class AllRanksDeadError(SPMDError):
+    """Every rank of a resilient world died; there is nobody to recover."""
+
+
+#: Rank lifecycle states tracked by :class:`_World`.
+RUNNING, EXITED, FAILED, DEAD = "running", "exited", "failed", "dead"
+
+#: First backoff (virtual seconds) before retrying a failed collective;
+#: doubles on every subsequent attempt.
+RETRY_BACKOFF = 1e-3
+
+#: Maximum retries of one transiently-failing collective call.
+MAX_RETRIES = 8
 
 
 @dataclass(frozen=True)
@@ -73,16 +127,34 @@ class CommEvent:
 class _World:
     """Shared state of one SPMD run."""
 
-    def __init__(self, size: int, timing: CommTiming, timeout: float) -> None:
+    def __init__(
+        self,
+        size: int,
+        timing: CommTiming,
+        timeout: float,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = MAX_RETRIES,
+    ) -> None:
         self.size = size
         self.timing = timing
         self.timeout = timeout
+        self.fault_plan = fault_plan
+        #: Resilient worlds tolerate fail-stop deaths instead of aborting.
+        self.resilient = fault_plan is not None
+        self.max_retries = max_retries
         self.mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
         self.mailbox_lock = threading.Lock()
-        self.scratch: dict[int, dict[int, object]] = {}
+        #: Everything below is guarded by ``cond``.
+        self.cond = threading.Condition()
+        self.scratch: dict[int, dict[int, tuple]] = {}
         self.scratch_ops: dict[int, str] = {}
-        self.scratch_lock = threading.Lock()
-        self.barrier = threading.Barrier(size)
+        #: Participant view frozen by the first rank to complete each
+        #: generation — the agreement that keeps death sets consistent.
+        self.outcomes: dict[int, frozenset[int]] = {}
+        self.leavers: dict[int, set[int]] = {}
+        self.status: dict[int, str] = {r: RUNNING for r in range(size)}
+        #: Set at teardown to release ranks wedged by an injected hang.
+        self.release = threading.Event()
 
     def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -91,6 +163,24 @@ class _World:
             if q is None:
                 q = self.mailboxes[key] = queue.Queue()
             return q
+
+    def running(self) -> list[int]:
+        """Ranks still executing (caller must hold ``cond``)."""
+        return [r for r in range(self.size) if self.status[r] == RUNNING]
+
+    def mark(self, rank: int, status: str) -> None:
+        with self.cond:
+            if self.status[rank] == RUNNING:
+                self.status[rank] = status
+            self.cond.notify_all()
+
+    def status_of(self, rank: int) -> str:
+        with self.cond:
+            return self.status[rank]
+
+    def dead_ranks(self) -> list[int]:
+        with self.cond:
+            return sorted(r for r in range(self.size) if self.status[r] == DEAD)
 
 
 class SimComm:
@@ -104,6 +194,12 @@ class SimComm:
         self.size = world.size
         self.clock = clock if clock is not None else VirtualClock()
         self._generation = 0
+        self._collective_calls = 0
+        #: Ranks this communicator believes alive; shrinks only at exchange
+        #: completion, so all survivors agree on it after each collective.
+        self.known_alive: set[int] = set(range(world.size))
+        #: Transient-collective retries performed by this rank.
+        self.n_retries = 0
         #: Per-rank record of every communication operation.
         self.trace: list[CommEvent] = []
 
@@ -122,6 +218,15 @@ class SimComm:
         """Total virtual time this rank spent communicating (including
         barrier wait — i.e. time attributable to synchronisation)."""
         return sum(e.seconds for e in self.trace)
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks this communicator believes alive (sorted)."""
+        return sorted(self.known_alive)
+
+    @property
+    def known_dead(self) -> list[int]:
+        """Ranks this communicator has observed dying (sorted)."""
+        return sorted(set(range(self.size)) - self.known_alive)
 
     # -- mpi4py-style accessors ------------------------------------------
 
@@ -148,38 +253,92 @@ class SimComm:
     def recv(self, source: int, tag: int = 0):
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source rank {source}")
-        try:
-            obj, sent_at = self._world.mailbox(source, self.rank, tag).get(
-                timeout=self._world.timeout
-            )
-        except queue.Empty:
-            raise SPMDError(
-                f"rank {self.rank} timed out receiving from rank {source} (tag {tag})"
-            ) from None
+        world = self._world
+        mailbox = world.mailbox(source, self.rank, tag)
+        deadline = time.monotonic() + world.timeout
+        while True:
+            try:
+                obj, sent_at = mailbox.get(timeout=0.05)
+                break
+            except queue.Empty:
+                status = world.status_of(source)
+                if status == DEAD:
+                    self.known_alive.discard(source)
+                    raise RankFailure((source,), op=f"recv(tag={tag})") from None
+                if status in (EXITED, FAILED):
+                    raise SPMDError(
+                        f"rank {self.rank} cannot receive from rank {source}: "
+                        f"it {status} without sending (tag {tag})"
+                    ) from None
+                if time.monotonic() >= deadline:
+                    raise SPMDError(
+                        f"rank {self.rank} timed out receiving from rank "
+                        f"{source} (tag {tag})"
+                    ) from None
         # A blocking receive cannot complete before the message exists.
         t0 = self.clock.now
         self.clock.synchronize(sent_at)
         self._record("recv", t0, _payload_bytes(obj))
         return obj
 
+    # -- fault hooks --------------------------------------------------------
+
+    def _apply_collective_faults(self, op: str) -> None:
+        """Evaluate the fault plan at the entry of one collective call."""
+        world = self._world
+        index = self._collective_calls
+        self._collective_calls += 1
+        plan = world.fault_plan
+        if plan is None:
+            return
+        plan.kill_at_collective(self.rank, index)
+        glitch = plan.glitch_at(self.rank, index)
+        if glitch is None:
+            return
+        if glitch.kind == "delay":
+            self.clock.advance(glitch.delay_seconds)
+        elif glitch.kind == "hang":
+            # The rank wedges inside the collective; peers declare it dead
+            # via their deadlines, and the launcher releases the thread at
+            # teardown so it can die cleanly.
+            world.release.wait()
+            raise RankKilledError(
+                f"rank {self.rank} hung in collective call {index}"
+            )
+        elif glitch.kind == "fail":
+            attempts = min(glitch.failures, world.max_retries)
+            for attempt in range(attempts):
+                self.n_retries += 1
+                self.clock.advance(RETRY_BACKOFF * (2 ** attempt))
+            if glitch.failures > world.max_retries:
+                raise RetryExhaustedError(
+                    f"rank {self.rank}: collective {op!r} (call {index}) "
+                    f"still failing after {world.max_retries} retries"
+                )
+
     # -- collectives --------------------------------------------------------
 
-    def _exchange(self, value, op: str = "collective") -> dict[int, object]:
+    def _exchange(self, value, op: str = "collective", internal: bool = False) -> dict[int, tuple]:
         """All-to-all scratch exchange underpinning every collective.
 
         ``op`` names the collective; ranks disagreeing on which collective
-        they are in (a classic SPMD bug) are detected and rejected.
+        they are in (a classic SPMD bug) are detected and rejected.  With
+        ``internal=True`` the exchange is a runtime-coordination step:
+        fault hooks are skipped (but death detection still applies).
         """
+        world = self._world
+        if not internal:
+            self._apply_collective_faults(op)
         gen = self._generation
         self._generation += 1
-        world = self._world
-        with world.scratch_lock:
-            ops = world.scratch_ops.setdefault(gen, op)
-            if ops != op:
-                world.barrier.abort()
+        deadline = time.monotonic() + world.timeout
+        with world.cond:
+            expected = world.scratch_ops.setdefault(gen, op)
+            if expected != op:
                 raise SPMDError(
                     f"collective mismatch at generation {gen}: rank "
-                    f"{self.rank} called {op!r} but another rank called {ops!r}"
+                    f"{self.rank} called {op!r} but another rank called "
+                    f"{expected!r}"
                 )
             board = world.scratch.setdefault(gen, {})
             if self.rank in board:
@@ -187,28 +346,66 @@ class SimComm:
                     f"rank {self.rank} re-entered collective generation {gen}"
                 )
             board[self.rank] = (value, self.clock.now)
-        try:
-            world.barrier.wait(timeout=world.timeout)
-        except threading.BrokenBarrierError:
-            raise SPMDError(
-                f"collective {gen} broken: some rank never arrived "
-                "(mismatched collective ordering?)"
-            ) from None
-        with world.scratch_lock:
-            board = world.scratch[gen]
+            world.cond.notify_all()
+            while True:
+                waiting_for = [
+                    r for r in range(world.size)
+                    if r not in board and world.status[r] == RUNNING
+                ]
+                defectors = [
+                    r for r in range(world.size)
+                    if r not in board and world.status[r] in (EXITED, FAILED)
+                ]
+                if defectors:
+                    raise SPMDError(
+                        f"collective {op!r} (generation {gen}) broken: "
+                        f"rank(s) {defectors} left the computation without "
+                        "joining it (mismatched collective ordering?)"
+                    )
+                if not waiting_for:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    if world.resilient:
+                        # Per-call deadline expired: fail-stop suspicion.
+                        # Declare the stragglers dead so survivors recover.
+                        for r in waiting_for:
+                            world.status[r] = DEAD
+                        world.cond.notify_all()
+                        continue
+                    raise SPMDError(
+                        f"collective {op!r} (generation {gen}) broken: rank "
+                        f"{self.rank} timed out after {world.timeout:.1f}s "
+                        f"waiting for rank(s) {waiting_for}"
+                    )
+                world.cond.wait(min(remaining, 0.25))
+            # The first rank to complete freezes the participant view so
+            # every survivor observes the *same* death set for this call.
+            outcome = world.outcomes.get(gen)
+            if outcome is None:
+                outcome = world.outcomes[gen] = frozenset(world.running())
             result = dict(board)
-        # Second barrier before cleanup so nobody reads a reaped board.
-        try:
-            world.barrier.wait(timeout=world.timeout)
-        except threading.BrokenBarrierError:
-            raise SPMDError(f"collective {gen} broken during cleanup") from None
-        if self.rank == 0:
-            with world.scratch_lock:
-                world.scratch.pop(gen, None)
-                world.scratch_ops.pop(gen, None)
+            left = world.leavers.setdefault(gen, set())
+            left.add(self.rank)
+            if outcome <= left:
+                for store in (world.scratch, world.scratch_ops,
+                              world.outcomes, world.leavers):
+                    store.pop(gen, None)
+        newly_dead = sorted(self.known_alive - outcome)
+        if newly_dead:
+            self.known_alive.difference_update(newly_dead)
+            raise RankFailure(newly_dead, op=op)
         return result
 
-    def _sync_clocks(self, board: dict[int, object], extra: float) -> None:
+    def _plain_allgather(self, obj, op: str = "coordination") -> list:
+        """Cost-free allgather for runtime coordination (e.g. negotiating
+        a common checkpoint-resume point): no virtual-clock advance, no
+        trace entry, no fault hooks — so resumed runs stay bit-identical
+        to uninterrupted ones."""
+        board = self._exchange(obj, op=op, internal=True)
+        return [board[r][0] if r in board else None for r in range(self.size)]
+
+    def _sync_clocks(self, board: dict[int, tuple], extra: float) -> None:
         entry_max = max(t for _, t in board.values())
         self.clock.synchronize(entry_max)
         self.clock.advance(extra)
@@ -226,6 +423,8 @@ class SimComm:
             raise ValueError(f"invalid root rank {root}")
         t0 = self.clock.now
         board = self._exchange(obj if self.rank == root else None, op="bcast")
+        if root not in board:
+            raise SPMDError(f"bcast root {root} is dead")
         value = board[root][0]
         payload = _payload_bytes(value)
         cost = self._world.timing.collective_seconds(self.size, payload)
@@ -238,7 +437,7 @@ class SimComm:
             raise ValueError(f"invalid root rank {root}")
         t0 = self.clock.now
         board = self._exchange(obj, op="gather")
-        values = [board[r][0] for r in range(self.size)]
+        values = [board[r][0] if r in board else None for r in range(self.size)]
         payload = max(_payload_bytes(v) for v in values)
         cost = self._world.timing.collective_seconds(self.size, payload)
         self._sync_clocks(board, cost)
@@ -246,9 +445,12 @@ class SimComm:
         return values if self.rank == root else None
 
     def allgather(self, obj) -> list:
+        """Gather everyone's value on every rank.  Ranks that died before
+        contributing appear as ``None`` entries (resilient mode only —
+        otherwise a death raises before any entry can be missing)."""
         t0 = self.clock.now
         board = self._exchange(obj, op="allgather")
-        values = [board[r][0] for r in range(self.size)]
+        values = [board[r][0] if r in board else None for r in range(self.size)]
         payload = max(_payload_bytes(v) for v in values)
         cost = self._world.timing.collective_seconds(self.size, payload)
         self._sync_clocks(board, cost)
@@ -257,7 +459,7 @@ class SimComm:
 
     def allreduce(self, obj, op=None):
         """Reduce with ``op`` (a 2-ary callable; default: sum)."""
-        values = self.allgather(obj)
+        values = [v for v in self.allgather(obj) if v is not None]
         if op is None:
             total = values[0]
             for v in values[1:]:

@@ -3,10 +3,46 @@
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Sequence
 
-from repro.mpi.comm import CommTiming, SimComm, SPMDError, _World
+from repro.mpi.comm import (
+    DEAD,
+    EXITED,
+    FAILED,
+    AllRanksDeadError,
+    CommTiming,
+    SimComm,
+    SPMDError,
+    _World,
+)
+from repro.mpi.faults import FaultPlan, RankKilledError
 from repro.util.timing import VirtualClock
+
+
+def _raise_rank_errors(errors: list) -> None:
+    """Raise the primary rank error with every other one attached.
+
+    The primary is the first non-SPMD error by rank (an SPMDError is
+    usually collateral damage of whatever went wrong first), falling back
+    to the first SPMDError.  All other errors ride along as ``__notes__``
+    so multi-rank failures stay diagnosable.
+    """
+    ranked = [(r, e) for r, e in enumerate(errors) if e is not None]
+    if not ranked:
+        return
+    primary = next(
+        ((r, e) for r, e in ranked if not isinstance(e, SPMDError)), ranked[0]
+    )
+    rank, exc = primary
+    others = [(r, e) for r, e in ranked if r != rank]
+    if others:
+        notes = [
+            f"[simmpi] also failed: rank {r}: {type(e).__name__}: {e}"
+            for r, e in others
+        ]
+        exc.__notes__ = [*getattr(exc, "__notes__", []), *notes]
+    raise exc
 
 
 def run_spmd(
@@ -15,33 +51,45 @@ def run_spmd(
     comm_timing: CommTiming | None = None,
     clocks: Sequence[VirtualClock] | None = None,
     timeout: float = 600.0,
+    fault_plan: FaultPlan | None = None,
 ) -> list:
     """Execute ``fn(comm)`` on every rank of a simulated world.
 
     Ranks run as daemon threads (the GIL serialises the Python work — this
     runtime provides *semantics and virtual timing*, not wall-clock
     speedup).  Returns the per-rank return values in rank order.  The
-    first rank exception, if any, is re-raised in the caller.
+    primary rank exception, if any, is re-raised in the caller with the
+    other ranks' errors attached as ``__notes__``.
 
     ``clocks`` optionally supplies pre-created per-rank virtual clocks so
-    the caller can inspect final rank times.
+    the caller can inspect final rank times.  ``fault_plan`` switches the
+    world into resilient mode and injects the planned faults; ranks killed
+    by the plan return ``None`` in the result list (their peers are
+    expected to recover their work).
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
     timing = comm_timing if comm_timing is not None else CommTiming()
     if clocks is not None and len(clocks) != n_ranks:
         raise ValueError("clocks must have one entry per rank")
-    world = _World(n_ranks, timing, timeout)
+    world = _World(n_ranks, timing, timeout, fault_plan=fault_plan)
     results: list = [None] * n_ranks
     errors: list = [None] * n_ranks
+    deaths: list = [None] * n_ranks
 
     def target(rank: int) -> None:
         comm = SimComm(world, rank, clocks[rank] if clocks is not None else None)
         try:
             results[rank] = fn(comm)
+        except RankKilledError as exc:
+            deaths[rank] = exc
+            world.mark(rank, DEAD)
+            return
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors[rank] = exc
-            world.barrier.abort()  # wake peers stuck in collectives
+            world.mark(rank, FAILED)
+            return
+        world.mark(rank, EXITED)
 
     threads = [
         threading.Thread(target=target, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
@@ -49,17 +97,40 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=timeout)
+    # One *shared* deadline for the whole world (a per-thread timeout would
+    # make the worst-case wait n_ranks x timeout).  Ranks already declared
+    # dead are not waited for: their threads are released below.
+    deadline = time.monotonic() + timeout
+    for rank, t in enumerate(threads):
+        while t.is_alive():
+            if world.status_of(rank) == DEAD:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            t.join(min(remaining, 0.1))
+    # Wake any rank wedged inside an injected hang so its thread can exit.
+    world.release.set()
+    stuck = []
+    for rank, t in enumerate(threads):
         if t.is_alive():
-            world.barrier.abort()
-            raise SPMDError(f"{t.name} did not finish within {timeout}s")
-
-    for rank, err in enumerate(errors):
-        if err is not None and not isinstance(err, SPMDError):
-            raise err
-    # Pure SPMD errors (broken barriers) surface only if nothing better.
-    for err in errors:
-        if err is not None:
-            raise err
+            t.join(0.5)
+        if t.is_alive() and world.status_of(rank) != DEAD:
+            stuck.append(t.name)
+    if stuck:
+        raise SPMDError(
+            f"{', '.join(stuck)} did not finish within the shared "
+            f"{timeout}s deadline"
+        )
+    _raise_rank_errors(errors)
+    if fault_plan is None:
+        for death in deaths:
+            if death is not None:
+                # A RankKilledError outside a fault plan is a bug, not a
+                # simulated failure — surface it.
+                raise death
+    elif world.dead_ranks() == list(range(n_ranks)):
+        raise AllRanksDeadError(
+            f"all {n_ranks} ranks died before completing; nothing to recover"
+        )
     return results

@@ -154,17 +154,22 @@ def bootstrap_stage(
     ops: OpCounter,
     config: ComprehensiveConfig,
     init_tree: Tree,
+    on_replicate: Callable[[int], None] | None = None,
 ) -> list[SearchResult]:
     """Run ``n_replicates`` rapid-bootstrap searches.
 
     Replicate weights are drawn sequentially from ``x_rng`` (the paper's
     per-rank ``-x`` stream); starting trees chain from the previous
     replicate, refreshed with a new parsimony tree every
-    ``config.parsimony_refresh_every`` replicates.
+    ``config.parsimony_refresh_every`` replicates.  ``on_replicate`` is
+    called with the local replicate index before each replicate (the
+    hybrid driver's fault-injection point).
     """
     results: list[SearchResult] = []
     current_start = init_tree
     for b in range(n_replicates):
+        if on_replicate is not None:
+            on_replicate(b)
         weights = bootstrap_pattern_weights(pal, x_rng)
         if config.compress_bootstrap_patterns:
             # Replicates draw ~63 % of the patterns; dropping the rest is

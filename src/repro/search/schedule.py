@@ -51,6 +51,19 @@ class WorkSchedule:
     def total_thorough(self) -> int:
         return self.thorough_per_process * self.n_processes
 
+    def shrink(self, n_survivors: int) -> "WorkSchedule":
+        """Degraded-mode schedule after rank failures: the Table 2
+        partition recomputed over the surviving processes.  Bootstrap
+        shares are unchanged (dead ranks' replicates are *replayed* from
+        their seed streams, not re-partitioned); the fast/slow shares
+        follow the smaller world."""
+        if not (1 <= n_survivors <= self.n_processes):
+            raise ValueError(
+                f"n_survivors must be in [1, {self.n_processes}], "
+                f"got {n_survivors}"
+            )
+        return make_schedule(self.n_bootstraps_requested, n_survivors)
+
     def as_table_row(self) -> tuple:
         """One row of Table 2:
         (processes, bootstraps, fast, slow, thorough, bs/p, fast/p, slow/p, thorough/p)."""

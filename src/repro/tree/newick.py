@@ -18,9 +18,14 @@ def write_newick(
     tree: Tree,
     lengths: bool = True,
     support: bool = False,
-    digits: int = 6,
+    digits: int | None = 6,
 ) -> str:
-    """Serialise ``tree`` to a Newick string (terminated with ``;``)."""
+    """Serialise ``tree`` to a Newick string (terminated with ``;``).
+
+    ``digits=None`` writes branch lengths with ``repr`` (shortest string
+    that round-trips the float exactly) — required by checkpoints, which
+    must restore trees bit-identically.
+    """
 
     def rec(node: Node) -> str:
         if node.is_leaf:
@@ -32,7 +37,10 @@ def write_newick(
                 sup = str(int(round(node.support * 100)))
             label = f"({inner}){sup}"
         if lengths and node.parent is not None:
-            label += f":{node.length:.{digits}f}"
+            if digits is None:
+                label += f":{float(node.length)!r}"
+            else:
+                label += f":{node.length:.{digits}f}"
         return label
 
     return rec(tree.root) + ";"
