@@ -1,0 +1,114 @@
+"""Kernel-layer microbenchmark: traversal planner vs from-scratch.
+
+Runs a real SPR round on a >=500-pattern simulated alignment twice —
+once with a cold engine that recomputes every CLV per evaluation, once
+with the traversal planner's CLV cache enabled — and records pattern-op
+totals and wall time to ``output/BENCH_kernels.json``.  The acceptance
+claims asserted here:
+
+* the incremental (planned) round executes *strictly fewer* clv_updates
+  than the from-scratch baseline while returning the bit-identical tree
+  and log-likelihood;
+* serial, threaded, reference-kernel and blocked-kernel engines agree on
+  the log-likelihood to the last bit.
+"""
+
+import json
+import time
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
+from repro.likelihood.gtr import GTRModel
+from repro.search.spr import SPRParams, spr_round
+from repro.threads.pool import VirtualThreadPool
+from repro.threads.threaded_engine import ThreadedLikelihoodEngine
+from repro.tree.random_trees import yule_tree
+from repro.util.rng import RAxMLRandom
+from repro.util.tables import format_table
+
+from conftest import OUTPUT_DIR
+
+MODEL = GTRModel(rates=(1.3, 3.1, 0.9, 1.0, 3.4, 1.0), freqs=(0.28, 0.22, 0.24, 0.26))
+PARAMS = SPRParams(radius=2, min_improvement=0.01)
+
+
+def _spr_round(pal, kernel: str, clv_cache: bool, n_threads: int = 1):
+    """One SPR round from a fresh Yule start tree; returns (lnl, ops, secs)."""
+    rate_model = RateModel.gamma(0.8, 4)
+    ops = OpCounter()
+    if n_threads > 1:
+        engine = ThreadedLikelihoodEngine(
+            pal, MODEL, VirtualThreadPool(n_threads), rate_model,
+            ops=ops, kernel=kernel, clv_cache=clv_cache,
+        )
+    else:
+        engine = LikelihoodEngine(
+            pal, MODEL, rate_model, ops=ops, kernel=kernel, clv_cache=clv_cache
+        )
+    tree = yule_tree(pal.taxa, RAxMLRandom(4711))
+    start = time.perf_counter()
+    _, lnl, _ = spr_round(engine, tree, PARAMS)
+    secs = time.perf_counter() - start
+    return lnl, ops.snapshot(), secs
+
+
+def run_microbench():
+    pal, _ = make_test_dataset(n_taxa=24, n_sites=1600, seed=909)
+    assert pal.n_patterns >= 500
+    variants = {
+        "reference-scratch": _spr_round(pal, "reference", clv_cache=False),
+        "reference-planned": _spr_round(pal, "reference", clv_cache=True),
+        "blocked-planned": _spr_round(pal, "blocked", clv_cache=True),
+        "threaded4-planned": _spr_round(pal, "reference", clv_cache=True, n_threads=4),
+    }
+    return pal.n_patterns, variants
+
+
+def test_kernel_microbench(benchmark, emit):
+    n_patterns, variants = benchmark.pedantic(run_microbench, rounds=1, iterations=1)
+
+    lnls = {name: lnl for name, (lnl, _, _) in variants.items()}
+    # Bit-identical log-likelihoods across cache, backend, and sharding.
+    assert len(set(lnls.values())) == 1, lnls
+
+    scratch = variants["reference-scratch"][1]
+    planned = variants["reference-planned"][1]
+    # The planner must save CLV work on a real search round.
+    assert planned["clv_updates"] < scratch["clv_updates"]
+    assert planned["pattern_ops"] < scratch["pattern_ops"]
+    # Edge/Newton work is cache-independent: same number of evaluations.
+    assert planned["edge_evals"] == scratch["edge_evals"]
+    assert planned["sumtables"] == scratch["sumtables"]
+    assert planned["deriv_evals"] == scratch["deriv_evals"]
+
+    doc = {
+        "n_patterns": n_patterns,
+        "spr_params": {"radius": PARAMS.radius, "min_improvement": PARAMS.min_improvement},
+        "loglikelihood": lnls["reference-scratch"],
+        "clv_update_savings": 1.0 - planned["clv_updates"] / scratch["clv_updates"],
+        "variants": {
+            name: {"lnl": lnl, "wall_seconds": secs, **snapshot}
+            for name, (lnl, snapshot, secs) in variants.items()
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+
+    rows = [
+        (name, snapshot["clv_updates"], snapshot["edge_evals"],
+         snapshot["pattern_ops"], f"{secs:.3f}")
+        for name, (_, snapshot, secs) in variants.items()
+    ]
+    emit(
+        "kernel_microbench",
+        format_table(
+            ["Variant", "CLV updates", "Edge evals", "Pattern ops", "Wall s"],
+            rows,
+            title=(
+                f"KERNEL MICROBENCH ({n_patterns} patterns; planner saves "
+                f"{100 * doc['clv_update_savings']:.1f}% of CLV updates)"
+            ),
+        ),
+    )

@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of (simulated) MPI processes")
     parser.add_argument("--machine", default="dash",
                         help="machine timing model: abe|dash|ranger|triton")
+    from repro.likelihood.kernels import available_kernels
+
+    parser.add_argument("--kernel", default="reference",
+                        choices=available_kernels(),
+                        help="likelihood kernel backend (default: reference)")
+    parser.add_argument("--clv-cache", dest="clv_cache", action="store_true",
+                        help="cache conditional likelihood vectors by subtree "
+                             "signature so searches only recompute partials "
+                             "invalidated by each move")
     parser.add_argument("--bootstopping", action="store_true",
                         help="enable the WC bootstopping test (extension)")
     parser.add_argument("--checkpoint-dir", dest="checkpoint_dir", default=None,
@@ -117,7 +126,10 @@ def _run_evaluate(args, pal) -> int:
     if not tree_path.exists():
         raise SystemExit(f"tree file not found: {tree_path}")
     tree = parse_newick(tree_path.read_text(encoding="ascii"), taxa=pal.taxa)
-    result = evaluate_tree(pal, tree, plus_invariant=(args.model == "GTRGAMMAI"))
+    result = evaluate_tree(
+        pal, tree, plus_invariant=(args.model == "GTRGAMMAI"),
+        kernel=args.kernel, clv_cache=args.clv_cache,
+    )
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     out = outdir / f"RAxML_result.{args.name}.nwk"
@@ -205,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
         bootstopping=args.bootstopping,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        kernel=args.kernel,
+        clv_cache=args.clv_cache,
     )
 
     print(f"repro-raxml: {pal.n_taxa} taxa, {pal.n_sites} sites, "

@@ -66,6 +66,10 @@ def config_fingerprint(pal, config) -> str:
         "bootstopping": config.bootstopping,
         "bootstop_step": config.bootstop_step,
         "bootstop_max": config.bootstop_max,
+        # Likelihood values are backend/cache-independent, but timings and
+        # op counts are not — a resumed run must keep the same settings.
+        "kernel": config.kernel,
+        "clv_cache": config.clv_cache,
         "comprehensive": {
             "n_bootstraps": cfg.n_bootstraps,
             "seed_p": cfg.seed_p,

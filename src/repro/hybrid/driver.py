@@ -89,6 +89,11 @@ class HybridConfig:
     #: Deterministic fault schedule; also switches the simulated world
     #: into resilient mode (rank deaths are survived, not fatal).
     fault_plan: FaultPlan | None = None
+    #: Likelihood kernel backend used by every rank's engines.
+    kernel: str = "reference"
+    #: Enable signature-keyed CLV caching in every rank's engines (the
+    #: traversal planner then recomputes only move-invalidated partials).
+    clv_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -159,7 +164,8 @@ class _RankPipeline:
 
     def engine_factory(self, pal_, model_, rate_model_, weights_, ops_):
         return ThreadedLikelihoodEngine(
-            pal_, model_, self.pool, rate_model_, weights=weights_, ops=ops_
+            pal_, model_, self.pool, rate_model_, weights=weights_, ops=ops_,
+            kernel=self.config.kernel, clv_cache=self.config.clv_cache,
         )
 
     # -- fault hooks --------------------------------------------------------

@@ -1,28 +1,45 @@
 """Felsenstein-pruning likelihood engine, vectorized over patterns.
 
-The engine mirrors the structure of RAxML's likelihood core:
+The engine is the execution layer of a three-layer likelihood core that
+mirrors the structure of RAxML's:
 
-* conditional likelihood vectors (CLVs) are arrays over the *pattern* axis
-  — the axis RAxML's fine-grained Pthreads parallelization slices;
+* the **traversal planner** (:mod:`repro.likelihood.plan`) diffs tree
+  state against a CLV cache and emits an ordered list of CLV operations
+  — the analogue of RAxML's traversal descriptor;
+* a **kernel backend** (:mod:`repro.likelihood.kernels`) executes every
+  pattern-axis computation over the engine's shard list and charges the
+  :class:`OpCounter`; backends are pluggable (``reference``/``blocked``);
+* this module walks plans, multiplies child contributions, rescales,
+  and reduces per-pattern results to weighted log-likelihoods.
+
+Threaded execution is not a separate class: passing a
+:class:`~repro.threads.pool.VirtualThreadPool` shards the pattern axis
+into one slice per worker and charges one parallel region of simulated
+time per kernel sweep.  Because kernels write per-shard slices of the
+same full-pattern arrays and all reductions run once over the full axis,
+serial and threaded results are **bit-identical by construction**, for
+any thread count and either kernel backend.
+
+Other structural features retained from the original engine:
+
 * two rate-heterogeneity modes: ``gamma`` (a mixture — every pattern is
   evaluated under every category, GTRGAMMA) and ``cat`` (each pattern is
   assigned to exactly one rate category, GTRCAT);
 * per-pattern log-scalers avoid underflow on large trees;
 * "down" partials (postorder, subtree below each node) and "up" partials
   (preorder, rest-of-tree seen from above) support O(1)-per-edge
-  likelihood evaluation for branch optimisation and lazy SPR scoring;
-* an :class:`OpCounter` tallies pattern-operations so the performance model
-  and the virtual thread pool can charge simulated time for real work.
+  likelihood evaluation for branch optimisation and lazy SPR scoring.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.likelihood.gamma import discrete_gamma_rates
 from repro.likelihood.gtr import GTRModel
+from repro.likelihood.kernels import get_kernel
+from repro.likelihood.kernels.base import OpCounter, Partial
+from repro.likelihood.plan import CLVCache, plan_traversal, subtree_postorder
+from repro.likelihood.rates import RateModel, subset_rate_model
 from repro.seq.encoding import state_likelihood_rows
 from repro.seq.patterns import PatternAlignment
 from repro.tree.topology import Node, Tree
@@ -30,140 +47,15 @@ from repro.tree.topology import Node, Tree
 #: Smallest value a scaler may take (guards log(0) for impossible patterns).
 _TINY = 1e-300
 
+#: Backwards-compatible name: partials predate the kernel split.
+_Partial = Partial
 
-@dataclass
-class OpCounter:
-    """Counts likelihood-kernel work in *pattern operations*.
-
-    One pattern-op is the computation of one pattern's CLV entry set at one
-    node (times the number of rate categories).  The counter feeds both the
-    virtual thread pool (fine-grained timing) and cross-checks of the
-    analytic cost model.
-    """
-
-    pattern_ops: int = 0
-    clv_updates: int = 0
-    edge_evals: int = 0
-
-    def charge_clv(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.clv_updates += 1
-
-    def charge_edge(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.edge_evals += 1
-
-    def snapshot(self) -> dict[str, int]:
-        return {
-            "pattern_ops": self.pattern_ops,
-            "clv_updates": self.clv_updates,
-            "edge_evals": self.edge_evals,
-        }
-
-
-@dataclass(frozen=True)
-class RateModel:
-    """Rate-heterogeneity specification.
-
-    ``kind == "gamma"``: ``rates`` holds the k category rates (mean 1) and
-    every pattern is a uniform mixture over them; ``alpha`` records the
-    shape parameter that produced them.
-
-    ``kind == "cat"``: ``rates`` holds the category rates and
-    ``pattern_to_cat`` assigns each pattern to exactly one category.
-
-    ``p_invariant`` adds the "+I" component (GTR+I+Γ): a proportion of
-    sites that never change.  Per-pattern likelihood becomes
-    ``(1 - p)·L_variable + p·L_invariant`` where the invariant component
-    is non-zero only for constant-compatible patterns.
-    """
-
-    kind: str
-    rates: np.ndarray
-    alpha: float | None = None
-    pattern_to_cat: np.ndarray | None = None
-    p_invariant: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("gamma", "cat"):
-            raise ValueError(f"unknown rate model kind {self.kind!r}")
-        if not (0.0 <= self.p_invariant < 1.0):
-            raise ValueError("p_invariant must be in [0, 1)")
-        rates = np.asarray(self.rates, dtype=np.float64)
-        if rates.ndim != 1 or rates.size < 1:
-            raise ValueError("rates must be a non-empty 1-D array")
-        if np.any(rates < 0):
-            raise ValueError("category rates must be non-negative")
-        rates.setflags(write=False)
-        object.__setattr__(self, "rates", rates)
-        if self.kind == "cat":
-            if self.pattern_to_cat is None:
-                raise ValueError("cat rate model requires pattern_to_cat")
-            p2c = np.asarray(self.pattern_to_cat, dtype=np.intp)
-            if p2c.size and (p2c.min() < 0 or p2c.max() >= rates.size):
-                raise ValueError("pattern_to_cat refers to a missing category")
-            p2c.setflags(write=False)
-            object.__setattr__(self, "pattern_to_cat", p2c)
-        elif self.pattern_to_cat is not None:
-            raise ValueError("gamma rate model must not set pattern_to_cat")
-
-    @classmethod
-    def gamma(
-        cls, alpha: float = 1.0, n_categories: int = 4, p_invariant: float = 0.0
-    ) -> "RateModel":
-        return cls(
-            "gamma",
-            discrete_gamma_rates(alpha, n_categories),
-            alpha=alpha,
-            p_invariant=p_invariant,
-        )
-
-    @classmethod
-    def single(cls) -> "RateModel":
-        """No rate heterogeneity (one category, rate 1)."""
-        return cls("gamma", np.ones(1), alpha=None)
-
-    @classmethod
-    def cat(cls, rates, pattern_to_cat, p_invariant: float = 0.0) -> "RateModel":
-        return cls(
-            "cat",
-            np.asarray(rates, float),
-            pattern_to_cat=np.asarray(pattern_to_cat),
-            p_invariant=p_invariant,
-        )
-
-    def with_p_invariant(self, p_invariant: float) -> "RateModel":
-        """The same rate model with a different +I proportion."""
-        return RateModel(
-            self.kind, self.rates, alpha=self.alpha,
-            pattern_to_cat=self.pattern_to_cat, p_invariant=p_invariant,
-        )
-
-    @property
-    def n_categories(self) -> int:
-        return int(self.rates.size)
-
-
-@dataclass
-class _Partial:
-    """A CLV plus its per-pattern log-scaler."""
-
-    clv: np.ndarray  # gamma: (m, k, 4); cat: (m, 4)
-    logscale: np.ndarray  # (m,)
-
-
-def subset_rate_model(rate_model: RateModel, idx: np.ndarray) -> RateModel:
-    """Restrict a rate model to a subset of patterns.
-
-    Gamma mixtures are pattern-independent; CAT assignments are sliced.
-    """
-    if rate_model.kind == "cat":
-        return RateModel.cat(
-            rate_model.rates,
-            rate_model.pattern_to_cat[idx],
-            p_invariant=rate_model.p_invariant,
-        )
-    return rate_model
+__all__ = [
+    "LikelihoodEngine",
+    "OpCounter",
+    "RateModel",
+    "subset_rate_model",
+]
 
 
 class LikelihoodEngine:
@@ -182,6 +74,17 @@ class LikelihoodEngine:
         resampled weights here); defaults to ``pal.weights``.
     ops:
         Optional shared :class:`OpCounter`.
+    kernel:
+        Kernel backend name (see :func:`repro.likelihood.kernels.get_kernel`).
+    clv_cache:
+        ``True`` (or a :class:`~repro.likelihood.plan.CLVCache` instance) to
+        reuse down partials across evaluations via subtree signatures.  Off
+        by default: caching changes how much kernel work a traversal costs,
+        which callers measuring op counts must opt into.
+    pool:
+        Optional :class:`~repro.threads.pool.VirtualThreadPool`.  When set,
+        kernels run once per worker's pattern slice and each kernel sweep
+        charges one region of simulated parallel time.
     """
 
     def __init__(
@@ -191,6 +94,9 @@ class LikelihoodEngine:
         rate_model: RateModel | None = None,
         weights: np.ndarray | None = None,
         ops: OpCounter | None = None,
+        kernel: str = "reference",
+        clv_cache: bool | CLVCache = False,
+        pool=None,
     ) -> None:
         self.pal = pal
         self.model = model
@@ -208,6 +114,23 @@ class LikelihoodEngine:
             raise ValueError("weights must be non-negative")
         self.weights = np.asarray(w, dtype=np.float64)
         self.ops = ops if ops is not None else OpCounter()
+        self.pool = pool
+        self.kernel_name = kernel
+        if pool is None:
+            self._chunk_sizes = [pal.n_patterns]
+            shards = [slice(0, pal.n_patterns)]
+        else:
+            from repro.threads.partition import contiguous_chunks
+
+            shards = contiguous_chunks(pal.n_patterns, pool.n_threads)
+            self._chunk_sizes = [c.stop - c.start for c in shards]
+        self.kernel = get_kernel(kernel)(
+            model, self.rate_model, shards, self.ops, pal.n_patterns
+        )
+        if isinstance(clv_cache, CLVCache):
+            self.clv_cache: CLVCache | None = clv_cache
+        else:
+            self.clv_cache = CLVCache() if clv_cache else None
         self._tip_rows = state_likelihood_rows()
         # "+I" support: the invariant-site likelihood of each pattern is
         # sum_s pi_s over the states every taxon is compatible with —
@@ -233,13 +156,36 @@ class LikelihoodEngine:
         return self.rate_model.kind == "cat"
 
     def with_model(self, model: GTRModel) -> "LikelihoodEngine":
-        return LikelihoodEngine(self.pal, model, self.rate_model, self.weights, self.ops)
+        """New model parameters invalidate every CLV: fresh cache."""
+        return LikelihoodEngine(
+            self.pal, model, self.rate_model, self.weights, self.ops,
+            kernel=self.kernel_name, clv_cache=self.clv_cache is not None,
+            pool=self.pool,
+        )
 
     def with_rate_model(self, rate_model: RateModel) -> "LikelihoodEngine":
-        return LikelihoodEngine(self.pal, self.model, rate_model, self.weights, self.ops)
+        return LikelihoodEngine(
+            self.pal, self.model, rate_model, self.weights, self.ops,
+            kernel=self.kernel_name, clv_cache=self.clv_cache is not None,
+            pool=self.pool,
+        )
 
     def with_weights(self, weights: np.ndarray) -> "LikelihoodEngine":
-        return LikelihoodEngine(self.pal, self.model, self.rate_model, weights, self.ops)
+        """CLVs are weight-independent, so the cache is shared."""
+        return LikelihoodEngine(
+            self.pal, self.model, self.rate_model, weights, self.ops,
+            kernel=self.kernel_name,
+            clv_cache=self.clv_cache if self.clv_cache is not None else False,
+            pool=self.pool,
+        )
+
+    # -- region accounting ---------------------------------------------------
+
+    def _charge_regions(self, n_regions: int) -> None:
+        """Charge simulated parallel-region time (threaded mode only)."""
+        if self.pool is not None:
+            for _ in range(n_regions):
+                self.pool.charge_region(self._chunk_sizes, self.n_categories)
 
     # -- CLV primitives ----------------------------------------------------
 
@@ -255,33 +201,24 @@ class LikelihoodEngine:
         return self.model.transition_matrices(t, self.rate_model.rates)
 
     def _propagate_tip(self, pmats: np.ndarray, masks: np.ndarray) -> np.ndarray:
-        """Tip-specialised propagation (RAxML's tip-case kernels).
-
-        A tip CLV takes one of only 16 values (the IUPAC masks), so the
-        matrix product is precomputed per mask — ``P @ rows[mask]`` for all
-        16 masks and every category — and the per-pattern result is a pure
-        gather.  O(16·k) arithmetic instead of O(m·k).
-        """
-        # (k, 16, 4): for each category, the propagated CLV of each mask.
+        """Uncharged single-span tip propagation (kept for direct kernel
+        tests; plan execution goes through the kernel backend)."""
         table = np.einsum("kab,sb->ksa", pmats, self._tip_rows, optimize=True)
+        p2c = None
         if self.is_cat:
-            return table[self.rate_model.pattern_to_cat[: masks.shape[0]], masks]
-        # gamma: (k, m, 4) -> (m, k, 4)
-        return np.ascontiguousarray(table[:, masks, :].transpose(1, 0, 2))
+            p2c = self.rate_model.pattern_to_cat[: masks.shape[0]]
+        return self.kernel._tip_gather_span(table, masks, p2c)
 
     def _propagate(self, pmats: np.ndarray, clv: np.ndarray) -> np.ndarray:
-        """Apply per-category transition matrices to a child CLV.
+        """Uncharged single-span propagation (see :meth:`_propagate_tip`).
 
         ``clv`` may be a tip CLV of shape (m, 4) (category-independent) or
         an internal CLV of shape (m, k, 4) [gamma] / (m, 4) [cat].
-        Returns the parent-side contribution with the engine's CLV shape.
         """
+        p2c = None
         if self.is_cat:
-            p_per_pattern = pmats[self.rate_model.pattern_to_cat[: clv.shape[0]]]
-            return np.einsum("pab,pb->pa", p_per_pattern, clv, optimize=True)
-        if clv.ndim == 2:  # tip: broadcast over categories
-            return np.einsum("kab,mb->mka", pmats, clv, optimize=True)
-        return np.einsum("kab,mkb->mka", pmats, clv, optimize=True)
+            p2c = self.rate_model.pattern_to_cat[: clv.shape[0]]
+        return self.kernel._propagate_span(pmats, clv, p2c)
 
     def _as_full(self, clv: np.ndarray) -> np.ndarray:
         """Expand a tip CLV (m, 4) to the engine's full CLV shape.
@@ -295,7 +232,9 @@ class LikelihoodEngine:
             return np.broadcast_to(clv[:, None, :], (m, self.n_categories, 4))
         return clv
 
-    def _rescale(self, clv: np.ndarray, logscale: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _rescale(
+        self, clv: np.ndarray, logscale: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Divide each pattern's CLV by its max entry, accumulating logs."""
         axes = tuple(range(1, clv.ndim))
         mx = np.maximum(clv.max(axis=axes), _TINY)
@@ -303,64 +242,73 @@ class LikelihoodEngine:
         clv = clv / mx.reshape(shape)
         return clv, logscale + np.log(mx)
 
-    # -- down partials (postorder) --------------------------------------------
+    # -- down partials (postorder, plan-driven) -------------------------------
+
+    def _inner_partial(self, node: Node, down: dict[int, Partial]) -> Partial:
+        """Combine child contributions into one inner-node down partial."""
+        m = self.n_patterns
+        acc = None
+        logscale = np.zeros(m)
+        for child in node.children:
+            pmats = self._pmatrices(child.length)
+            if child.is_leaf:
+                # Tip-specialised kernel: gather from a 16-entry table.
+                contrib = self.kernel.propagate_tip(
+                    pmats, self.pal.patterns[child.leaf_index]
+                )
+            else:
+                part = down[id(child)]
+                contrib = self.kernel.propagate(pmats, part.clv)
+                logscale = logscale + part.logscale
+            acc = contrib if acc is None else acc * contrib
+        acc, logscale = self._rescale(acc, logscale)
+        return Partial(acc, logscale)
 
     def compute_down_partials(
         self, tree: Tree, subtree: Node | None = None
-    ) -> dict[int, _Partial]:
+    ) -> dict[int, Partial]:
         """CLV of the subtree below every node, keyed by ``id(node)``.
+
+        Plans the traversal first: with the CLV cache enabled, inner nodes
+        whose subtree signature is cached are fetched instead of recomputed
+        — after a local move only the root path costs kernel work.
 
         ``subtree`` restricts the computation to the nodes under (and
         including) one node — used by lazy SPR, where the pruned subtree's
         partial is independent of the rest of the tree.
         """
-        down: dict[int, _Partial] = {}
+        plan = plan_traversal(tree, self.clv_cache, subtree)
+        down: dict[int, Partial] = {}
         m = self.n_patterns
-        nodes = tree.postorder() if subtree is None else self._subtree_postorder(subtree)
-        for node in nodes:
-            if node.is_leaf:
-                clv = self.tip_clv(node.leaf_index)
-                if not self.is_cat:
-                    # Tips are category-independent; store (m, 4) and let
-                    # _propagate broadcast. Keep explicit for uniformity.
-                    pass
-                down[id(node)] = _Partial(clv, np.zeros(m))
-            else:
-                acc = None
-                logscale = np.zeros(m)
-                for child in node.children:
-                    pmats = self._pmatrices(child.length)
-                    if child.is_leaf:
-                        # Tip-specialised kernel: gather from a 16-entry table.
-                        masks = self.pal.patterns[child.leaf_index]
-                        contrib = self._propagate_tip(pmats, masks)
-                    else:
-                        part = down[id(child)]
-                        contrib = self._propagate(pmats, part.clv)
-                        logscale += part.logscale
-                    self.ops.charge_clv(m, self.n_categories)
-                    acc = contrib if acc is None else acc * contrib
-                acc, logscale = self._rescale(acc, logscale)
-                down[id(node)] = _Partial(acc, logscale)
+        executed = 0
+        for op in plan.ops:
+            node = op.node
+            if op.kind == "tip":
+                down[id(node)] = Partial(self.tip_clv(node.leaf_index), np.zeros(m))
+                continue
+            part: Partial | None = None
+            if op.kind == "cached":
+                part = self.clv_cache.get(op.signature)
+            if part is None:  # "inner", or a hit evicted since planning
+                part = self._inner_partial(node, down)
+                executed += 1
+                if self.clv_cache is not None:
+                    self.clv_cache.put(op.signature, part)
+            down[id(node)] = part
+        # One simulated region per executed inner-node CLV update (at least
+        # one: even an all-cached traversal synchronises the workers once).
+        self._charge_regions(max(executed, 1))
         return down
 
     @staticmethod
     def _subtree_postorder(node: Node):
-        stack = [(node, False)]
-        while stack:
-            n, expanded = stack.pop()
-            if expanded or n.is_leaf:
-                yield n
-            else:
-                stack.append((n, True))
-                for ch in reversed(n.children):
-                    stack.append((ch, False))
+        return subtree_postorder(node)
 
     # -- up partials (preorder) ------------------------------------------------
 
     def compute_up_partials(
-        self, tree: Tree, down: dict[int, _Partial]
-    ) -> dict[int, _Partial]:
+        self, tree: Tree, down: dict[int, Partial]
+    ) -> dict[int, Partial]:
         """For each non-root node ``v``: the partial *at v's parent* of the
         entire tree minus ``v``'s subtree, keyed by ``id(v)``.
 
@@ -368,33 +316,33 @@ class LikelihoodEngine:
         above ``v`` in O(1) kernel calls (RAxML's "makenewz" setting).
         """
         m = self.n_patterns
-        up: dict[int, _Partial] = {}
+        up: dict[int, Partial] = {}
         for node in tree.preorder():
             if node.is_leaf:
                 continue
             if node is tree.root:
-                above: _Partial | None = None
+                above: Partial | None = None
             else:
                 above_raw = up[id(node)]
                 # Transport the parent-side partial across this node's edge.
-                moved = self._propagate(self._pmatrices(node.length), above_raw.clv)
-                self.ops.charge_clv(m, self.n_categories)
-                above = _Partial(moved, above_raw.logscale)
+                moved = self.kernel.propagate(
+                    self._pmatrices(node.length), above_raw.clv
+                )
+                above = Partial(moved, above_raw.logscale)
             # Sibling contributions at this node, for each child.
             contribs = []
             for child in node.children:
                 pmats = self._pmatrices(child.length)
                 if child.is_leaf:
-                    contrib = self._propagate_tip(
+                    contrib = self.kernel.propagate_tip(
                         pmats, self.pal.patterns[child.leaf_index]
                     )
                     logscale_c = np.zeros(m)
                 else:
                     part = down[id(child)]
-                    contrib = self._propagate(pmats, part.clv)
+                    contrib = self.kernel.propagate(pmats, part.clv)
                     logscale_c = part.logscale
-                self.ops.charge_clv(m, self.n_categories)
-                contribs.append(_Partial(contrib, logscale_c))
+                contribs.append(Partial(contrib, logscale_c))
             for i, child in enumerate(node.children):
                 acc = None
                 logscale = np.zeros(m)
@@ -407,7 +355,10 @@ class LikelihoodEngine:
                     acc = acc * above.clv if acc is not None else above.clv
                     logscale = logscale + above.logscale
                 acc, logscale = self._rescale(acc, logscale)
-                up[id(child)] = _Partial(acc, logscale)
+                up[id(child)] = Partial(acc, logscale)
+        self._charge_regions(
+            sum(len(n.children) for n in tree.postorder() if not n.is_leaf)
+        )
         return up
 
     # -- likelihood ---------------------------------------------------------------
@@ -423,31 +374,32 @@ class LikelihoodEngine:
             inv = np.log(p * np.maximum(self._inv_lik, 0.0))
         return np.logaddexp(var, inv)
 
-    def _combine_root(self, root_partial: _Partial) -> np.ndarray:
+    def _combine_root(self, root_partial: Partial) -> np.ndarray:
         """Per-pattern log-likelihood from the root CLV."""
-        pi = self.model.pi
-        if self.is_cat:
-            site = root_partial.clv @ pi
-        else:
-            k = self.n_categories
-            site = np.einsum("mka,a->m", root_partial.clv, pi) / k
+        site = self.kernel.root_site(self._as_full(root_partial.clv))
         return self._site_logl(site, root_partial.logscale)
 
     def site_loglikelihoods(self, tree: Tree) -> np.ndarray:
         """Per-pattern log-likelihoods (unweighted)."""
         down = self.compute_down_partials(tree)
+        self._charge_regions(1)  # the evaluate/reduction sweep
         return self._combine_root(down[id(tree.root)])
 
     def loglikelihood(self, tree: Tree) -> float:
-        """The weighted log-likelihood of ``tree`` under this engine."""
+        """The weighted log-likelihood of ``tree`` under this engine.
+
+        The per-pattern vector is reduced once over the full pattern axis
+        regardless of sharding, so the value is bit-identical for serial
+        and threaded execution.
+        """
         return float(self.weights @ self.site_loglikelihoods(tree))
 
     def edge_loglikelihood(
         self,
         edge_child: Node,
         t: float,
-        down_v: _Partial,
-        up_v: _Partial,
+        down_v: Partial,
+        up_v: Partial,
     ) -> float:
         """Likelihood evaluated across one edge with partials on both sides.
 
@@ -455,36 +407,24 @@ class LikelihoodEngine:
         rest-of-tree partial at its parent (see
         :meth:`compute_up_partials`).
         """
-        pmats = self._pmatrices(t)
-        pi = self.model.pi
-        self.ops.charge_edge(self.n_patterns, self.n_categories)
-        dclv = self._as_full(down_v.clv)
-        uclv = self._as_full(up_v.clv)
-        if self.is_cat:
-            p_per = pmats[self.rate_model.pattern_to_cat]
-            site = np.einsum(
-                "a,pa,pab,pb->p", pi, uclv, p_per, dclv, optimize=True
-            )
-        else:
-            site = (
-                np.einsum(
-                    "a,mka,kab,mkb->m", pi, uclv, pmats, dclv, optimize=True
-                )
-                / self.n_categories
-            )
+        site = self.kernel.edge_site(
+            self._as_full(up_v.clv), self._pmatrices(t), self._as_full(down_v.clv)
+        )
+        self._charge_regions(1)
         logl = self._site_logl(site, down_v.logscale + up_v.logscale)
         return float(self.weights @ logl)
 
-    def partial_for(self, partials: dict[int, "_Partial"], node: Node) -> "_Partial":
-        """Uniform partial lookup (shared API with the threaded engine, so
-        search code is agnostic to whether patterns are chunked)."""
+    def partial_for(self, partials: dict[int, Partial], node: Node) -> Partial:
+        """Partial lookup in a map returned by the compute methods (kept as
+        a method so historical call sites survive; the threaded engine once
+        returned chunked lists needing a real indirection here)."""
         return partials[id(node)]
 
     def insertion_loglikelihood(
         self,
-        down_v: _Partial,
-        up_v: _Partial,
-        down_s: _Partial,
+        down_v: Partial,
+        up_v: Partial,
+        down_s: Partial,
         t_edge: float,
         t_sub: float,
     ) -> float:
@@ -497,18 +437,14 @@ class LikelihoodEngine:
         RAxML's lazy SPR evaluation used to rank candidate insertions.
         """
         half = max(t_edge * 0.5, 1e-9)
-        c1 = self._propagate(self._pmatrices(half), down_v.clv)
-        c2 = self._propagate(self._pmatrices(half), up_v.clv)
-        c3 = self._propagate(self._pmatrices(t_sub), down_s.clv)
-        self.ops.charge_clv(self.n_patterns, self.n_categories)
-        self.ops.charge_clv(self.n_patterns, self.n_categories)
-        self.ops.charge_edge(self.n_patterns, self.n_categories)
-        pi = self.model.pi
-        prod = c1 * c2 * c3
-        if self.is_cat:
-            site = prod @ pi
-        else:
-            site = np.einsum("mka,a->m", prod, pi) / self.n_categories
+        site = self.kernel.insertion_site(
+            self._as_full(down_v.clv),
+            self._as_full(up_v.clv),
+            self._as_full(down_s.clv),
+            self._pmatrices(half),
+            self._pmatrices(t_sub),
+        )
+        self._charge_regions(1)
         logl = self._site_logl(
             site, down_v.logscale + up_v.logscale + down_s.logscale
         )
@@ -516,7 +452,7 @@ class LikelihoodEngine:
 
     # -- sumtable (eigen-coefficient) machinery for Newton steps ---------------
 
-    def edge_coefficients(self, down_v: _Partial, up_v: _Partial):
+    def edge_coefficients(self, down_v: Partial, up_v: Partial):
         """Eigenbasis coefficient table for the edge likelihood function.
 
         Returns ``(coef, exps, logscale)`` such that the per-pattern site
@@ -528,37 +464,17 @@ class LikelihoodEngine:
         This is RAxML's "sumtable": Newton iterations on ``t`` then cost
         O(m·k·4) per step with no further matrix exponentials.
         """
-        lam, u, u_inv, _ = self.model._spectral
-        pi = self.model.pi
-        rates = self.rate_model.rates
-        dclv = self._as_full(down_v.clv)
-        uclv = self._as_full(up_v.clv)
-        if self.is_cat:
-            x = (uclv * pi[None, :]) @ u  # (m, 4)
-            y = dclv @ u_inv.T  # (m, 4)
-            coef = x * y
-            exps = np.outer(rates, lam)[self.rate_model.pattern_to_cat]  # (m, 4)
-        else:
-            x = np.einsum("mka,a,aj->mkj", uclv, pi, u, optimize=True)
-            y = np.einsum("mkb,jb->mkj", dclv, u_inv, optimize=True)
-            coef = x * y / self.n_categories
-            exps = np.outer(rates, lam)  # (k, 4)
+        coef, exps = self.kernel.sumtable(
+            self._as_full(up_v.clv), self._as_full(down_v.clv)
+        )
+        self._charge_regions(1)
         logscale = down_v.logscale + up_v.logscale
         return coef, exps, logscale
 
     def edge_lnl_and_derivatives(self, coef, exps, logscale, t: float):
         """(lnL, dlnL/dt, d²lnL/dt²) of the edge function at ``t``."""
-        e = np.exp(exps * t)
-        if self.is_cat:
-            term = coef * e  # (m, 4)
-            site = term.sum(axis=1)
-            d1 = (term * exps).sum(axis=1)
-            d2 = (term * exps * exps).sum(axis=1)
-        else:
-            term = coef * e[None, :, :]  # (m, k, 4)
-            site = term.sum(axis=(1, 2))
-            d1 = (term * exps[None]).sum(axis=(1, 2))
-            d2 = (term * exps[None] * exps[None]).sum(axis=(1, 2))
+        site, d1, d2 = self.kernel.derivatives(coef, exps, t)
+        self._charge_regions(1)
         site = np.maximum(site, _TINY)
         p = self.rate_model.p_invariant
         if p > 0.0:

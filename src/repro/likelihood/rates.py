@@ -1,0 +1,115 @@
+"""Rate-heterogeneity models (Γ mixtures and per-pattern CAT assignments).
+
+Split out of :mod:`repro.likelihood.engine` so the kernel backends, the
+traversal planner, and the engine can all depend on rate-model shapes
+without importing each other.  The public names are re-exported from
+``repro.likelihood.engine`` for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.likelihood.gamma import discrete_gamma_rates
+
+
+@dataclass(frozen=True)
+class RateModel:
+    """Rate-heterogeneity specification.
+
+    ``kind == "gamma"``: ``rates`` holds the k category rates (mean 1) and
+    every pattern is a uniform mixture over them; ``alpha`` records the
+    shape parameter that produced them.
+
+    ``kind == "cat"``: ``rates`` holds the category rates and
+    ``pattern_to_cat`` assigns each pattern to exactly one category.
+
+    ``p_invariant`` adds the "+I" component (GTR+I+Γ): a proportion of
+    sites that never change.  Per-pattern likelihood becomes
+    ``(1 - p)·L_variable + p·L_invariant`` where the invariant component
+    is non-zero only for constant-compatible patterns.
+    """
+
+    kind: str
+    rates: np.ndarray
+    alpha: float | None = None
+    pattern_to_cat: np.ndarray | None = None
+    p_invariant: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gamma", "cat"):
+            raise ValueError(f"unknown rate model kind {self.kind!r}")
+        if not (0.0 <= self.p_invariant < 1.0):
+            raise ValueError("p_invariant must be in [0, 1)")
+        rates = np.asarray(self.rates, dtype=np.float64)
+        if rates.ndim != 1 or rates.size < 1:
+            raise ValueError("rates must be a non-empty 1-D array")
+        if np.any(rates < 0):
+            raise ValueError("category rates must be non-negative")
+        rates.setflags(write=False)
+        object.__setattr__(self, "rates", rates)
+        if self.kind == "cat":
+            if self.pattern_to_cat is None:
+                raise ValueError("cat rate model requires pattern_to_cat")
+            p2c = np.asarray(self.pattern_to_cat, dtype=np.intp)
+            if p2c.size and (p2c.min() < 0 or p2c.max() >= rates.size):
+                raise ValueError("pattern_to_cat refers to a missing category")
+            p2c.setflags(write=False)
+            object.__setattr__(self, "pattern_to_cat", p2c)
+        elif self.pattern_to_cat is not None:
+            raise ValueError("gamma rate model must not set pattern_to_cat")
+
+    @classmethod
+    def gamma(
+        cls, alpha: float = 1.0, n_categories: int = 4, p_invariant: float = 0.0
+    ) -> "RateModel":
+        return cls(
+            "gamma",
+            discrete_gamma_rates(alpha, n_categories),
+            alpha=alpha,
+            p_invariant=p_invariant,
+        )
+
+    @classmethod
+    def single(cls) -> "RateModel":
+        """No rate heterogeneity (one category, rate 1)."""
+        return cls("gamma", np.ones(1), alpha=None)
+
+    @classmethod
+    def cat(cls, rates, pattern_to_cat, p_invariant: float = 0.0) -> "RateModel":
+        return cls(
+            "cat",
+            np.asarray(rates, float),
+            pattern_to_cat=np.asarray(pattern_to_cat),
+            p_invariant=p_invariant,
+        )
+
+    def with_p_invariant(self, p_invariant: float) -> "RateModel":
+        """The same rate model with a different +I proportion."""
+        return RateModel(
+            self.kind, self.rates, alpha=self.alpha,
+            pattern_to_cat=self.pattern_to_cat, p_invariant=p_invariant,
+        )
+
+    @property
+    def n_categories(self) -> int:
+        return int(self.rates.size)
+
+
+def subset_rate_model(rate_model: RateModel, idx) -> RateModel:
+    """Restrict a rate model to a subset of patterns.
+
+    ``idx`` may be an index array or a slice; empty subsets are legal (a
+    worker beyond the pattern count owns zero patterns — the degenerate
+    chunk a surplus thread gets).  Gamma mixtures are pattern-independent;
+    CAT assignments are sliced.
+    """
+    if rate_model.kind == "cat":
+        return RateModel.cat(
+            rate_model.rates,
+            rate_model.pattern_to_cat[idx],
+            p_invariant=rate_model.p_invariant,
+        )
+    return rate_model

@@ -75,6 +75,29 @@ def finegrain_speedup(machine: MachineSpec, n_patterns: int, n_threads: int) -> 
     )
 
 
+def traversal_pattern_units(
+    machine: MachineSpec,
+    plan,
+    n_patterns: int,
+    n_threads: int,
+    n_categories: int = 1,
+) -> float:
+    """Cost of executing one traversal plan, in pattern-units.
+
+    ``plan`` is a :class:`repro.likelihood.plan.TraversalPlan`: only its
+    ``n_inner`` ops cost parallel regions (tips are gathers folded into
+    their parent's update; cached ops are dictionary fetches), plus one
+    region for the evaluate/reduction sweep.  This is the analytic twin of
+    the engine's region charging, so planned (incremental) traversals can
+    be priced without running them — the quantity the kernel
+    microbenchmark compares against measured virtual time.
+    """
+    regions = max(plan.n_inner, 1) + 1
+    return regions * region_pattern_units(
+        machine, n_patterns, n_threads, n_categories
+    )
+
+
 def serial_pattern_cost(machine: MachineSpec, n_patterns: int) -> float:
     """Per-pattern serial cost including the machine's core speed — the
     quantity cross-machine comparisons (Fig 8, Table 5) are built on."""

@@ -38,6 +38,8 @@ def evaluate_tree(
     plus_invariant: bool = False,
     engine_factory=None,
     ops: OpCounter | None = None,
+    kernel: str = "reference",
+    clv_cache: bool = False,
 ) -> EvaluationResult:
     """Score ``tree`` under GTR+Γ (optionally GTR+I+Γ) with full parameter
     optimisation.
@@ -45,7 +47,10 @@ def evaluate_tree(
     Alternates model optimisation and branch-length smoothing (RAxML's
     evaluation loop).  The input tree is not modified.
     ``plus_invariant`` adds the proportion-of-invariant-sites parameter
-    to the optimisation (RAxML's ``GTRGAMMAI``).
+    to the optimisation (RAxML's ``GTRGAMMAI``).  ``kernel`` selects the
+    likelihood kernel backend and ``clv_cache`` enables signature-keyed
+    CLV reuse; both are ignored when a custom ``engine_factory`` is given
+    (the factory owns engine construction).
     """
     if tree.taxa != pal.taxa:
         raise ValueError("tree and alignment taxon sets differ")
@@ -53,7 +58,10 @@ def evaluate_tree(
     ops = ops if ops is not None else OpCounter()
     rm = RateModel.gamma(1.0, gamma_categories)
     if engine_factory is None:
-        engine = LikelihoodEngine(pal, GTRModel.default(), rm, ops=ops)
+        engine = LikelihoodEngine(
+            pal, GTRModel.default(), rm, ops=ops,
+            kernel=kernel, clv_cache=clv_cache,
+        )
     else:
         engine = engine_factory(pal, GTRModel.default(), rm, None, ops)
 

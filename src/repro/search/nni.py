@@ -37,6 +37,8 @@ def try_nni(engine, tree: Tree, edge_index: int, variant: int,
     edge = internal[edge_index]
     work.nni(edge, variant)
     if params.local_brlen:
+        # With the engine's CLV cache on, only partials whose subtree
+        # signature changed by the interchange are recomputed here.
         down = engine.compute_down_partials(work)
         up = engine.compute_up_partials(work, down)
         for e in [edge] + edge.children:

@@ -94,15 +94,20 @@ def try_spr(
     pruned, _ = work.prune(target)
     origin = siblings[0]
 
+    # Post-prune partials.  With the engine's CLV cache enabled the
+    # traversal planner serves every subtree signature untouched by the
+    # prune from cache, so only the path from the pruning point to the
+    # root costs kernel work; without a cache this is a full traversal.
     down = engine.compute_down_partials(work)
     up = engine.compute_up_partials(work, down)
     candidates = edges_within_radius(work, origin, params.radius)
     if not candidates:
         return None
 
-    # Tie-break tolerance: per-thread chunked reductions perturb scores at
-    # the 1e-12 level; requiring a clear margin keeps the chosen insertion
-    # (and hence the whole search trajectory) independent of thread count.
+    # Tie-break tolerance: sharded and cached evaluations are bit-identical
+    # to serial ones by construction, but a clear margin keeps the chosen
+    # insertion (and hence the search trajectory) stable under future
+    # backends whose reductions may legitimately differ in the last ulps.
     _TIE_EPS = 1e-8
     best_edge = None
     best_score = -float("inf")

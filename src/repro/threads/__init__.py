@@ -14,6 +14,7 @@ quantity a busy-wait barrier implementation pays per parallel region.
 """
 
 from repro.threads.partition import (
+    active_chunks,
     contiguous_chunks,
     cyclic_assignment,
     chunk_sizes,
@@ -25,6 +26,7 @@ from repro.threads.pool import VirtualThreadPool
 from repro.threads.threaded_engine import ThreadedLikelihoodEngine
 
 __all__ = [
+    "active_chunks",
     "contiguous_chunks",
     "cyclic_assignment",
     "chunk_sizes",

@@ -29,6 +29,18 @@ def contiguous_chunks(n_items: int, n_threads: int) -> list[slice]:
     return out
 
 
+def active_chunks(n_items: int, n_threads: int) -> list[slice]:
+    """Contiguous balanced slices with surplus workers' empty slices
+    dropped — the degenerate-chunk guard for ``n_threads > n_items``.
+
+    Kernel backends consume this shape: every returned slice is non-empty,
+    so no kernel ever runs on zero patterns, while region *timing* still
+    charges the full per-thread chunk list (idle workers wait at the
+    barrier; see :func:`chunk_sizes`).
+    """
+    return [c for c in contiguous_chunks(n_items, n_threads) if c.stop > c.start]
+
+
 def cyclic_assignment(n_items: int, n_threads: int) -> list[np.ndarray]:
     """Round-robin index sets (RAxML's actual assignment: pattern ``i``
     belongs to thread ``i mod T``), which balances per-pattern cost

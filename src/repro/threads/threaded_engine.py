@@ -1,15 +1,18 @@
-"""A likelihood engine whose pattern axis is split across virtual threads.
+"""Threaded likelihood execution — a thin adapter over the one engine.
 
-:class:`ThreadedLikelihoodEngine` duck-types the public surface of
-:class:`repro.likelihood.engine.LikelihoodEngine` that the search code
-uses, but every kernel runs once per thread chunk — genuinely exercising
-the master/worker decomposition RAxML's Pthreads code uses — and charges
-one parallel region of simulated time per kernel through the pool.
+Historically this module re-implemented the serial engine's surface with
+per-chunk sub-engines.  The traversal-plan refactor moved sharding into
+the likelihood core itself: :class:`repro.likelihood.engine.LikelihoodEngine`
+accepts a :class:`~repro.threads.pool.VirtualThreadPool` directly, runs
+every kernel once per worker's pattern slice, and charges one parallel
+region of simulated time per kernel sweep.  What remains here is a
+constructor-order adapter so existing call sites (``pal, model, pool,
+...``) keep working.
 
-Functional results are *identical* to the serial engine: CLV recursions
-are independent per pattern, and every reduction (log-likelihood, Newton
-derivatives) is a weighted sum that the master re-assembles from
-per-thread partial sums.  Tests assert this equivalence bit-for-bit.
+Functional results are *bit-identical* to serial execution by
+construction: kernels write per-shard slices of shared full-pattern
+arrays, and every reduction (log-likelihood, Newton derivatives) runs
+once over the full pattern axis.  Tests assert this bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,29 +21,13 @@ import numpy as np
 
 from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
 from repro.likelihood.gtr import GTRModel
+from repro.likelihood.plan import CLVCache
 from repro.seq.patterns import PatternAlignment
 from repro.threads.pool import VirtualThreadPool
-from repro.tree.topology import Node, Tree
 
 
-def _slice_pattern_alignment(pal: PatternAlignment, sl: slice) -> PatternAlignment:
-    """A chunk view of ``pal`` (site map dropped: chunks never expand)."""
-    return PatternAlignment(
-        pal.taxa,
-        pal.patterns[:, sl],
-        pal.weights[sl],
-        np.empty(0, dtype=np.intp),
-    )
-
-
-def _slice_rate_model(rm: RateModel, sl: slice) -> RateModel:
-    from repro.likelihood.engine import subset_rate_model
-
-    return subset_rate_model(rm, np.arange(sl.start, sl.stop))
-
-
-class ThreadedLikelihoodEngine:
-    """Pattern-chunked engine over a :class:`VirtualThreadPool`.
+class ThreadedLikelihoodEngine(LikelihoodEngine):
+    """Pattern-sharded engine over a :class:`VirtualThreadPool`.
 
     Parameters mirror :class:`LikelihoodEngine`; ``pool`` supplies the
     thread count and the region timing model.
@@ -54,150 +41,35 @@ class ThreadedLikelihoodEngine:
         rate_model: RateModel | None = None,
         weights: np.ndarray | None = None,
         ops: OpCounter | None = None,
+        kernel: str = "reference",
+        clv_cache: bool | CLVCache = False,
     ) -> None:
-        self.pal = pal
-        self.model = model
-        self.pool = pool
-        self.rate_model = rate_model if rate_model is not None else RateModel.gamma()
-        w = pal.weights if weights is None else np.asarray(weights, dtype=np.float64)
-        if w.shape != (pal.n_patterns,):
-            raise ValueError("weights length must equal the number of patterns")
-        self.weights = w.astype(np.float64)
-        self.ops = ops if ops is not None else OpCounter()
-
-        from repro.threads.partition import contiguous_chunks
-
-        self._chunks = contiguous_chunks(pal.n_patterns, pool.n_threads)
-        self._chunk_sizes = [c.stop - c.start for c in self._chunks]
-        self._engines = [
-            LikelihoodEngine(
-                _slice_pattern_alignment(pal, c),
-                model,
-                _slice_rate_model(self.rate_model, c),
-                weights=self.weights[c],
-                ops=self.ops,
-            )
-            for c in self._chunks
-            if c.stop > c.start
-        ]
-
-    # -- trivial delegation ------------------------------------------------
-
-    @property
-    def n_patterns(self) -> int:
-        return self.pal.n_patterns
-
-    @property
-    def n_categories(self) -> int:
-        return self.rate_model.n_categories
-
-    @property
-    def is_cat(self) -> bool:
-        return self.rate_model.kind == "cat"
+        super().__init__(
+            pal,
+            model,
+            rate_model,
+            weights,
+            ops,
+            kernel=kernel,
+            clv_cache=clv_cache,
+            pool=pool,
+        )
 
     def with_model(self, model: GTRModel) -> "ThreadedLikelihoodEngine":
         return ThreadedLikelihoodEngine(
-            self.pal, model, self.pool, self.rate_model, self.weights, self.ops
+            self.pal, model, self.pool, self.rate_model, self.weights, self.ops,
+            kernel=self.kernel_name, clv_cache=self.clv_cache is not None,
         )
 
     def with_rate_model(self, rate_model: RateModel) -> "ThreadedLikelihoodEngine":
         return ThreadedLikelihoodEngine(
-            self.pal, self.model, self.pool, rate_model, self.weights, self.ops
+            self.pal, self.model, self.pool, rate_model, self.weights, self.ops,
+            kernel=self.kernel_name, clv_cache=self.clv_cache is not None,
         )
 
     def with_weights(self, weights: np.ndarray) -> "ThreadedLikelihoodEngine":
         return ThreadedLikelihoodEngine(
-            self.pal, self.model, self.pool, self.rate_model, weights, self.ops
+            self.pal, self.model, self.pool, self.rate_model, weights, self.ops,
+            kernel=self.kernel_name,
+            clv_cache=self.clv_cache if self.clv_cache is not None else False,
         )
-
-    # -- region accounting ----------------------------------------------------
-
-    def _charge(self, n_regions: int = 1) -> None:
-        for _ in range(n_regions):
-            self.pool.charge_region(self._chunk_sizes, self.n_categories)
-
-    # -- chunked computations --------------------------------------------------
-
-    def compute_down_partials(self, tree: Tree, subtree: Node | None = None) -> list[dict]:
-        """Per-chunk down-partial maps (one dict per worker)."""
-        out = [e.compute_down_partials(tree, subtree) for e in self._engines]
-        # One region per internal-node CLV update, as in the serial engine.
-        if subtree is None:
-            n_updates = sum(1 for n in tree.postorder() if not n.is_leaf)
-        else:
-            n_updates = sum(
-                1
-                for n in LikelihoodEngine._subtree_postorder(subtree)
-                if not n.is_leaf
-            )
-        self._charge(max(n_updates, 1))
-        return out
-
-    def compute_up_partials(self, tree: Tree, down: list[dict]) -> list[dict]:
-        out = [e.compute_up_partials(tree, d) for e, d in zip(self._engines, down)]
-        n_updates = sum(len(n.children) for n in tree.postorder() if not n.is_leaf)
-        self._charge(n_updates)
-        return out
-
-    def site_loglikelihoods(self, tree: Tree) -> np.ndarray:
-        parts = [e.site_loglikelihoods(tree) for e in self._engines]
-        n_updates = sum(1 for n in tree.postorder() if not n.is_leaf) + 1
-        self._charge(n_updates)
-        return np.concatenate(parts) if parts else np.empty(0)
-
-    def loglikelihood(self, tree: Tree) -> float:
-        """Master/worker reduction: per-thread weighted sums, then a sum."""
-        down = [e.compute_down_partials(tree) for e in self._engines]
-        partial_sums = [
-            float(e.weights @ e._combine_root(d[id(tree.root)]))
-            for e, d in zip(self._engines, down)
-        ]
-        n_updates = sum(1 for n in tree.postorder() if not n.is_leaf) + 1
-        self._charge(n_updates)
-        return float(sum(partial_sums))
-
-    # -- per-edge machinery (chunked) ---------------------------------------------
-
-    def _indexed(self, chunked_partials: list[dict], node: Node) -> list:
-        return [d[id(node)] for d in chunked_partials]
-
-    def edge_loglikelihood(self, edge_child: Node, t: float, down_v: list, up_v: list) -> float:
-        vals = [
-            e.edge_loglikelihood(edge_child, t, d, u)
-            for e, d, u in zip(self._engines, down_v, up_v)
-        ]
-        self._charge()
-        return float(sum(vals))
-
-    def edge_coefficients(self, down_v: list, up_v: list):
-        coefs = [
-            e.edge_coefficients(d, u) for e, d, u in zip(self._engines, down_v, up_v)
-        ]
-        self._charge()
-        return coefs, None, None  # matches (coef, exps, logscale) arity
-
-    def edge_lnl_and_derivatives(self, coef, exps, logscale, t: float):
-        """Sums per-thread (lnl, d1, d2) partials — RAxML's parallel Newton."""
-        chunk_tables = coef  # packed by edge_coefficients
-        lnl = g = h = 0.0
-        for e, (c, x, ls) in zip(self._engines, chunk_tables):
-            l_, g_, h_ = e.edge_lnl_and_derivatives(c, x, ls, t)
-            lnl += l_
-            g += g_
-            h += h_
-        self._charge()
-        return lnl, g, h
-
-    def insertion_loglikelihood(self, down_v: list, up_v: list, down_s: list, t_edge: float, t_sub: float) -> float:
-        vals = [
-            e.insertion_loglikelihood(d, u, s, t_edge, t_sub)
-            for e, d, u, s in zip(self._engines, down_v, up_v, down_s)
-        ]
-        self._charge()
-        return float(sum(vals))
-
-    # -- partial indexing helper used by search code --------------------------------
-
-    def partial_for(self, chunked: list[dict], node: Node) -> list:
-        """Extract one node's per-chunk partials from a chunked map."""
-        return self._indexed(chunked, node)

@@ -89,19 +89,26 @@ class TestSubtreePartials:
         assert set(sub) == {id(leaf)}
 
     def test_threaded_engine_subtree(self, small_pal, gtr_model):
+        """The sharded engine returns the same unified partial map as the
+        serial engine, and subtree partials are bit-identical."""
         from repro.threads.pool import VirtualThreadPool
         from repro.threads.threaded_engine import ThreadedLikelihoodEngine
         from repro.tree.random_trees import yule_tree
         from repro.util.rng import RAxMLRandom
 
         tree = yule_tree(small_pal.taxa, RAxMLRandom(23))
-        engine = ThreadedLikelihoodEngine(
+        serial = LikelihoodEngine(small_pal, gtr_model, RateModel.gamma(0.8, 4))
+        threaded = ThreadedLikelihoodEngine(
             small_pal, gtr_model, VirtualThreadPool(3), RateModel.gamma(0.8, 4)
         )
         target = tree.internal_edges()[0]
-        chunked = engine.compute_down_partials(tree, subtree=target)
-        parts = engine.partial_for(chunked, target)
-        assert len(parts) == 3  # one per thread chunk
+        sub_s = serial.compute_down_partials(tree, subtree=target)
+        sub_t = threaded.compute_down_partials(tree, subtree=target)
+        part_s = serial.partial_for(sub_s, target)
+        part_t = threaded.partial_for(sub_t, target)
+        assert part_t.clv.shape == part_s.clv.shape
+        assert np.array_equal(part_t.clv, part_s.clv)
+        assert np.array_equal(part_t.logscale, part_s.logscale)
 
 
 class TestSubsetRateModel:
