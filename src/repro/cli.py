@@ -86,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulate an alignment instead of reading one")
     parser.add_argument("--simulate-seed", type=int, default=4242,
                         help="seed for --simulate")
+    parser.add_argument("--trace", dest="trace", metavar="OUT.json", default=None,
+                        help="write a Chrome-trace-event timeline of the run "
+                             "(open in https://ui.perfetto.dev): one process "
+                             "per rank, one lane per virtual thread")
+    parser.add_argument("--metrics-out", dest="metrics_out", metavar="M.json",
+                        default=None,
+                        help="write per-rank and aggregated metrics (counters/"
+                             "gauges/histograms) plus the Fig. 3-4 stage "
+                             "decomposition report as JSON")
     parser.add_argument("-w", dest="outdir", default=".", help="output directory")
     parser.add_argument("--quick", action="store_true",
                         help="reduced search effort (demo-friendly run times)")
@@ -219,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         kernel=args.kernel,
         clv_cache=args.clv_cache,
+        collect_trace=args.trace is not None,
+        collect_metrics=args.metrics_out is not None,
     )
 
     print(f"repro-raxml: {pal.n_taxa} taxa, {pal.n_sites} sites, "
@@ -261,6 +272,26 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(result.to_report(), indent=2) + "\n", encoding="ascii"
     )
     print(f"  run report written to {info_path}")
+
+    if args.trace is not None and result.trace is not None:
+        from repro.obs.trace import write_chrome_trace
+
+        trace_path = write_chrome_trace(args.trace, result.trace)
+        print(f"  trace written to {trace_path} "
+              "(open in https://ui.perfetto.dev)")
+    if args.metrics_out is not None and result.metrics is not None:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(result.metrics, indent=2) + "\n", encoding="ascii"
+        )
+        print(f"  metrics written to {metrics_path}")
+    if result.metrics is not None:
+        from repro.obs.report import format_stage_report
+
+        rows = result.metrics["report"]["stages"]
+        print()
+        print(format_stage_report(rows, title="Stage decomposition (Fig. 3-4)"))
 
     print(f"\nFinal GAMMA log-likelihood: {result.best_lnl:.4f} "
           f"(winner: rank {result.winner_rank} of {args.processes})")

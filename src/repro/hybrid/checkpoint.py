@@ -130,8 +130,23 @@ class CheckpointStore:
         }
         final = self.path(stage)
         tmp = final.with_name(final.name + ".tmp")
-        tmp.write_text(json.dumps(doc), encoding="ascii")
-        os.replace(tmp, final)  # atomic: readers see old or new, never half
+        # Durable atomic replace: fsync the temp file before the rename
+        # (else a crash can leave a fully-renamed but empty/truncated
+        # checkpoint) and fsync the directory after it (else the rename
+        # itself may not survive).  Readers see old or new, never half.
+        with open(tmp, "w", encoding="ascii") as fh:
+            fh.write(json.dumps(doc))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        try:
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return  # platform/filesystem without directory fds
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
     def load(self, stage: str) -> dict | None:
         """The payload checkpointed for ``stage``, or None if absent."""

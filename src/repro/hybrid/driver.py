@@ -33,6 +33,11 @@ from repro.likelihood.engine import OpCounter
 from repro.mpi.comm import DistributedStateError, RankFailure, SimComm
 from repro.mpi.faults import FaultPlan
 from repro.mpi.launcher import run_spmd
+from repro.obs.metrics import aggregate
+from repro.obs.recorder import Recorder, recording
+from repro.obs.recorder import current as _obs_current
+from repro.obs.report import run_report
+from repro.obs.trace import chrome_trace
 from repro.perfmodel.finegrain import MachineRegionTiming
 from repro.perfmodel.machines import machine_by_name
 from repro.search.comprehensive import (
@@ -94,6 +99,12 @@ class HybridConfig:
     #: Enable signature-keyed CLV caching in every rank's engines (the
     #: traversal planner then recomputes only move-invalidated partials).
     clv_cache: bool = False
+    #: Record a span/event timeline per rank (``--trace``); excluded from
+    #: the checkpoint fingerprint, so resumed runs may toggle it freely.
+    collect_trace: bool = False
+    #: Collect per-rank metrics registries (``--metrics-out``); implied
+    #: by ``collect_trace`` since the recorder carries both.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -190,6 +201,15 @@ class _RankPipeline:
         recovered = self.recovery_seconds - self._r0
         self.stage_seconds[stage] = (self.clock.now - self._t0) - recovered
         self.stage_ops[stage] = self.ops.pattern_ops - self._o0
+        rec = _obs_current()
+        if rec is not None:
+            # The span covers the wall window (incl. recovery time charged
+            # elsewhere); args carry the stage-only accounting.
+            rec.span(stage, "stage", self._t0, args={
+                "stage_seconds": self.stage_seconds[stage],
+                "pattern_ops": self.stage_ops[stage],
+                "recovery_seconds": recovered,
+            })
         if save and self.ckpt is not None and self.save_checkpoints:
             doc = dict(payload or {})
             doc["stage_seconds"] = self.stage_seconds[stage]
@@ -212,9 +232,19 @@ class _RankPipeline:
             )
         self.stage_seconds[stage] = data["stage_seconds"]
         self.stage_ops[stage] = data["stage_ops"]
+        t0 = self.clock.now
         # Restore the rank's timeline (synchronize only moves forward, and
         # a fresh run starts at 0, so this is an exact restore).
         self.clock.synchronize(data["clock"])
+        rec = _obs_current()
+        if rec is not None:
+            # Resumed stages splice into the trace as one span covering the
+            # restored window, flagged so timelines read unambiguously.
+            rec.span(stage, "stage", t0, self.clock.now, args={
+                "resumed": True,
+                "stage_seconds": self.stage_seconds[stage],
+                "pattern_ops": self.stage_ops[stage],
+            })
         return data
 
     # -- the four compute stages ---------------------------------------------
@@ -227,11 +257,17 @@ class _RankPipeline:
             # cheap deterministic preparation; recomputing them on a
             # throwaway clock avoids serialising models entirely.  p_rng is
             # only forked (never advanced) by setup, so reusing it keeps
-            # the live and resumed streams identical.
-            shadow = _RankPipeline(self.pal, self.config, self.rank, VirtualClock())
-            return prepare_model_and_rates(
-                self.pal, self.cfg, self.p_rng, shadow.engine_factory, shadow.ops
-            )
+            # the live and resumed streams identical.  The recorder is
+            # masked: throwaway-clock timestamps would corrupt the spliced
+            # timeline (the resumed-stage span already covers this window).
+            with recording(None):
+                shadow = _RankPipeline(
+                    self.pal, self.config, self.rank, VirtualClock()
+                )
+                return prepare_model_and_rates(
+                    self.pal, self.cfg, self.p_rng, shadow.engine_factory,
+                    shadow.ops,
+                )
         self.begin_stage()
         out = prepare_model_and_rates(
             self.pal, self.cfg, self.p_rng, self.engine_factory, self.ops
@@ -378,7 +414,40 @@ def _replay_rank(dead_rank: int, comm: SimComm, pal, config: HybridConfig,
 
 
 def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
-    """The SPMD body: one rank's share of the comprehensive analysis."""
+    """The SPMD body: install this rank's recorder, then run the pipeline.
+
+    One :class:`~repro.obs.recorder.Recorder` per rank, on the rank's own
+    virtual clock, installed thread-locally so every instrumented layer
+    (pool, engine, search, collectives) finds it via ``obs.current()``.
+    With both collect flags off no recorder exists and instrumentation
+    reduces to a thread-local read per call site.
+    """
+    rec = None
+    if config.collect_trace or config.collect_metrics:
+        rec = Recorder(
+            comm.rank, comm.clock, n_threads=config.n_threads,
+            record_events=config.collect_trace,
+        )
+    with recording(rec):
+        out = _rank_body(comm, pal, config)
+    if rec is not None:
+        for stage, s in out["stage_seconds"].items():
+            rec.gauge(f"stage.seconds.{stage}", s)
+        rec.gauge("rank.finish_time", out["finish_time"])
+        rec.gauge("rank.comm_seconds", out["comm_seconds"])
+        rec.gauge("ops.pattern_ops", out["pattern_ops"])
+        out["metrics"] = rec.metrics.to_dict()
+        out["trace_events"] = rec.export_events() if config.collect_trace else None
+        out["trace_dropped"] = rec.dropped
+    else:
+        out["metrics"] = None
+        out["trace_events"] = None
+        out["trace_dropped"] = 0
+    return out
+
+
+def _rank_body(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
+    """One rank's share of the comprehensive analysis."""
     cfg = config.comprehensive
     rank = comm.rank
     sched = make_schedule(cfg.n_bootstraps, comm.size)
@@ -412,6 +481,7 @@ def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> di
         """
         survivors = comm.alive_ranks()
         t_r = comm.clock.now
+        replayed_now: list[int] = []
         for d in comm.known_dead:
             if config.bootstopping:
                 # Bootstopping gathers replicates every round, so the dead
@@ -423,7 +493,14 @@ def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> di
                 continue
             if d not in adopted:
                 adopted[d] = _replay_rank(d, comm, pal, config, upto)
+                replayed_now.append(d)
         pipe.add_recovery(comm.clock.now - t_r)
+        rec = _obs_current()
+        if rec is not None and replayed_now:
+            rec.count("recovery.replays", len(replayed_now))
+            rec.span("recovery", "recovery", t_r, args={
+                "adopted": replayed_now, "upto": upto,
+            })
 
     model, search_rm, gamma_rm, init_tree = pipe.run_setup()
 
@@ -530,6 +607,7 @@ def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> di
         "n_slow": len(slow_results),
         "finish_time": comm.clock.now,
         "comm_seconds": comm.comm_seconds(),
+        "pattern_ops": pipe.ops.pattern_ops,
         "n_retries": comm.n_retries,
         "recovered_for": sorted(adopted),
         "failed_ranks": comm.known_dead,
@@ -668,6 +746,29 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
             table.add_trees(bootstrap_trees)
         support_tree = map_support(best_tree, table)
 
+    trace = None
+    if config.collect_trace:
+        events = [e for r in results for e in (r["trace_events"] or [])]
+        trace = chrome_trace(events, n_threads=config.n_threads, meta={
+            "n_processes": config.n_processes,
+            "n_threads": config.n_threads,
+            "machine": config.machine,
+            "dropped_events": sum(r["trace_dropped"] for r in results),
+        })
+    metrics = None
+    if config.collect_trace or config.collect_metrics:
+        per_rank = {str(r["rank"]): r["metrics"] for r in results}
+        metrics = {
+            "per_rank": per_rank,
+            "aggregate": aggregate(list(per_rank.values())),
+            "report": run_report(
+                [r.stage_seconds for r in ranks],
+                comm_seconds=[r.comm_seconds for r in ranks],
+                n_processes=config.n_processes,
+                n_threads=config.n_threads,
+            ),
+        }
+
     return HybridResult(
         best_tree=best_tree,
         best_lnl=results[0]["winner_lnl"],
@@ -680,4 +781,6 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
         bootstrap_trees=bootstrap_trees,
         wc_trace=results[0]["wc_trace"],
         failed_ranks=results[0]["failed_ranks"],
+        trace=trace,
+        metrics=metrics,
     )

@@ -45,6 +45,10 @@ class HybridResult:
     bootstrap_trees: list[Tree] = field(default_factory=list)
     wc_trace: list[tuple[int, float]] = field(default_factory=list)
     failed_ranks: list[int] = field(default_factory=list)  # ranks that died mid-run
+    #: Chrome-trace-event document (``--trace``), loadable in Perfetto.
+    trace: dict | None = None
+    #: Per-rank + aggregated metrics and the stage report (``--metrics-out``).
+    metrics: dict | None = None
 
     @property
     def n_bootstraps_done(self) -> int:

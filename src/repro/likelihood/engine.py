@@ -40,6 +40,7 @@ from repro.likelihood.kernels import get_kernel
 from repro.likelihood.kernels.base import OpCounter, Partial
 from repro.likelihood.plan import CLVCache, plan_traversal, subtree_postorder
 from repro.likelihood.rates import RateModel, subset_rate_model
+from repro.obs.recorder import current as _obs_current
 from repro.seq.encoding import state_likelihood_rows
 from repro.seq.patterns import PatternAlignment
 from repro.tree.topology import Node, Tree
@@ -281,6 +282,12 @@ class LikelihoodEngine:
         down: dict[int, Partial] = {}
         m = self.n_patterns
         executed = 0
+        rec = _obs_current()
+        if rec is not None:
+            rec.count("clv.plan_traversals")
+            rec.count("clv.plan_tips", plan.n_tip)
+            rec.count("clv.cache_hits", plan.n_cached)
+            rec.count("clv.cache_misses", plan.n_inner)
         for op in plan.ops:
             node = op.node
             if op.kind == "tip":
@@ -297,6 +304,8 @@ class LikelihoodEngine:
             down[id(node)] = part
         # One simulated region per executed inner-node CLV update (at least
         # one: even an all-cached traversal synchronises the workers once).
+        if rec is not None:
+            rec.count("clv.inner_executed", executed)
         self._charge_regions(max(executed, 1))
         return down
 

@@ -16,6 +16,7 @@ the final best solution (Section 2.1).  This package provides:
 """
 
 from repro.mpi.comm import (
+    DEAD_RANK,
     AllRanksDeadError,
     CommEvent,
     CommTiming,
@@ -39,6 +40,7 @@ __all__ = [
     "DistributedStateError",
     "RetryExhaustedError",
     "AllRanksDeadError",
+    "DEAD_RANK",
     "FaultPlan",
     "KillSpec",
     "CollectiveGlitch",

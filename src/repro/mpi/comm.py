@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from math import ceil, log2
 
 from repro.mpi.faults import FaultPlan, RankKilledError
+from repro.obs.recorder import current as _obs_current
 from repro.util.timing import VirtualClock
 
 
@@ -69,6 +70,24 @@ class RetryExhaustedError(SPMDError):
 
 class AllRanksDeadError(SPMDError):
     """Every rank of a resilient world died; there is nobody to recover."""
+
+
+class _DeadRankSentinel:
+    """Marker for a rank absent from a collective (died before joining).
+
+    Distinct from every payload — in particular from a rank legitimately
+    contributing ``None`` — so reductions can exclude dead peers without
+    corrupting real values.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<dead rank>"
+
+
+#: The singleton dead-rank sentinel used by reducing collectives.
+DEAD_RANK = _DeadRankSentinel()
 
 
 #: Rank lifecycle states tracked by :class:`_World`.
@@ -204,15 +223,26 @@ class SimComm:
         self.trace: list[CommEvent] = []
 
     def _record(self, op: str, started_at: float, payload: int) -> None:
+        seconds = self.clock.now - started_at
         self.trace.append(
             CommEvent(
                 op=op,
                 rank=self.rank,
-                seconds=self.clock.now - started_at,
+                seconds=seconds,
                 payload_bytes=payload,
                 started_at=started_at,
             )
         )
+        rec = _obs_current()
+        if rec is not None:
+            # The CommEvent trace generalised into the span model: one
+            # span per operation on the rank's main track, plus running
+            # call/byte/seconds counters and a payload histogram.
+            rec.span(op, "comm", started_at, args={"bytes": payload})
+            rec.count(f"comm.calls.{op}")
+            rec.count(f"comm.bytes.{op}", payload)
+            rec.count(f"comm.seconds.{op}", seconds)
+            rec.observe("comm.payload_bytes", payload)
 
     def comm_seconds(self) -> float:
         """Total virtual time this rank spent communicating (including
@@ -264,6 +294,14 @@ class SimComm:
                 status = world.status_of(source)
                 if status == DEAD:
                     self.known_alive.discard(source)
+                    rec = _obs_current()
+                    if rec is not None:
+                        rec.count("comm.rank_failures")
+                        rec.instant(
+                            "rank-failure", "fault",
+                            args={"op": f"recv(tag={tag})", "dead": [source],
+                                  "known_dead": self.known_dead},
+                        )
                     raise RankFailure((source,), op=f"recv(tag={tag})") from None
                 if status in (EXITED, FAILED):
                     raise SPMDError(
@@ -307,10 +345,21 @@ class SimComm:
             )
         elif glitch.kind == "fail":
             attempts = min(glitch.failures, world.max_retries)
+            rec = _obs_current()
             for attempt in range(attempts):
                 self.n_retries += 1
                 self.clock.advance(RETRY_BACKOFF * (2 ** attempt))
+                if rec is not None:
+                    rec.count("comm.retries")
+                    rec.instant(
+                        "retry", "comm",
+                        args={"op": op, "call": index, "attempt": attempt + 1},
+                    )
             if glitch.failures > world.max_retries:
+                if rec is not None:
+                    rec.instant(
+                        "retry-exhausted", "comm", args={"op": op, "call": index}
+                    )
                 raise RetryExhaustedError(
                     f"rank {self.rank}: collective {op!r} (call {index}) "
                     f"still failing after {world.max_retries} retries"
@@ -394,6 +443,14 @@ class SimComm:
         newly_dead = sorted(self.known_alive - outcome)
         if newly_dead:
             self.known_alive.difference_update(newly_dead)
+            rec = _obs_current()
+            if rec is not None:
+                rec.count("comm.rank_failures")
+                rec.instant(
+                    "rank-failure", "fault",
+                    args={"op": op, "dead": newly_dead,
+                          "known_dead": self.known_dead},
+                )
             raise RankFailure(newly_dead, op=op)
         return result
 
@@ -424,6 +481,13 @@ class SimComm:
         t0 = self.clock.now
         board = self._exchange(obj if self.rank == root else None, op="bcast")
         if root not in board:
+            # The root died in an *earlier* collective, so this exchange
+            # completes over the survivors without raising.  Survivors
+            # must still see a RankFailure (with the frozen death set) —
+            # a generic SPMDError here would leave them unable to run
+            # recovery in lockstep.
+            if self._world.resilient:
+                raise RankFailure(self.known_dead, op="bcast")
             raise SPMDError(f"bcast root {root} is dead")
         value = board[root][0]
         payload = _payload_bytes(value)
@@ -458,14 +522,30 @@ class SimComm:
         return values
 
     def allreduce(self, obj, op=None):
-        """Reduce with ``op`` (a 2-ary callable; default: sum)."""
-        values = [v for v in self.allgather(obj) if v is not None]
-        if op is None:
-            total = values[0]
-            for v in values[1:]:
-                total = total + v
-            return total
-        acc = values[0]
-        for v in values[1:]:
-            acc = op(acc, v)
+        """Reduce with ``op`` (a 2-ary callable; default: sum).
+
+        Ranks absent from the exchange (dead peers in resilient mode) are
+        excluded via the :data:`DEAD_RANK` sentinel — **not** by value —
+        so a rank legitimately contributing ``None`` participates in the
+        reduction.  If no contribution survives at all, the reduction is
+        undefined and :class:`AllRanksDeadError` is raised.
+        """
+        t0 = self.clock.now
+        board = self._exchange(obj, op="allreduce")
+        values = [
+            board[r][0] if r in board else DEAD_RANK for r in range(self.size)
+        ]
+        alive = [v for v in values if v is not DEAD_RANK]
+        if not alive:
+            raise AllRanksDeadError(
+                f"allreduce at rank {self.rank}: no rank contributed a "
+                "value (every participant is dead); nothing to reduce"
+            )
+        payload = max(_payload_bytes(v) for v in alive)
+        cost = self._world.timing.collective_seconds(self.size, payload)
+        self._sync_clocks(board, cost)
+        self._record("allreduce", t0, payload)
+        acc = alive[0]
+        for v in alive[1:]:
+            acc = acc + v if op is None else op(acc, v)
         return acc

@@ -1,0 +1,140 @@
+"""The metrics registry: counters, gauges, and histograms → JSON.
+
+Every simulated rank owns one :class:`MetricsRegistry` (inside its
+:class:`~repro.obs.recorder.Recorder`).  Counters accumulate event
+totals (kernel invocations, CLV-cache hits, collective calls/bytes),
+gauges record point-in-time values (final op counts, stage seconds),
+and histograms bucket distributions (collective payload sizes, region
+durations) without storing every observation.
+
+Registries serialise to plain-JSON dictionaries and aggregate across
+ranks with :func:`aggregate`: counters and histogram contents sum,
+gauges keep per-rank extrema (a gauge is a *state*, so the only honest
+cross-rank summaries are its min/max).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+class Histogram:
+    """A power-of-two bucketed histogram of non-negative observations.
+
+    Buckets are keyed by ``ceil(log2(value))`` so the memory footprint is
+    O(dynamic range), not O(observations); exact ``count``/``sum``/
+    ``min``/``max`` ride along so means stay precise.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket exponent -> observation count; an observation v lands in
+        #: the smallest e with v <= 2**e (zero gets its own bucket "0").
+        self.buckets: dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if v < 0 or math.isnan(v):
+            raise ValueError(f"histogram observations must be >= 0, got {value}")
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        key = "0" if v == 0.0 else f"2^{math.ceil(math.log2(v))}"
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "buckets": {}}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one rank."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+
+def aggregate(docs: Sequence[Mapping]) -> dict:
+    """Cross-rank aggregation of serialised registries.
+
+    Counters and histogram counts/sums add up; histogram min/max and the
+    per-gauge extrema take the elementwise min/max across ranks.
+    """
+    counters: dict[str, float] = {}
+    gauge_min: dict[str, float] = {}
+    gauge_max: dict[str, float] = {}
+    hists: dict[str, dict] = {}
+    for doc in docs:
+        for name, v in doc.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + v
+        for name, v in doc.get("gauges", {}).items():
+            gauge_min[name] = min(gauge_min.get(name, v), v)
+            gauge_max[name] = max(gauge_max.get(name, v), v)
+        for name, h in doc.get("histograms", {}).items():
+            if h.get("count", 0) == 0:
+                continue
+            acc = hists.setdefault(
+                name,
+                {"count": 0, "sum": 0.0, "min": math.inf, "max": -math.inf,
+                 "buckets": {}},
+            )
+            acc["count"] += h["count"]
+            acc["sum"] += h["sum"]
+            acc["min"] = min(acc["min"], h["min"])
+            acc["max"] = max(acc["max"], h["max"])
+            for key, n in h.get("buckets", {}).items():
+                acc["buckets"][key] = acc["buckets"].get(key, 0) + n
+    for acc in hists.values():
+        acc["mean"] = acc["sum"] / acc["count"]
+        acc["buckets"] = dict(sorted(acc["buckets"].items()))
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": {
+            name: {"min": gauge_min[name], "max": gauge_max[name]}
+            for name in sorted(gauge_min)
+        },
+        "histograms": dict(sorted(hists.items())),
+    }

@@ -1,0 +1,172 @@
+"""Chrome-trace-event / Perfetto export and validation.
+
+:func:`chrome_trace` turns the recorder's exported events into a JSON
+document in the Trace Event Format (the ``traceEvents`` array form) that
+loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``:
+
+* each simulated MPI rank becomes one *process* (``pid`` = rank), named
+  via ``process_name`` metadata;
+* track 0 becomes the ``rank main`` thread, tracks ``1..T`` the
+  ``vthread t`` lanes, named via ``thread_name`` metadata;
+* spans are complete (``"ph": "X"``) events, instants are ``"ph": "i"``
+  with thread scope; timestamps are virtual seconds scaled to
+  microseconds (the format's unit).
+
+:func:`validate_chrome_trace` is the schema check used by the tests and
+the CI smoke step — it verifies the structural contract Perfetto relies
+on rather than trusting that a file merely parses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+#: Microseconds per virtual second (trace-event timestamps are in us).
+_US = 1e6
+
+#: Event phases the exporter emits (and the validator accepts).
+_PHASES = {"X", "i", "M"}
+
+#: Metadata record names understood by Perfetto/chrome://tracing.
+_META_NAMES = {
+    "process_name", "process_sort_index", "thread_name", "thread_sort_index",
+}
+
+
+def _meta(name: str, pid: int, tid: int, args: dict) -> dict:
+    return {"ph": "M", "name": name, "pid": pid, "tid": tid, "args": args}
+
+
+def chrome_trace(
+    events: Iterable[Mapping],
+    n_threads: int = 1,
+    meta: Mapping | None = None,
+) -> dict:
+    """Build a Trace-Event-Format document from exported recorder events.
+
+    ``events`` are the dicts produced by
+    :meth:`repro.obs.recorder.Recorder.export_events` (any number of
+    ranks concatenated).  ``n_threads`` declares the virtual-thread lane
+    count so every rank gets identical tracks even if a lane stayed
+    idle.  ``meta`` lands in the document's ``otherData``.
+    """
+    events = list(events)
+    ranks = sorted({int(e["rank"]) for e in events})
+    trace_events: list[dict] = []
+    for rank in ranks:
+        trace_events.append(_meta("process_name", rank, 0, {"name": f"rank {rank}"}))
+        trace_events.append(_meta("process_sort_index", rank, 0, {"sort_index": rank}))
+        for track in range(n_threads + 1):
+            name = "rank main" if track == 0 else f"vthread {track}"
+            trace_events.append(_meta("thread_name", rank, track, {"name": name}))
+            trace_events.append(
+                _meta("thread_sort_index", rank, track, {"sort_index": track})
+            )
+    for e in events:
+        common = {
+            "name": str(e["name"]),
+            "cat": str(e.get("cat", "default")),
+            "pid": int(e["rank"]),
+            "tid": int(e["track"]),
+            "args": e.get("args") or {},
+        }
+        if e["type"] == "span":
+            trace_events.append({
+                **common,
+                "ph": "X",
+                "ts": float(e["t0"]) * _US,
+                "dur": max(0.0, (float(e["t1"]) - float(e["t0"])) * _US),
+            })
+        elif e["type"] == "instant":
+            trace_events.append({
+                **common, "ph": "i", "s": "t", "ts": float(e["t"]) * _US,
+            })
+        else:
+            raise ValueError(f"unknown recorder event type {e['type']!r}")
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_chrome_trace(path: str | Path, doc: Mapping) -> Path:
+    """Serialise a trace document (validated first) to ``path``."""
+    validate_chrome_trace(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc), encoding="ascii")
+    return path
+
+
+class TraceValidationError(ValueError):
+    """A document violates the Chrome trace-event structural contract."""
+
+
+def _fail(index: int, message: str) -> None:
+    raise TraceValidationError(f"traceEvents[{index}]: {message}")
+
+
+def validate_chrome_trace(doc: Mapping) -> dict:
+    """Validate a trace document; returns summary stats on success.
+
+    Checks the invariants Perfetto depends on: a ``traceEvents`` list;
+    every event a dict with a known ``ph``; complete events with numeric
+    non-negative ``ts``/``dur`` and integer ``pid``/``tid``; metadata
+    events with known names and an ``args`` dict.
+    """
+    if not isinstance(doc, Mapping):
+        raise TraceValidationError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceValidationError("'traceEvents' must be a list")
+    counts = {"X": 0, "i": 0, "M": 0}
+    tracks: set[tuple[int, int]] = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, Mapping):
+            _fail(i, "event must be an object")
+        ph = e.get("ph")
+        if ph not in _PHASES:
+            _fail(i, f"unknown phase {ph!r} (expected one of {sorted(_PHASES)})")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            _fail(i, "missing or empty 'name'")
+        if not isinstance(e.get("pid"), int) or not isinstance(e.get("tid"), int):
+            _fail(i, "'pid' and 'tid' must be integers")
+        if ph == "M":
+            if e["name"] not in _META_NAMES:
+                _fail(i, f"unknown metadata record {e['name']!r}")
+            if not isinstance(e.get("args"), Mapping):
+                _fail(i, "metadata event needs an 'args' object")
+        else:
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                _fail(i, "'ts' must be a non-negative number")
+            if ph == "X":
+                dur = e.get("dur")
+                if not isinstance(dur, (int, float)) or dur < 0:
+                    _fail(i, "'dur' must be a non-negative number")
+            if ph == "i" and e.get("s") not in (None, "t", "p", "g"):
+                _fail(i, f"instant scope {e.get('s')!r} invalid")
+            tracks.add((e["pid"], e["tid"]))
+        counts[ph] += 1
+    return {
+        "events": len(events),
+        "spans": counts["X"],
+        "instants": counts["i"],
+        "metadata": counts["M"],
+        "processes": len({pid for pid, _ in tracks}),
+        "tracks": len(tracks),
+    }
+
+
+def validate_trace_file(path: str | Path) -> dict:
+    """Parse and validate a trace JSON file; returns summary stats."""
+    with open(path, encoding="ascii") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_chrome_trace(doc)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.likelihood.brlen import optimize_branch_lengths
+from repro.obs.recorder import current as _obs_current
 from repro.search.spr import SPRParams, spr_round
 from repro.tree.topology import Tree
 
@@ -46,6 +47,8 @@ def hill_climb(
     """
     if initial_radius < 1 or max_radius < initial_radius or radius_step < 1:
         raise ValueError("invalid radius schedule")
+    rec = _obs_current()
+    t_climb = rec.now if rec is not None else 0.0
     work = tree.copy()
     lnl = optimize_branch_lengths(engine, work, passes=brlen_passes)
     radius = initial_radius
@@ -64,4 +67,9 @@ def hill_climb(
         if radius >= max_radius:
             break
         radius = min(radius + radius_step, max_radius)
+    if rec is not None:
+        rec.count("search.hill_climbs")
+        rec.span("hill_climb", "search", t_climb, args={
+            "rounds": rounds, "final_radius": radius, "lnl": lnl,
+        })
     return SearchResult(work, lnl, rounds)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.likelihood.brlen import optimize_edge
+from repro.obs.recorder import current as _obs_current
 from repro.tree.topology import Tree
 
 
@@ -58,12 +59,16 @@ def nni_round(engine, tree: Tree, params: NNIParams = NNIParams(),
     lnl = engine.loglikelihood(tree) if current_lnl is None else current_lnl
     improved_any = False
     idx = 0
+    rec = _obs_current()
+    t_round = rec.now if rec is not None else 0.0
+    tried = accepted = 0
     while idx < len(current.internal_edges()):
         best_alt = None
         for variant in (0, 1):
             result = try_nni(engine, current, idx, variant, params)
             if result is None:
                 break
+            tried += 1
             if result[1] > lnl + params.min_improvement and (
                 best_alt is None or result[1] > best_alt[1]
             ):
@@ -71,7 +76,14 @@ def nni_round(engine, tree: Tree, params: NNIParams = NNIParams(),
         if best_alt is not None:
             current, lnl = best_alt
             improved_any = True
+            accepted += 1
         idx += 1
+    if rec is not None:
+        rec.count("search.nni.tried", tried)
+        rec.count("search.nni.accepted", accepted)
+        rec.span("nni_round", "search", t_round, args={
+            "tried": tried, "accepted": accepted, "lnl": lnl,
+        })
     return current, lnl, improved_any
 
 

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.likelihood.brlen import optimize_edge
+from repro.obs.recorder import current as _obs_current
 from repro.tree.topology import Node, Tree
 
 
@@ -162,12 +163,24 @@ def spr_round(
     ):
         rng.shuffle(indices)
         indices = sorted(indices[: params.max_prune_candidates])
+    rec = _obs_current()
+    t_round = rec.now if rec is not None else 0.0
+    tried = accepted = 0
     for idx in indices:
         result = try_spr(engine, current, idx, params)
         if result is None:
             continue
+        tried += 1
         new_tree, new_lnl = result
         if new_lnl > lnl + params.min_improvement:
             current, lnl = new_tree, new_lnl
             improved_any = True
+            accepted += 1
+    if rec is not None:
+        rec.count("search.spr.tried", tried)
+        rec.count("search.spr.accepted", accepted)
+        rec.span("spr_round", "search", t_round, args={
+            "radius": params.radius, "tried": tried,
+            "accepted": accepted, "lnl": lnl,
+        })
     return current, lnl, improved_any

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.obs.recorder import current as _obs_current
 from repro.threads.partition import contiguous_chunks
 from repro.threads.timing import RegionTiming, ZeroTiming
 from repro.util.timing import VirtualClock
@@ -56,9 +57,13 @@ class VirtualThreadPool:
         Used when the caller has already computed full-vector results and
         only needs the timing (the arithmetic is identical either way).
         """
+        t0 = self.clock.now
         dt = self.timing.region_seconds(chunk_patterns, n_categories)
         self.clock.advance(dt)
         self.regions_executed += 1
+        rec = _obs_current()
+        if rec is not None:
+            self._record_regions(rec, t0, dt, chunk_patterns, 1)
         return dt
 
     def charge_regions(self, n_regions: int, n_patterns: int, n_categories: int) -> float:
@@ -68,10 +73,39 @@ class VirtualThreadPool:
         from repro.threads.partition import chunk_sizes
 
         sizes = chunk_sizes(n_patterns, self.n_threads)
+        t0 = self.clock.now
         dt = self.timing.region_seconds(sizes, n_categories) * n_regions
         self.clock.advance(dt)
         self.regions_executed += n_regions
+        rec = _obs_current()
+        if rec is not None and n_regions > 0:
+            self._record_regions(rec, t0, dt, sizes, n_regions)
         return dt
+
+    def _record_regions(
+        self,
+        rec,
+        t0: float,
+        dt: float,
+        chunk_patterns: Sequence[int],
+        n_regions: int,
+    ) -> None:
+        """Feed one region charge into the recorder's per-thread lanes.
+
+        The bottleneck chunk is busy for the whole compute window; every
+        other thread's busy share scales with its chunk size — the rest
+        of its lane is barrier wait, which is exactly the fine-grained
+        load-imbalance picture the paper's Section 5.1 discusses.
+        """
+        rec.count("threads.regions", n_regions)
+        biggest = max(chunk_patterns) if chunk_patterns else 0
+        busy = [
+            dt * (c / biggest) if biggest > 0 else dt for c in chunk_patterns
+        ]
+        # Surplus workers (empty chunk list entries dropped upstream)
+        # still own a lane; pad so every declared track gets a span.
+        busy += [0.0] * (self.n_threads - len(busy))
+        rec.thread_regions(t0, t0 + dt, busy, count=n_regions)
 
     @property
     def virtual_time(self) -> float:

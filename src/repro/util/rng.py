@@ -108,12 +108,49 @@ class RAxMLRandom:
             raise ValueError("cannot choose from an empty sequence")
         return items[self.next_int(len(items))]
 
+    def _advance_doubles(self, n: int) -> np.ndarray:
+        """The next ``n`` uniform doubles, via a vectorized LCG jump.
+
+        Closed form of ``k`` LCG steps: ``s_k = A^k s_0 + (1 + A + ... +
+        A^(k-1))  (mod 2^48)``.  All products/sums run in uint64, whose
+        natural wraparound is arithmetic mod 2^64; masking to 48 bits then
+        yields values mod 2^48 exactly (2^48 divides 2^64), so the stream
+        is bit-identical to ``n`` scalar :meth:`next_double` calls —
+        including the final state, which this method stores back.
+        """
+        if n <= 0:
+            return np.zeros(0, dtype=np.float64)
+        mult = np.uint64(self._MULT)
+        apow = np.multiply.accumulate(
+            np.full(n, mult, dtype=np.uint64)
+        )  # A^1 .. A^n  (mod 2^64)
+        incr = np.empty(n, dtype=np.uint64)  # 1 + A + ... + A^(k-1)
+        incr[0] = 1
+        if n > 1:
+            incr[1:] = np.cumsum(apow[:-1]) + np.uint64(1)
+        states = (apow * np.uint64(self._state) + incr) & np.uint64(self._MASK)
+        self._state = int(states[-1])
+        # Same IEEE op per element as the scalar path: state / 2^48.
+        return states.astype(np.float64) / float(1 << 48)
+
     def multinomial_counts(self, n_draws: int, n_bins: int) -> np.ndarray:
         """Counts from ``n_draws`` uniform draws over ``n_bins`` bins.
 
         Used for bootstrap resampling: RAxML draws each bootstrap site
-        uniformly among the original sites and accumulates per-site counts.
+        uniformly among the original sites and accumulates per-site
+        counts.  Vectorized over the draws; the consumed stream (and the
+        generator state left behind) is bit-identical to the scalar
+        ``next_int`` loop (see :meth:`_advance_doubles`).  ``int(d *
+        n_bins)`` never reaches ``n_bins``: ``d <= (2^48-1)/2^48`` keeps
+        the float64 product strictly below ``n_bins``.
         """
+        if n_bins <= 0:
+            raise ValueError(f"upper must be positive, got {n_bins}")
+        idx = (self._advance_doubles(n_draws) * n_bins).astype(np.int64)
+        return np.bincount(idx, minlength=n_bins).astype(np.int64)
+
+    def _multinomial_counts_scalar(self, n_draws: int, n_bins: int) -> np.ndarray:
+        """Reference scalar loop (the parity oracle for the vector path)."""
         counts = np.zeros(n_bins, dtype=np.int64)
         for _ in range(n_draws):
             counts[self.next_int(n_bins)] += 1
@@ -122,8 +159,9 @@ class RAxMLRandom:
     def weighted_multinomial_counts(self, n_draws: int, weights: np.ndarray) -> np.ndarray:
         """Multinomial counts over bins with unequal probabilities.
 
-        ``weights`` need not be normalised.  Uses inverse-CDF sampling with
-        binary search so the cost is ``O(n_draws * log n_bins)``.
+        ``weights`` need not be normalised.  Inverse-CDF sampling with a
+        vectorized binary search over the same draw stream the scalar
+        ``searchsorted``-per-draw loop would consume.
         """
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1 or w.size == 0:
@@ -134,10 +172,10 @@ class RAxMLRandom:
         if total <= 0:
             raise ValueError("weights must not sum to zero")
         cdf = np.cumsum(w) / total
+        us = self._advance_doubles(n_draws)
+        idx = np.searchsorted(cdf, us, side="right")
         counts = np.zeros(w.size, dtype=np.int64)
-        for _ in range(n_draws):
-            u = self.next_double()
-            counts[int(np.searchsorted(cdf, u, side="right"))] += 1
+        np.add.at(counts, idx, 1)
         return counts
 
     def gauss(self) -> float:

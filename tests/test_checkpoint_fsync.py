@@ -1,0 +1,85 @@
+"""Durability tests for atomic checkpoint writes (fsync discipline)."""
+
+import json
+import os
+
+from repro.hybrid.checkpoint import FORMAT_VERSION, CheckpointStore
+
+
+def _store(tmp_path) -> CheckpointStore:
+    return CheckpointStore(tmp_path / "ckpt", rank=2, fingerprint="fp")
+
+
+class TestCheckpointDurability:
+    def test_temp_file_is_fsynced_before_rename(self, tmp_path, monkeypatch):
+        synced: list[int] = []
+        replaced: list[tuple[str, str]] = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            # The rename must happen strictly after the data fsync.
+            assert len(synced) >= 1, "os.replace before fsync of the temp file"
+            replaced.append((str(src), str(dst)))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        store = _store(tmp_path)
+        store.save("fast", {"results": [1, 2, 3]})
+        assert len(replaced) == 1
+        # Two syncs: the temp file's data, then the directory entry.
+        assert len(synced) == 2
+
+    def test_fsync_replace_fsync_order(self, tmp_path, monkeypatch):
+        order: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (order.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os, "replace",
+            lambda s, d: (order.append("replace"), real_replace(s, d))[1],
+        )
+        _store(tmp_path).save("slow", {"x": 1})
+        # Data sync, atomic rename, then directory-entry sync.
+        assert order == ["fsync", "replace", "fsync"]
+
+    def test_written_checkpoint_is_complete_json(self, tmp_path):
+        store = _store(tmp_path)
+        payload = {"results": [[1.5, "((a,b),c);"]], "clock": 12.25}
+        store.save("bootstrap", payload)
+        path = store.path("bootstrap")
+        doc = json.loads(path.read_bytes().decode("ascii"))
+        assert doc["format"] == FORMAT_VERSION
+        assert doc["rank"] == 2 and doc["stage"] == "bootstrap"
+        assert doc["payload"] == payload
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = _store(tmp_path)
+        store.save("fast", {"a": 1})
+        leftovers = list((tmp_path / "ckpt").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_save_then_load_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        store.save("thorough", {"lnl": -1234.5})
+        assert store.load("thorough")["lnl"] == -1234.5
+
+    def test_missing_directory_fsync_is_tolerated(self, tmp_path, monkeypatch):
+        """Platforms that refuse directory fds must not break saves."""
+        real_open = os.open
+
+        def failing_open(path, flags, *a, **kw):
+            if os.path.isdir(path):
+                raise OSError("no directory fds here")
+            return real_open(path, flags, *a, **kw)
+
+        monkeypatch.setattr(os, "open", failing_open)
+        store = _store(tmp_path)
+        store.save("fast", {"ok": True})
+        assert store.load("fast") == {"ok": True}

@@ -156,6 +156,60 @@ class TestRAxMLRandom:
             r.lognormal(mean=1.0, cv=-0.1)
 
 
+class TestVectorizedMultinomialParity:
+    """The uint64 LCG jump must be bit-identical to the scalar loop."""
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 2**31), st.integers(0, 400), st.integers(1, 5000))
+    def test_counts_and_state_match_scalar_oracle(self, seed, n_draws, n_bins):
+        vec, ref = RAxMLRandom(seed), RAxMLRandom(seed)
+        assert np.array_equal(
+            vec.multinomial_counts(n_draws, n_bins),
+            ref._multinomial_counts_scalar(n_draws, n_bins),
+        )
+        # The whole draw stream was consumed identically: subsequent
+        # draws from both generators stay in lockstep.
+        assert vec._state == ref._state
+        assert vec.next_double() == ref.next_double()
+
+    def test_large_seed_near_state_space_boundary(self):
+        seed = (1 << 48) - 7
+        vec, ref = RAxMLRandom(seed), RAxMLRandom(seed)
+        assert np.array_equal(
+            vec.multinomial_counts(1000, 97),
+            ref._multinomial_counts_scalar(1000, 97),
+        )
+        assert vec._state == ref._state
+
+    def test_index_never_reaches_upper(self):
+        # Even the largest representable state must floor below n_bins.
+        d = ((1 << 48) - 1) / float(1 << 48)
+        for upper in (1, 2, 1000, 10**6, 2**30):
+            assert int(d * upper) < upper
+
+    def test_zero_draws_leaves_state_untouched(self):
+        r = RAxMLRandom(77)
+        state = r._state
+        counts = r.multinomial_counts(0, 5)
+        assert counts.tolist() == [0] * 5
+        assert r._state == state
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            RAxMLRandom(1).multinomial_counts(5, 0)
+
+    def test_weighted_counts_match_scalar_searchsorted_loop(self):
+        w = np.array([0.5, 2.0, 0.0, 3.5, 1.0])
+        cdf = np.cumsum(w) / w.sum()
+        vec, ref = RAxMLRandom(4242), RAxMLRandom(4242)
+        got = vec.weighted_multinomial_counts(500, w)
+        expected = np.zeros(w.size, dtype=np.int64)
+        for _ in range(500):
+            expected[int(np.searchsorted(cdf, ref.next_double(), side="right"))] += 1
+        assert np.array_equal(got, expected)
+        assert vec._state == ref._state
+
+
 class TestSpawnStream:
     def test_deterministic(self):
         p = RAxMLRandom(99)

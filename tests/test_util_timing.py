@@ -70,6 +70,76 @@ class TestStageTimer:
         assert t.get("a") == 1.0
 
 
+class TestMergedMaxMultiRank:
+    """Fig. 3-4 convention: per-stage time is the last process to finish."""
+
+    RANKS = [
+        StageTimer({"bootstrap": 4.0, "fast": 1.0, "slow": 0.5, "thorough": 2.0}),
+        StageTimer({"bootstrap": 3.0, "fast": 2.5, "slow": 0.25, "thorough": 6.0}),
+        StageTimer({"bootstrap": 3.5, "fast": 0.75, "slow": 1.0, "thorough": 4.0}),
+    ]
+
+    def test_three_rank_fold_hand_computed(self):
+        merged = self.RANKS[0].merged_max(self.RANKS[1]).merged_max(self.RANKS[2])
+        assert merged.stages == {
+            "bootstrap": 4.0, "fast": 2.5, "slow": 1.0, "thorough": 6.0,
+        }
+        # The merged total is NOT any single rank's total: each stage's
+        # maximum may come from a different straggler.
+        assert merged.total == 13.5
+        assert max(t.total for t in self.RANKS) == 11.75
+
+    def test_merge_is_commutative_and_idempotent(self):
+        a, b = self.RANKS[0], self.RANKS[1]
+        assert a.merged_max(b).stages == b.merged_max(a).stages
+        assert a.merged_max(a).stages == a.stages
+
+    def test_merge_with_empty_timer_is_identity(self):
+        a = self.RANKS[0]
+        assert a.merged_max(StageTimer()).stages == a.stages
+
+
+class TestCommSecondsHandComputed:
+    """comm_seconds against a fully hand-computed two-rank trace."""
+
+    def test_barrier_then_bcast_exact_costs(self):
+        from repro.mpi.comm import CommTiming
+        from repro.mpi.launcher import run_spmd
+
+        timing = CommTiming(latency=1e-3, byte_time=0.0, barrier_base=1e-2)
+
+        def fn(comm):
+            comm.clock.advance(1.0 if comm.rank == 0 else 3.0)
+            comm.barrier()
+            comm.bcast(b"x" if comm.rank == 0 else None, root=0)
+            return comm.comm_seconds(), comm.clock.now
+
+        (secs0, end0), (secs1, end1) = run_spmd(fn, 2, comm_timing=timing)
+        # Barrier: everyone leaves at max(1.0, 3.0) + 1e-2*ceil(log2 2).
+        # Bcast: one message round on synchronized clocks costs latency.
+        assert end0 == end1 == pytest.approx(3.0 + 1e-2 + 1e-3)
+        # Rank 0 entered the barrier at 1.0 -> waited for the straggler.
+        assert secs0 == pytest.approx((3.01 - 1.0) + 1e-3)
+        assert secs1 == pytest.approx(1e-2 + 1e-3)
+
+    def test_comm_seconds_sums_per_event_trace(self):
+        from repro.mpi.comm import CommTiming
+        from repro.mpi.launcher import run_spmd
+
+        timing = CommTiming(latency=2e-3, byte_time=0.0, barrier_base=5e-3)
+
+        def fn(comm):
+            for _ in range(3):
+                comm.barrier()
+            return [e.seconds for e in comm.trace], comm.comm_seconds()
+
+        for per_event, total in run_spmd(fn, 4, comm_timing=timing):
+            assert total == pytest.approx(sum(per_event))
+            # 4 ranks advance nothing, so each barrier costs exactly
+            # barrier_base * ceil(log2 4) on every rank.
+            assert per_event == [pytest.approx(1e-2)] * 3
+
+
 class TestWallTimer:
     def test_measures_something(self):
         with WallTimer() as w:
