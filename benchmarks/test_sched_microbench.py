@@ -1,0 +1,130 @@
+"""Scheduler microbenchmark: static vs. deterministic work stealing.
+
+Replays the scheduler's discrete-event simulator over the *real* task
+DAG (Table 2 shares, bootstrap chain dependencies broken at parsimony
+refresh points) with a skewed synthetic replicate-cost distribution:
+lognormal per-task jitter on top of a per-origin scale spread, modelling
+the "some replicates are just harder" regime where the paper's static
+``ceil(N/p)`` partition leaves ranks idle.  Records makespan, idle
+fraction and steal counters for both modes to ``output/BENCH_sched.json``.
+
+Acceptance claims asserted here:
+
+* work stealing strictly reduces the modeled makespan and idle fraction
+  on the skewed distribution;
+* both modes complete exactly the same task set (stealing moves work,
+  never drops or duplicates it);
+* the simulation is deterministic — same seeds, same schedule, bit-equal
+  outputs across runs.
+"""
+
+import json
+
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.schedule import make_schedule
+from repro.sched.placement import initial_assignment
+from repro.sched.stealing import simulate
+from repro.sched.tasks import build_dag
+from repro.util.rng import RAxMLRandom
+from repro.util.tables import format_table
+
+from conftest import OUTPUT_DIR
+
+N_BOOTSTRAPS = 64
+N_PROCESSES = 8
+COST_SEED = 9001
+JITTER_CV = 0.75
+#: Per-origin cost scale: origins 3, 7 hold straggler replicates.
+ORIGIN_SCALE = {o: 1.0 + 2.0 * (o % 4 == 3) for o in range(N_PROCESSES)}
+
+
+def build_pool():
+    """The bootstrap stage pool with skewed per-task costs."""
+    cfg = ComprehensiveConfig(
+        n_bootstraps=N_BOOTSTRAPS, parsimony_refresh_every=2
+    )
+    sched = make_schedule(N_BOOTSTRAPS, N_PROCESSES)
+    tasks = build_dag(sched, cfg, N_PROCESSES)["bootstrap"]
+    ids = {t.id for t in tasks}
+    pre = {d for t in tasks for d in t.deps if d not in ids}
+    rng = RAxMLRandom(COST_SEED)
+    costs = {
+        t.id: ORIGIN_SCALE[t.origin] * rng.lognormal(1.0, JITTER_CV)
+        for t in tasks
+    }
+    members = tuple(range(N_PROCESSES))
+    return tasks, initial_assignment(tasks, members), costs, members, pre
+
+
+def run_modes():
+    tasks, assignment, costs, members, pre = build_pool()
+    out = {}
+    for mode in ("static", "work-steal"):
+        res = simulate(
+            tasks, assignment, costs, members, mode=mode, pre_completed=pre
+        )
+        assert not res["incomplete"], res["incomplete"]
+        assert sorted(res["completed"]) == sorted(t.id for t in tasks)
+        tails = res["idle_tail"]
+        out[mode] = {
+            "makespan": res["makespan"],
+            "idle_fraction": res["idle_fraction"],
+            "idle_tail_mean": sum(tails.values()) / len(tails),
+            "idle_tail_max": max(tails.values()),
+            "steal_attempts": res["steal_attempts"],
+            "steal_grants": res["steal_grants"],
+        }
+    return out
+
+
+def test_sched_microbench(benchmark, emit):
+    out = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    again = run_modes()
+    assert again == out  # deterministic: same seeds, bit-equal outputs
+
+    st, ws = out["static"], out["work-steal"]
+    assert ws["steal_grants"] > 0
+    assert ws["makespan"] < st["makespan"]
+    assert ws["idle_fraction"] < st["idle_fraction"]
+
+    doc = {
+        "config": {
+            "n_bootstraps": N_BOOTSTRAPS,
+            "n_processes": N_PROCESSES,
+            "jitter_cv": JITTER_CV,
+            "parsimony_refresh_every": 2,
+            "cost_seed": COST_SEED,
+            "straggler_origins": [o for o, s in ORIGIN_SCALE.items() if s > 1],
+        },
+        "static": st,
+        "work_steal": ws,
+        "reduction": {
+            "makespan_pct": 100.0 * (1.0 - ws["makespan"] / st["makespan"]),
+            "idle_fraction_pct": 100.0
+            * (1.0 - ws["idle_fraction"] / st["idle_fraction"]),
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_sched.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="ascii"
+    )
+
+    emit(
+        "sched_microbench",
+        format_table(
+            ["Mode", "Makespan s", "Idle frac", "Tail mean s", "Steals"],
+            [
+                ["static", st["makespan"], st["idle_fraction"],
+                 st["idle_tail_mean"], st["steal_grants"]],
+                ["work-steal", ws["makespan"], ws["idle_fraction"],
+                 ws["idle_tail_mean"], ws["steal_grants"]],
+            ],
+            formats=[None, ".3f", ".4f", ".3f", "d"],
+            title=(
+                "SCHED MICROBENCH: STATIC VS WORK-STEAL "
+                f"(N={N_BOOTSTRAPS}, p={N_PROCESSES}, skewed costs)\n"
+                f"makespan -{doc['reduction']['makespan_pct']:.1f}%, "
+                f"idle fraction -{doc['reduction']['idle_fraction_pct']:.1f}%"
+            ),
+        ),
+    )

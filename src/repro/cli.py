@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "invalidated by each move")
     parser.add_argument("--bootstopping", action="store_true",
                         help="enable the WC bootstopping test (extension)")
+    parser.add_argument("--schedule", default="static",
+                        choices=["static", "work-steal"],
+                        help="replicate scheduling: 'static' (the paper's "
+                             "fixed Table 2 shares) or 'work-steal' (dynamic "
+                             "deques with deterministic work stealing; "
+                             "bit-identical results by construction)")
     parser.add_argument("--checkpoint-dir", dest="checkpoint_dir", default=None,
                         help="write per-rank, per-stage checkpoints to this "
                              "directory (atomic JSON; enables --resume)")
@@ -226,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         bootstopping=args.bootstopping,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        schedule=args.schedule,
         kernel=args.kernel,
         clv_cache=args.clv_cache,
         collect_trace=args.trace is not None,
@@ -315,6 +322,22 @@ def main(argv: list[str] | None = None) -> int:
     for stage, seconds in result.stage_seconds.items():
         print(f"  {stage:10s} {seconds:12.4f} s")
     print(f"  {'total':10s} {result.total_seconds:12.4f} s")
+    if result.sched is not None:
+        attempts = result.sched.get("steal_attempts", 0)
+        grants = result.sched.get("steal_grants", 0)
+        print(f"Work stealing: {grants} steals granted "
+              f"({attempts} attempts)")
+        worst_tail: dict[str, float] = {}
+        for tails in result.sched.get("idle_tail", {}).values():
+            for stage, t in tails.items():
+                worst_tail[stage] = max(worst_tail.get(stage, 0.0), float(t))
+        for stage in result.stage_seconds:
+            if stage in worst_tail:
+                print(f"  idle tail {stage:10s} {worst_tail[stage]:12.4f} s "
+                      "(worst rank)")
+    if result.rng_fingerprint is not None:
+        print(f"RNG stream fingerprint: {result.rng_fingerprint[:16]}… "
+              "(schedule-mode independent)")
     return 0
 
 

@@ -59,6 +59,9 @@ def config_fingerprint(pal, config) -> str:
     cfg = config.comprehensive
     doc = {
         "format": FORMAT_VERSION,
+        # Static checkpoints and work-steal journals describe different
+        # units of progress; the mode is part of the run's identity.
+        "schedule": config.schedule,
         "n_processes": config.n_processes,
         "n_threads": config.n_threads,
         "machine": config.machine,

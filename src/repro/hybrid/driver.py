@@ -23,6 +23,8 @@ smaller world, and charge the whole recovery to their virtual clocks.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,7 +32,7 @@ from repro.bootstop.support import map_support
 from repro.bootstop.table import BipartitionTable, merge_tables
 from repro.bootstop.wc_test import wc_converged
 from repro.likelihood.engine import OpCounter
-from repro.mpi.comm import DistributedStateError, RankFailure, SimComm
+from repro.mpi.comm import CommTiming, DistributedStateError, RankFailure, SimComm
 from repro.mpi.faults import FaultPlan
 from repro.mpi.launcher import run_spmd
 from repro.obs.metrics import aggregate
@@ -67,6 +69,18 @@ from repro.hybrid.checkpoint import (
     results_to_payload,
 )
 from repro.hybrid.results import HybridResult, RankReport
+from repro.sched.checkpoint import SchedJournal, load_journal, load_union
+from repro.sched.placement import initial_assignment
+from repro.sched.queue import StealBoard
+from repro.sched.stealing import run_rank_pool
+from repro.sched.tasks import (
+    TASK_KINDS,
+    TaskContext,
+    build_dag,
+    execute_task,
+    rng_stream_fingerprint,
+    task_id,
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,11 @@ class HybridConfig:
     #: Collect per-rank metrics registries (``--metrics-out``); implied
     #: by ``collect_trace`` since the recorder carries both.
     collect_metrics: bool = False
+    #: Task scheduling mode: "static" is the paper's fixed Table 2
+    #: partition; "work-steal" runs the same shares as a task DAG over
+    #: per-rank deques with deterministic cross-rank stealing
+    #: (:mod:`repro.sched`) — bit-identical results, smaller idle tails.
+    schedule: str = "static"
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -122,6 +141,15 @@ class HybridConfig:
             raise ValueError("bootstop_step must be an even number >= 2")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
+        if self.schedule not in ("static", "work-steal"):
+            raise ValueError(
+                f"schedule must be 'static' or 'work-steal', got {self.schedule!r}"
+            )
+        if self.schedule == "work-steal" and self.bootstopping:
+            raise ValueError(
+                "bootstopping grows the replicate set dynamically and is "
+                "round-synchronised; it requires schedule='static'"
+            )
 
 
 class _RankPipeline:
@@ -413,7 +441,12 @@ def _replay_rank(dead_rank: int, comm: SimComm, pal, config: HybridConfig,
     return out
 
 
-def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
+def _rank_main(
+    comm: SimComm,
+    pal: PatternAlignment,
+    config: HybridConfig,
+    board: StealBoard | None = None,
+) -> dict:
     """The SPMD body: install this rank's recorder, then run the pipeline.
 
     One :class:`~repro.obs.recorder.Recorder` per rank, on the rank's own
@@ -429,7 +462,10 @@ def _rank_main(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> di
             record_events=config.collect_trace,
         )
     with recording(rec):
-        out = _rank_body(comm, pal, config)
+        if config.schedule == "work-steal":
+            out = _rank_body_worksteal(comm, pal, config, board)
+        else:
+            out = _rank_body(comm, pal, config)
     if rec is not None:
         for stage, s in out["stage_seconds"].items():
             rec.gauge(f"stage.seconds.{stage}", s)
@@ -614,6 +650,225 @@ def _rank_body(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> di
     }
 
 
+def _rank_body_worksteal(
+    comm: SimComm, pal: PatternAlignment, config: HybridConfig, board: StealBoard
+) -> dict:
+    """One rank's share under ``--schedule work-steal``.
+
+    The whole analysis becomes a DAG of tasks (:mod:`repro.sched.tasks`)
+    over per-rank deques, drained stage by stage through the shared
+    :class:`~repro.sched.queue.StealBoard`.  Every task derives its
+    random streams from its *origin* (the logical rank whose Table 2
+    share it belongs to), so wherever a task runs it produces the trees
+    the static pipeline would — this body changes only *when* and
+    *where* work happens, never *what* it computes.
+
+    A rank killed mid-task abandons it back to the board (re-enqueued at
+    its death's virtual time) and its remaining queue is stolen by the
+    survivors — recovery re-runs only the unfinished tasks, not the dead
+    rank's whole share.  With a checkpoint directory, each completion is
+    journalled (:mod:`repro.sched.checkpoint`) and ``--resume`` preloads
+    the union of all ranks' journals.
+    """
+    cfg = config.comprehensive
+    rank = comm.rank
+    sched = make_schedule(cfg.n_bootstraps, comm.size)
+    dag = build_dag(sched, cfg, comm.size)
+    n_draws = int(pal.weights.sum())
+
+    pipe = _RankPipeline(
+        pal, config, rank, comm.clock, plan=config.fault_plan,
+        save_checkpoints=False,
+    )
+    ctx = TaskContext(pal, cfg, sched, pipe.engine_factory, pipe.ops, n_draws)
+
+    journal = None
+    restored: dict[str, SearchResult] = {}
+    restored_stage_seconds: dict[str, float] = {}
+    restored_stage_clock: dict[str, float] = {}
+    if config.checkpoint_dir is not None:
+        fingerprint = config_fingerprint(pal, config)
+        journal = SchedJournal(config.checkpoint_dir, rank, fingerprint)
+        if config.resume:
+            restored, stage_secs, stage_clocks = load_union(
+                config.checkpoint_dir, config.n_processes, fingerprint, pal.taxa
+            )
+            # Every rank reads the same directory; verify before any rank
+            # writes — divergent views would desynchronise the pools.
+            digest = hashlib.sha256(
+                json.dumps(sorted(restored)).encode("ascii")
+            ).hexdigest()
+            digests = comm._plain_allgather(digest, op="sched-resume")
+            if any(d is not None and d != digest for d in digests):
+                raise CheckpointError(
+                    "ranks loaded divergent sched journals; refusing to resume"
+                )
+            restored_stage_seconds = dict(stage_secs.get(rank, {}))
+            restored_stage_clock = dict(stage_clocks.get(rank, {}))
+            # Carry forward this rank's own journal so the resumed run's
+            # file stays the complete record of everything it executed.
+            own = load_journal(config.checkpoint_dir, rank, fingerprint)
+            if own is not None:
+                journal._tasks = dict(own.get("tasks", {}))
+                journal._stage_seconds = dict(own.get("stage_seconds", {}))
+                journal._clock = float(own.get("clock", 0.0))
+
+    started_bootstraps = 0
+
+    def on_start(task, action) -> None:
+        nonlocal started_bootstraps
+        if task.kind == "bootstrap":
+            b = started_bootstraps
+            started_bootstraps += 1
+            # Same fault-injection point as the static stage loop: the
+            # b-th replicate *this rank* starts (mid-queue kill).
+            pipe.replicate_hook(b)
+
+    status_of = comm._world.status_of
+    outcomes: dict[str, object] = {}
+    for stage in TASK_KINDS:
+        pipe.kill_hook(stage)
+        members = tuple(comm.alive_ranks())
+        tasks = dag[stage]
+        pre = {t.id: restored[t.id] for t in tasks if t.id in restored}
+        board.begin_stage(
+            stage, tasks, initial_assignment(tasks, members), members,
+            pre_completed=pre, status_of=status_of,
+        )
+        pipe.begin_stage()
+        out = run_rank_pool(
+            board, rank, comm.clock,
+            lambda task: execute_task(task, ctx, board.result),
+            status_of=status_of,
+            journal=journal if stage != "setup" else None,
+            on_start=on_start,
+        )
+        pipe.end_stage(stage, save=False)
+        if not out.executed and stage in restored_stage_seconds:
+            # Fully-restored stage: its pool drained instantly; keep the
+            # original run's accounting instead of the ~0 drain time, and
+            # re-anchor the clock at the journalled stage-end so stages
+            # that do re-execute run from bit-identical clock bases
+            # (synchronize only moves forward — the drain time is bounded
+            # by the journalled boundary, which includes the real work).
+            pipe.stage_seconds[stage] = restored_stage_seconds[stage]
+            if stage in restored_stage_clock:
+                comm.clock.synchronize(restored_stage_clock[stage])
+        outcomes[stage] = out
+        if journal is not None:
+            journal.note_stage(stage, pipe.stage_seconds[stage], comm.clock.now)
+        if stage == "bootstrap":
+            # The paper's one noteworthy barrier.  Under work stealing the
+            # pool drain already synchronised the survivors' clocks, but
+            # the barrier's modelled cost (and its death detection) stays.
+            while True:
+                try:
+                    comm.barrier()
+                    break
+                except RankFailure:
+                    continue
+
+    # ---- Final selection: every origin's thorough result is on the board
+    # (whoever executed it), so the winner rule — static's rounded argmax
+    # with ties to the lowest origin — needs no gather of scores.
+    pipe.begin_stage()
+    pipe.kill_hook("finalize")
+    entries = [
+        (
+            round(board.result(task_id("thorough", o, 0)).lnl, 6),
+            -o,
+            board.result(task_id("thorough", o, 0)).lnl,
+        )
+        for o in range(comm.size)
+    ]
+    _, neg_o, winner_lnl = max(entries)
+    winner_rank = -neg_o
+    best_newick = write_newick(board.result(task_id("thorough", winner_rank, 0)).tree)
+    while True:
+        try:
+            # Cross-check the local decisions and charge the final
+            # exchange's modelled cost, exactly like static's gather+bcast.
+            votes = comm.allgather((winner_rank, round(winner_lnl, 6)))
+            break
+        except RankFailure:
+            continue
+    if any(v is not None and v != (winner_rank, round(winner_lnl, 6)) for v in votes):
+        raise DistributedStateError(
+            f"rank {rank}: winner vote mismatch {votes} — the shared board "
+            "diverged across ranks"
+        )
+    pipe.end_stage("finalize", save=False)
+
+    # Report origins the way static reports adoption: each survivor
+    # carries its own origin plus dead origins per the adoption rule.
+    survivors = comm.alive_ranks()
+    dead_origins = [o for o in range(comm.size) if o not in survivors]
+    carried = [rank] + [
+        d for d in sorted(dead_origins) if survivors[d % len(survivors)] == rank
+    ]
+    n_boot = {o: 0 for o in range(comm.size)}
+    for t in dag["bootstrap"]:
+        n_boot[t.origin] += 1
+    bootstrap_newicks = [
+        write_newick(board.result(task_id("bootstrap", o, b)).tree)
+        for o in carried
+        for b in range(n_boot[o])
+    ]
+    thorough = board.result(task_id("thorough", rank, 0))
+
+    stage_stats = board.stage_stats()
+    my_stats = {
+        s: per.get(rank, {}) for s, per in stage_stats.items()
+    }
+    idle_tail = {
+        s: outcomes[s].finish_time - outcomes[s].last_busy_time
+        for s in outcomes
+    }
+    rec = _obs_current()
+    if rec is not None:
+        for s, tail in idle_tail.items():
+            rec.gauge(f"sched.idle_tail.{s}", tail)
+        for s, st in my_stats.items():
+            rec.gauge(f"sched.queue_depth.{s}", st.get("max_queue_depth", 0))
+        rec.gauge(
+            "sched.steal_attempts",
+            sum(st.get("steal_attempts", 0) for st in my_stats.values()),
+        )
+        rec.gauge(
+            "sched.steal_grants",
+            sum(st.get("steal_grants", 0) for st in my_stats.values()),
+        )
+
+    return {
+        "rank": rank,
+        "stage_seconds": {**pipe.stage_seconds, "recovery": 0.0},
+        "stage_ops": pipe.stage_ops,
+        "local_lnl": thorough.lnl,
+        "local_newick": write_newick(thorough.tree),
+        "winner_rank": winner_rank,
+        "winner_lnl": winner_lnl,
+        "best_newick": best_newick,
+        "bootstrap_newicks": bootstrap_newicks,
+        "wc_trace": [],
+        "shard": None,
+        "n_fast": len(outcomes["fast"].executed),
+        "n_slow": len(outcomes["slow"].executed),
+        "finish_time": comm.clock.now,
+        "comm_seconds": comm.comm_seconds(),
+        "pattern_ops": pipe.ops.pattern_ops,
+        "n_retries": comm.n_retries,
+        "recovered_for": sorted(set(carried) - {rank}),
+        "failed_ranks": comm.known_dead,
+        "sched": {
+            "mode": "work-steal",
+            "executed": {s: list(outcomes[s].executed) for s in outcomes},
+            "stolen": {s: list(outcomes[s].stolen) for s in outcomes},
+            "idle_tail": idle_tail,
+            "stats": my_stats,
+        },
+    }
+
+
 def _bootstrap_with_bootstopping(comm: SimComm, pipe: _RankPipeline,
                                  model, search_rm, init_tree):
     """Bootstraps in rounds with a cross-rank WC convergence test.
@@ -695,8 +950,18 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
     by an attached fault plan contribute nothing here — their work was
     adopted by the survivors.
     """
+    board = None
+    if config.schedule == "work-steal":
+        board = StealBoard(
+            config.n_processes,
+            steal_seed=config.comprehensive.seed_p,
+            # A steal is one request/grant message pair over the virtual
+            # interconnect, charged to the thief.
+            steal_seconds=2 * CommTiming().message_seconds(256),
+            timeout=config.spmd_timeout,
+        )
     raw = run_spmd(
-        lambda comm: _rank_main(comm, pal, config),
+        lambda comm: _rank_main(comm, pal, config, board),
         config.n_processes,
         timeout=config.spmd_timeout,
         fault_plan=config.fault_plan,
@@ -728,6 +993,34 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
     }
     best_tree = parse_newick(results[0]["best_newick"], taxa=pal.taxa)
     schedule = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
+    rng_fp = rng_stream_fingerprint(
+        schedule, config.comprehensive, int(pal.weights.sum()), config.n_processes
+    )
+    sched_doc = None
+    if board is not None:
+        sched_doc = {
+            "mode": "work-steal",
+            "stage_stats": {
+                s: {str(r): d for r, d in per.items()}
+                for s, per in board.stage_stats().items()
+            },
+            "steal_log": board.steal_log(),
+            "idle_tail": {
+                str(r["rank"]): r["sched"]["idle_tail"]
+                for r in results
+                if r.get("sched")
+            },
+            "steal_attempts": sum(
+                d.get("steal_attempts", 0)
+                for per in board.stage_stats().values()
+                for d in per.values()
+            ),
+            "steal_grants": sum(
+                d.get("steal_grants", 0)
+                for per in board.stage_stats().values()
+                for d in per.values()
+            ),
+        }
 
     bootstrap_trees = [
         parse_newick(n, taxa=pal.taxa)
@@ -766,6 +1059,7 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
                 comm_seconds=[r.comm_seconds for r in ranks],
                 n_processes=config.n_processes,
                 n_threads=config.n_threads,
+                sched=sched_doc,
             ),
         }
 
@@ -783,4 +1077,7 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
         failed_ranks=results[0]["failed_ranks"],
         trace=trace,
         metrics=metrics,
+        schedule_mode=config.schedule,
+        rng_fingerprint=rng_fp,
+        sched=sched_doc,
     )

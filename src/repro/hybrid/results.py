@@ -49,6 +49,14 @@ class HybridResult:
     trace: dict | None = None
     #: Per-rank + aggregated metrics and the stage report (``--metrics-out``).
     metrics: dict | None = None
+    #: ``--schedule`` mode this run used ("static" | "work-steal").
+    schedule_mode: str = "static"
+    #: Digest of every task's derived RNG stream keys — identical across
+    #: schedule modes of the same configuration by construction.
+    rng_fingerprint: str | None = None
+    #: Work-steal scheduling statistics (per-stage, per-rank counters,
+    #: steal log, idle tails); None for static runs.
+    sched: dict | None = None
 
     @property
     def n_bootstraps_done(self) -> int:
@@ -79,6 +87,9 @@ class HybridResult:
                 "total_bootstraps": self.schedule.total_bootstraps,
             },
             "n_bootstraps_done": self.n_bootstraps_done,
+            "schedule_mode": self.schedule_mode,
+            "rng_fingerprint": self.rng_fingerprint,
+            "sched": self.sched,
             "failed_ranks": list(self.failed_ranks),
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,

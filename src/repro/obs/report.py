@@ -86,12 +86,17 @@ def run_report(
     comm_seconds: Sequence[float] | None = None,
     n_processes: int | None = None,
     n_threads: int | None = None,
+    sched: Mapping | None = None,
 ) -> dict:
     """The complete JSON report block written by ``--metrics-out``.
 
     Contains the Fig. 3–4 buckets, the per-stage statistics table, total
     time (slowest rank, summed over stages), and — when ``comm_seconds``
-    is given — the communication share of total time per rank.
+    is given — the communication share of total time per rank.  For
+    work-steal runs, ``sched`` (the driver's scheduling document: steal
+    attempts/grants, per-stage queue stats, per-rank idle tails) is
+    embedded verbatim under ``"sched"`` so the Fig. 3–4 stage report
+    carries the idle-tail deltas dynamic scheduling achieved.
     """
     rows = stage_decomposition(per_rank)
     totals = [sum(float(v) for v in r.values()) for r in per_rank]
@@ -110,4 +115,6 @@ def run_report(
         doc["comm_fraction"] = [
             (c / t) if t > 0 else 0.0 for c, t in zip(comm_seconds, totals)
         ]
+    if sched is not None:
+        doc["sched"] = dict(sched)
     return doc

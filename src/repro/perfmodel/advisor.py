@@ -31,6 +31,81 @@ class LayoutRecommendation:
     predicted_speedup: float
     memory_per_process_gb: float
     alternatives: tuple[tuple[int, int, float], ...]  # (p, T, seconds)
+    #: "static" or "work-steal": the schedule mode predicted fastest for
+    #: the recommended layout (DES over the layout's stage pools with the
+    #: profile's jitter).
+    schedule_mode: str = "static"
+    #: Modelled search-stage makespans under each mode (seconds; excludes
+    #: setup/communication, so they are comparable to each other, not to
+    #: ``predicted_seconds``).
+    predicted_static_seconds: float = 0.0
+    predicted_worksteal_seconds: float = 0.0
+    #: Mean per-rank idle-tail seconds summed over stages, per mode — the
+    #: quantity the Fig. 3-4 report surfaces and stealing exists to shrink.
+    predicted_idle_tail_static: float = 0.0
+    predicted_idle_tail_worksteal: float = 0.0
+
+
+#: Modelled run-time advantage work stealing must show before the advisor
+#: recommends it (steals are not free: each is a modelled round-trip).
+_STEAL_ADVANTAGE_THRESHOLD = 0.01
+
+
+def predict_schedule_modes(
+    profile: StageProfile,
+    machine: MachineSpec,
+    n_bootstraps: int,
+    n_processes: int,
+    n_threads: int,
+    seed: int = 12345,
+) -> dict[str, dict[str, float]]:
+    """Static vs. work-steal stage-pool predictions for one layout.
+
+    Runs the scheduler's discrete-event simulator over the layout's real
+    task DAG (Table 2 shares, bootstrap chain dependencies included) with
+    per-task costs drawn lognormally around the perfmodel's stage hints
+    using the profile's ``jitter_cv`` — the same jitter the coarse model's
+    ``imbalance_factor`` summarises analytically.  Both modes see
+    identical costs, so the difference is purely scheduling.
+
+    Returns ``{"static": {...}, "work-steal": {...}}`` where each entry
+    has ``makespan`` (summed stage makespans, seconds), ``idle_tail``
+    (mean per-rank tail seconds summed over stages) and ``steal_grants``.
+    """
+    from repro.search.comprehensive import ComprehensiveConfig
+    from repro.search.schedule import make_schedule
+    from repro.sched.placement import initial_assignment, stage_cost_hints
+    from repro.sched.stealing import simulate
+    from repro.sched.tasks import build_dag
+    from repro.util.rng import RAxMLRandom, rank_seed
+
+    sched = make_schedule(n_bootstraps, n_processes)
+    cfg = ComprehensiveConfig(n_bootstraps=n_bootstraps)
+    dag = build_dag(sched, cfg, n_processes)
+    hints = stage_cost_hints(profile, machine, n_threads)
+    members = tuple(range(n_processes))
+    out = {m: {"makespan": 0.0, "idle_tail": 0.0, "steal_grants": 0.0}
+           for m in ("static", "work-steal")}
+    for si, stage in enumerate(("bootstrap", "fast", "slow", "thorough")):
+        tasks = dag[stage]
+        ids = {t.id for t in tasks}
+        pre = {d for t in tasks for d in t.deps if d not in ids}
+        rng = RAxMLRandom(rank_seed(seed, si))
+        costs = {
+            t.id: hints[stage] * rng.lognormal(1.0, profile.jitter_cv)
+            for t in tasks
+        }
+        assignment = initial_assignment(tasks, members)
+        for mode in ("static", "work-steal"):
+            res = simulate(
+                tasks, assignment, costs, members, mode=mode,
+                steal_seed=seed, pre_completed=pre,
+            )
+            out[mode]["makespan"] += res["makespan"]
+            tails = res["idle_tail"]
+            out[mode]["idle_tail"] += sum(tails.values()) / max(len(tails), 1)
+            out[mode]["steal_grants"] += res["steal_grants"]
+    return out
 
 
 def recommend_layout(
@@ -79,6 +154,12 @@ def recommend_layout(
         )
     candidates.sort(key=lambda c: c[2])
     p, t, seconds = candidates[0]
+    mode, modes = "static", None
+    if p > 1:
+        modes = predict_schedule_modes(profile, machine, n_bootstraps, p, t)
+        gain = 1.0 - modes["work-steal"]["makespan"] / modes["static"]["makespan"]
+        if gain >= _STEAL_ADVANTAGE_THRESHOLD:
+            mode = "work-steal"
     return LayoutRecommendation(
         n_processes=p,
         n_threads=t,
@@ -87,4 +168,13 @@ def recommend_layout(
         predicted_speedup=serial / seconds,
         memory_per_process_gb=est.total_gb,
         alternatives=tuple(candidates[1:]),
+        schedule_mode=mode,
+        predicted_static_seconds=modes["static"]["makespan"] if modes else 0.0,
+        predicted_worksteal_seconds=(
+            modes["work-steal"]["makespan"] if modes else 0.0
+        ),
+        predicted_idle_tail_static=modes["static"]["idle_tail"] if modes else 0.0,
+        predicted_idle_tail_worksteal=(
+            modes["work-steal"]["idle_tail"] if modes else 0.0
+        ),
     )

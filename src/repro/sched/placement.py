@@ -1,0 +1,106 @@
+"""Cost-aware initial placement of tasks onto rank queues.
+
+The default placement reproduces the paper's static partition exactly:
+origin ``o``'s tasks land on member ``o``'s queue in index order, so a
+work-steal run that never steals is the static run.  When per-task cost
+hints are available (from :mod:`repro.perfmodel`), groups of tasks that
+must stay together (one origin's chain of bootstrap replicates) are
+placed LPT-style onto the least-loaded queue — the classic greedy
+longest-processing-time heuristic, made deterministic by sorting groups
+on ``(-cost, origin)`` and breaking load ties toward the lowest member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.coarse import (
+    STAGE_CATEGORIES,
+    _machine_scale,
+    _stage_speedup,
+    imbalance_factor,
+)
+from repro.perfmodel.machines import MachineSpec
+from repro.perfmodel.profiles import StageProfile
+from repro.sched.tasks import Task
+
+
+def initial_assignment(
+    tasks: list[Task],
+    members: tuple[int, ...],
+    costs: dict[str, float] | None = None,
+) -> dict[int, list[str]]:
+    """Map each member rank to an ordered list of task ids.
+
+    Tasks are grouped by origin (a bootstrap chain shares intermediate
+    trees, so splitting an origin across queues would force cross-rank
+    result traffic for every replicate).  Without ``costs``, origin ``o``
+    goes to ``members[o % len(members)]`` — for the usual case of one
+    origin per member this *is* the static assignment.  With ``costs``,
+    groups are placed greedily onto the least-loaded queue.
+    """
+    if not members:
+        raise ValueError("members must be non-empty")
+    groups: dict[int, list[Task]] = {}
+    for t in tasks:
+        groups.setdefault(t.origin, []).append(t)
+    for g in groups.values():
+        g.sort(key=lambda t: t.index)
+    assignment: dict[int, list[str]] = {r: [] for r in members}
+    if costs is None:
+        for origin in sorted(groups):
+            r = members[origin % len(members)]
+            assignment[r].extend(t.id for t in groups[origin])
+        return assignment
+    sized = sorted(
+        groups.items(),
+        key=lambda kv: (-sum(costs.get(t.id, 1.0) for t in kv[1]), kv[0]),
+    )
+    load = {r: 0.0 for r in members}
+    for origin, group in sized:
+        r = min(members, key=lambda m: (load[m], m))
+        assignment[r].extend(t.id for t in group)
+        load[r] += sum(costs.get(t.id, 1.0) for t in group)
+    return assignment
+
+
+@dataclass(frozen=True)
+class StageCostHint:
+    """Modelled per-search seconds for one stage on one machine."""
+
+    stage: str
+    seconds_per_task: float
+
+
+def stage_cost_hints(
+    profile: StageProfile,
+    machine: MachineSpec,
+    n_threads: int,
+) -> dict[str, float]:
+    """Per-task modelled seconds for every stage, on ``machine`` with
+    ``n_threads`` Pthreads — the placement/advisor cost query against
+    :mod:`repro.perfmodel`."""
+    scale = _machine_scale(profile, machine)
+    m = profile.dataset.patterns
+    per_search = {
+        "bootstrap": profile.bootstrap_search_seconds,
+        "fast": profile.fast_search_seconds,
+        "slow": profile.slow_search_seconds,
+        "thorough": profile.thorough_search_seconds,
+    }
+    return {
+        stage: per_search[stage]
+        * scale
+        / _stage_speedup(machine, m, n_threads, stage)
+        for stage in STAGE_CATEGORIES
+    }
+
+
+def predicted_idle_tail_fraction(
+    n_processes: int, items_per_process: int, cv: float
+) -> float:
+    """Fraction of a stage the average rank spends idle at the barrier
+    under *static* scheduling: the slowest rank runs
+    ``imbalance_factor`` above the mean, everyone else waits for it."""
+    f = imbalance_factor(n_processes, max(items_per_process, 1), cv)
+    return (f - 1.0) / f

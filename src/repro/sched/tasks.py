@@ -1,0 +1,341 @@
+"""The task model: the comprehensive analysis as a DAG of search tasks.
+
+One task is one unit the static pipeline already treats as atomic — a
+bootstrap replicate, a fast search, a slow search, the thorough search,
+or a rank's model setup.  Tasks carry their *origin* (the logical rank
+whose Table 2 share they belong to) and *index* within that share; the
+pair is the task's global identity.
+
+Determinism discipline
+----------------------
+
+The static pipeline derives all randomness from two per-rank streams
+(``seed + 10000·r``): the ``-x`` stream is consumed sequentially (one
+bootstrap replicate = exactly ``n_sites`` draws) and the ``-p`` stream is
+never advanced, only forked via :func:`~repro.util.rng.spawn_stream`
+with per-purpose labels.  Both facts make every task's randomness
+derivable in closed form from its global identity:
+
+* the x-stream state a replicate ``b`` of origin ``o`` observes is
+  ``lcg_jump(rank_seed(seed_x, o), b · n_sites)`` — a jump-ahead of the
+  48-bit LCG, no replay needed;
+* every search stream is ``spawn_stream(p_rng(o), label)`` where the
+  labels (0, 1000+b, 2000+b, 3000+i, 4000+i, 5000) depend only on the
+  task identity and ``spawn_stream`` reads the parent's original seed.
+
+A stolen task therefore draws exactly the numbers it would have drawn on
+its origin rank: executor-independence is by construction, and
+``--schedule work-steal`` reproduces ``--schedule static`` bit for bit.
+The only inter-task data flow — bootstrap start trees chaining from the
+previous replicate, stage-to-stage tree selection — is expressed as
+explicit dependencies below.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.likelihood.engine import OpCounter, subset_rate_model
+from repro.search.comprehensive import (
+    FAST_FRACTION,
+    ComprehensiveConfig,
+    EngineFactory,
+    prepare_model_and_rates,
+    select_best,
+)
+from repro.search.schedule import WorkSchedule
+from repro.search.searches import (
+    bootstrap_replicate_search,
+    fast_search,
+    slow_search,
+    thorough_search,
+)
+from repro.search.starting_tree import parsimony_starting_tree
+from repro.seq.patterns import PatternAlignment
+from repro.util.rng import RAxMLRandom, rank_seed, spawn_stream
+
+#: Task kinds in pipeline-stage order (one scheduling pool per kind).
+TASK_KINDS = ("setup", "bootstrap", "fast", "slow", "thorough")
+
+#: spawn_stream label bases, exactly as the static stage functions use
+#: them (see :mod:`repro.search.comprehensive`).
+LABEL_REFRESH = 1000  # + b: parsimony refresh before replicate b
+LABEL_REPLICATE = 2000  # + b: bootstrap replicate search
+LABEL_FAST = 3000  # + i: fast search i
+LABEL_SLOW = 4000  # + i: slow search i
+LABEL_THOROUGH = 5000  # the final thorough search
+
+
+def lcg_jump(state: int, k: int) -> int:
+    """State of the 48-bit RAxML LCG after ``k`` steps from ``state``.
+
+    One step is ``s -> (s·A + 1) mod 2^48``.  Composing affine maps with
+    fast exponentiation gives the k-step map ``s -> a·s + c`` in
+    O(log k): applying ``(a1, c1)`` then ``(a2, c2)`` yields
+    ``(a2·a1, a2·c1 + c2)``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    mask = RAxMLRandom._MASK
+    a, c = 1, 0  # accumulated map (identity)
+    sa, sc = RAxMLRandom._MULT, 1  # the single-step map
+    while k:
+        if k & 1:
+            a, c = (sa * a) & mask, (sa * c + sc) & mask
+        sa, sc = (sa * sa) & mask, (sa * sc + sc) & mask
+        k >>= 1
+    return (a * (state & mask) + c) & mask
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: ``kind`` of ``origin``'s share, position ``index``.
+
+    ``deps`` are task ids that must be complete before this task is
+    *ready*; they encode the start-tree chain between bootstrap
+    replicates (broken at parsimony-refresh points, where the start is
+    derived from the replicate's own weights) and the stage-to-stage
+    tree selections.
+    """
+
+    kind: str
+    origin: int
+    index: int
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.origin < 0 or self.index < 0:
+            raise ValueError(f"origin/index must be non-negative: {self!r}")
+
+    @property
+    def id(self) -> str:
+        return f"{self.kind}:{self.origin}:{self.index}"
+
+
+def task_id(kind: str, origin: int, index: int) -> str:
+    return f"{kind}:{origin}:{index}"
+
+
+def build_dag(
+    schedule: WorkSchedule, cfg: ComprehensiveConfig, n_origins: int
+) -> dict[str, list[Task]]:
+    """All tasks of a work-steal run, grouped per stage.
+
+    ``n_origins`` is the world size: one Table 2 share per logical rank,
+    identical to what the static pipeline would run.  Per-origin fast and
+    slow counts are clipped to the share sizes exactly the way the static
+    driver clips them (``min(n_fast, len(starts))`` is a no-op for the
+    Table 2 numbers, but the clip keeps degenerate configs safe).
+    """
+    if n_origins < 1:
+        raise ValueError("n_origins must be >= 1")
+    nb = schedule.bootstraps_per_process
+    nf = min(schedule.fast_per_process, nb)
+    ns = min(schedule.slow_per_process, nf)
+    dag: dict[str, list[Task]] = {k: [] for k in TASK_KINDS}
+    for o in range(n_origins):
+        setup = task_id("setup", o, 0)
+        dag["setup"].append(Task("setup", o, 0))
+        for b in range(nb):
+            deps = [setup]
+            if b > 0 and b % cfg.parsimony_refresh_every != 0:
+                # Start tree chains from the previous replicate; refresh
+                # points start from a fresh parsimony tree instead (drawn
+                # from the replicate's own weights — no dependency).
+                deps.append(task_id("bootstrap", o, b - 1))
+            dag["bootstrap"].append(Task("bootstrap", o, b, tuple(deps)))
+        for i in range(nf):
+            start = task_id("bootstrap", o, (i * FAST_FRACTION) % nb)
+            dag["fast"].append(Task("fast", o, i, (setup, start)))
+        fast_ids = tuple(task_id("fast", o, i) for i in range(nf))
+        for i in range(ns):
+            # select_best needs the origin's whole fast pool.
+            dag["slow"].append(Task("slow", o, i, (setup,) + fast_ids))
+        slow_ids = tuple(task_id("slow", o, i) for i in range(ns))
+        dag["thorough"].append(Task("thorough", o, 0, (setup,) + slow_ids))
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# Stream derivation
+# ---------------------------------------------------------------------------
+
+
+def replicate_x_state(cfg: ComprehensiveConfig, origin: int, b: int, n_draws: int) -> int:
+    """The x-stream LCG state replicate ``b`` of ``origin`` starts from.
+
+    The static pipeline consumes exactly ``n_draws`` doubles per
+    replicate (one per alignment site), so the state before replicate
+    ``b`` is a ``b·n_draws``-step jump from the rank-seeded origin state.
+    """
+    base = rank_seed(cfg.seed_x, origin) & RAxMLRandom._MASK
+    return lcg_jump(base, b * n_draws)
+
+
+def origin_p_rng(cfg: ComprehensiveConfig, origin: int) -> RAxMLRandom:
+    """The origin's ``-p`` parent stream.  Never advanced by the pipeline
+    (searches fork labelled children), so a fresh instance is exact."""
+    return RAxMLRandom(rank_seed(cfg.seed_p, origin))
+
+
+def task_streams(
+    task: Task, cfg: ComprehensiveConfig, n_draws: int
+) -> dict[str, int]:
+    """The derived stream keys of one task (the fingerprint material)."""
+    p_seed = rank_seed(cfg.seed_p, task.origin)
+    if task.kind == "setup":
+        return {"p_seed": p_seed, "label": 0}
+    if task.kind == "bootstrap":
+        doc = {
+            "p_seed": p_seed,
+            "x_state": replicate_x_state(cfg, task.origin, task.index, n_draws),
+            "label": LABEL_REPLICATE + task.index,
+        }
+        if task.index > 0 and task.index % cfg.parsimony_refresh_every == 0:
+            doc["refresh_label"] = LABEL_REFRESH + task.index
+        return doc
+    if task.kind == "fast":
+        return {"p_seed": p_seed, "label": LABEL_FAST + task.index}
+    if task.kind == "slow":
+        return {"p_seed": p_seed, "label": LABEL_SLOW + task.index}
+    if task.kind == "thorough":
+        return {"p_seed": p_seed, "label": LABEL_THOROUGH}
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def rng_stream_fingerprint(
+    schedule: WorkSchedule, cfg: ComprehensiveConfig, n_draws: int, n_origins: int
+) -> str:
+    """Digest of every task's derived stream keys.
+
+    A pure function of the configuration — *not* of the schedule mode or
+    of which rank executed what — so static and work-steal runs of the
+    same configuration report the same fingerprint (the CI smoke job
+    asserts exactly this), and any change to the stream-keying scheme
+    shows up as a fingerprint change.
+    """
+    dag = build_dag(schedule, cfg, n_origins)
+    doc = {
+        t.id: task_streams(t, cfg, n_draws)
+        for stage in TASK_KINDS
+        for t in dag[stage]
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode("ascii")
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Task execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskContext:
+    """Executor-side resources a task runs with.
+
+    The *streams* come from the task's origin; the *engines, thread pool
+    and op counter* come from the executor — which is exactly why results
+    are executor-independent but virtual time is charged to whoever runs
+    the task.
+    """
+
+    pal: PatternAlignment
+    cfg: ComprehensiveConfig
+    schedule: WorkSchedule
+    engine_factory: EngineFactory
+    ops: OpCounter
+    n_draws: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_draws <= 0:
+            self.n_draws = int(self.pal.weights.sum())
+
+
+def _replicate_engine(ctx: TaskContext, model, rate_model, weights):
+    """Engine for one bootstrap replicate (same compression as the static
+    :func:`~repro.search.comprehensive.bootstrap_stage`)."""
+    if ctx.cfg.compress_bootstrap_patterns:
+        active = np.flatnonzero(weights > 0)
+        sub_pal = PatternAlignment(
+            ctx.pal.taxa,
+            ctx.pal.patterns[:, active],
+            weights[active],
+            np.empty(0, dtype=np.intp),
+        )
+        return ctx.engine_factory(
+            sub_pal,
+            model,
+            subset_rate_model(rate_model, active),
+            weights[active].astype(np.float64),
+            ctx.ops,
+        )
+    return ctx.engine_factory(ctx.pal, model, rate_model, weights, ctx.ops)
+
+
+def execute_task(task: Task, ctx: TaskContext, get: Callable[[str], object]):
+    """Run one task; ``get`` resolves completed dependency results.
+
+    Returns the setup artefact tuple for ``setup`` tasks and a
+    :class:`~repro.search.hillclimb.SearchResult` for everything else —
+    bit-identical to what the static pipeline produces for the same
+    (origin, index), wherever it runs.
+    """
+    cfg = ctx.cfg
+    o = task.origin
+    p_rng = origin_p_rng(cfg, o)
+    if task.kind == "setup":
+        return prepare_model_and_rates(
+            ctx.pal, cfg, p_rng, ctx.engine_factory, ctx.ops
+        )
+    model, search_rm, gamma_rm, init_tree = get(task_id("setup", o, 0))
+    if task.kind == "bootstrap":
+        b = task.index
+        x_rng = RAxMLRandom.from_state(replicate_x_state(cfg, o, b, ctx.n_draws))
+        weights = x_rng.weighted_multinomial_counts(ctx.n_draws, ctx.pal.weights)
+        engine = _replicate_engine(ctx, model, search_rm, weights)
+        if b == 0:
+            start = init_tree
+        elif b % cfg.parsimony_refresh_every == 0:
+            start = parsimony_starting_tree(
+                ctx.pal, spawn_stream(p_rng, LABEL_REFRESH + b), weights=weights
+            )
+        else:
+            start = get(task_id("bootstrap", o, b - 1)).tree
+        return bootstrap_replicate_search(
+            engine, start, spawn_stream(p_rng, LABEL_REPLICATE + b),
+            cfg.stage_params,
+        )
+    if task.kind == "fast":
+        i = task.index
+        start = get(task.deps[1]).tree
+        engine = ctx.engine_factory(ctx.pal, model, search_rm, None, ctx.ops)
+        return fast_search(
+            engine, start, spawn_stream(p_rng, LABEL_FAST + i), cfg.stage_params
+        )
+    if task.kind == "slow":
+        i = task.index
+        fast_results = [get(d) for d in task.deps[1:]]
+        # Static parity: run_slow ranks the origin's whole fast pool (the
+        # stable rounded sort of select_best) and starts slow search i
+        # from the i-th best tree.
+        start = select_best(fast_results, len(fast_results))[i].tree
+        engine = ctx.engine_factory(ctx.pal, model, search_rm, None, ctx.ops)
+        return slow_search(
+            engine, start, spawn_stream(p_rng, LABEL_SLOW + i), cfg.stage_params
+        )
+    if task.kind == "thorough":
+        slow_results = [get(d) for d in task.deps[1:]]
+        best_slow = select_best(slow_results, 1)[0]
+        engine = ctx.engine_factory(ctx.pal, model, gamma_rm, None, ctx.ops)
+        result, _engine = thorough_search(
+            engine, best_slow.tree, spawn_stream(p_rng, LABEL_THOROUGH),
+            cfg.stage_params,
+        )
+        return result
+    raise ValueError(f"unknown task kind {task.kind!r}")

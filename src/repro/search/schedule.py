@@ -35,6 +35,24 @@ class WorkSchedule:
     slow_per_process: int
     thorough_per_process: int
 
+    def __post_init__(self) -> None:
+        # Every rank must hold a full pipeline share — even in the
+        # n_processes > n_bootstraps corner where each rank gets a single
+        # replicate, the fast/slow/thorough stages still run (b=1 ⇒ f=1,
+        # s=1).  A zero share would starve a stage pool and deadlock the
+        # work-steal scheduler's stage barrier.
+        for name in (
+            "n_processes", "bootstraps_per_process", "fast_per_process",
+            "slow_per_process", "thorough_per_process",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.total_bootstraps < self.n_bootstraps_requested:
+            raise ValueError(
+                f"schedule undershoots: {self.total_bootstraps} total "
+                f"bootstraps < {self.n_bootstraps_requested} requested"
+            )
+
     @property
     def total_bootstraps(self) -> int:
         return self.bootstraps_per_process * self.n_processes
@@ -81,7 +99,13 @@ class WorkSchedule:
 
 
 def make_schedule(n_bootstraps: int, n_processes: int) -> WorkSchedule:
-    """The Table 2 work partition for ``n_bootstraps`` over ``n_processes``."""
+    """The Table 2 work partition for ``n_bootstraps`` over ``n_processes``.
+
+    Well-defined for ``n_processes > n_bootstraps`` too: each rank gets one
+    replicate (``ceil`` never rounds to zero) and the derived fast/slow
+    shares stay at their b=1 values, so the total work *over-provisions*
+    to ``p`` replicates rather than leaving ranks without a pipeline.
+    """
     if n_bootstraps < 1:
         raise ValueError(f"n_bootstraps must be >= 1, got {n_bootstraps}")
     if n_processes < 1:

@@ -68,6 +68,20 @@ class RAxMLRandom:
             raise ValueError(f"seed must be positive, got {self.seed}")
         self._state = self.seed & self._MASK
 
+    @classmethod
+    def from_state(cls, state: int) -> "RAxMLRandom":
+        """A generator positioned at an arbitrary 48-bit ``state``.
+
+        Together with :func:`lcg_jump` this lets a consumer re-create the
+        stream *mid-sequence* — e.g. the state the k-th bootstrap
+        replicate of a rank would observe — without replaying the draws
+        that precede it.  The task scheduler relies on this to make every
+        replicate's randomness a pure function of its global index.
+        """
+        rng = cls(1)
+        rng._state = state & cls._MASK
+        return rng
+
     # -- core ---------------------------------------------------------------
 
     def next_double(self) -> float:

@@ -87,3 +87,61 @@ class TestScheduleProperties:
         assert s.total_bootstraps == n
         assert s.fast_per_process == math.ceil(n / 5)
         assert s.slow_per_process == min(math.ceil(s.fast_per_process / 2), 10)
+
+
+class TestDegenerateAndShrink:
+    """The n_processes > n_bootstraps corner and degraded-mode shrink."""
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 8), st.integers(1, 64))
+    def test_more_processes_than_bootstraps(self, n, p):
+        """b=1 ranks still provision full fast/slow/thorough shares."""
+        s = make_schedule(n, max(p, n + 1))
+        assert s.bootstraps_per_process == 1
+        assert s.fast_per_process == 1
+        assert s.slow_per_process == 1
+        assert s.thorough_per_process == 1
+        assert s.total_bootstraps >= n
+
+    def test_post_init_rejects_zero_shares(self):
+        with pytest.raises(ValueError):
+            WorkSchedule(
+                n_bootstraps_requested=10, n_processes=2,
+                bootstraps_per_process=5, fast_per_process=0,
+                slow_per_process=1, thorough_per_process=1,
+            )
+        with pytest.raises(ValueError):
+            WorkSchedule(
+                n_bootstraps_requested=10, n_processes=2,
+                bootstraps_per_process=4, fast_per_process=1,
+                slow_per_process=1, thorough_per_process=1,
+            )  # 8 total < 10 requested
+
+    @settings(max_examples=80)
+    @given(st.integers(1, 2000), st.integers(1, 64))
+    def test_per_rank_shares_within_one_of_ideal(self, n, p):
+        """Every rank's share is within 1 replicate of the ideal N/p."""
+        s = make_schedule(n, p)
+        assert 0 <= s.bootstraps_per_process - n / p < 1
+
+    @settings(max_examples=80)
+    @given(st.integers(1, 2000), st.integers(1, 32), st.data())
+    def test_shrink_monotone_in_survivors(self, n, p, data):
+        """Fewer survivors never means less work per survivor, and the
+        requested total stays covered at every survivor count."""
+        s = make_schedule(n, p)
+        k1 = data.draw(st.integers(1, p), label="survivors_small")
+        k2 = data.draw(st.integers(k1, p), label="survivors_large")
+        small, large = s.shrink(k1), s.shrink(k2)
+        assert small.total_bootstraps >= n
+        assert large.total_bootstraps >= n
+        assert small.bootstraps_per_process >= large.bootstraps_per_process
+        assert small.fast_per_process >= large.fast_per_process
+        assert small.n_processes == k1 and large.n_processes == k2
+
+    def test_shrink_validation(self):
+        s = make_schedule(100, 4)
+        with pytest.raises(ValueError):
+            s.shrink(0)
+        with pytest.raises(ValueError):
+            s.shrink(5)
