@@ -76,9 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "invalidated by each move")
     parser.add_argument("--bootstopping", action="store_true",
                         help="enable the WC bootstopping test (extension)")
+    from repro.runtime import available_schedules
+
     parser.add_argument("--schedule", default="static",
-                        choices=["static", "work-steal"],
-                        help="replicate scheduling: 'static' (the paper's "
+                        choices=list(available_schedules()),
+                        help="execution backend: 'static' (the paper's "
                              "fixed Table 2 shares) or 'work-steal' (dynamic "
                              "deques with deterministic work stealing; "
                              "bit-identical results by construction)")
@@ -110,6 +112,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def validate_args(args) -> None:
+    """Reject flag combinations that would otherwise be silently ignored
+    or die deep inside the run with an unhelpful traceback."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if args.algorithm == "e" and not args.tree:
+        raise SystemExit("-f e requires an input tree via -t")
+    if args.tree and args.algorithm != "e":
+        raise SystemExit(
+            "-t is only consumed by -f e (evaluate a fixed topology); "
+            f"-f {args.algorithm} would silently ignore the input tree"
+        )
+    if args.clv_cache:
+        from repro.likelihood.kernels import get_kernel
+
+        if not get_kernel(args.kernel).uses_clv_cache:
+            raise SystemExit(
+                f"--clv-cache has no effect with --kernel {args.kernel}: "
+                "that backend bypasses the engine's CLV bookkeeping"
+            )
+    if args.bootstopping and args.schedule != "static":
+        raise SystemExit(
+            "--bootstopping requires --schedule static: the replicate set "
+            "grows round-synchronised across ranks"
+        )
+    if args.algorithm != "a" or args.seed_b is not None:
+        # Only the comprehensive analysis consumes these; anything else
+        # would run fine but silently drop the request.
+        mode = "-b" if args.seed_b is not None else f"-f {args.algorithm}"
+        ignored = [
+            flag
+            for flag, on in (
+                ("--bootstopping", args.bootstopping),
+                ("--checkpoint-dir", args.checkpoint_dir is not None),
+                ("--resume", args.resume),
+                ("--trace", args.trace is not None),
+                ("--metrics-out", args.metrics_out is not None),
+                ("-J", args.consensus is not None),
+                ("--schedule", args.schedule != "static"),
+            )
+            if on
+        ]
+        if ignored:
+            raise SystemExit(
+                f"{', '.join(ignored)}: only the comprehensive analysis "
+                f"(-f a) supports this; {mode} would silently ignore it"
+            )
+
+
 def load_alignment(args) -> "PatternAlignment":
     if args.simulate is not None:
         n_taxa, n_sites = args.simulate
@@ -135,8 +186,6 @@ def _run_evaluate(args, pal) -> int:
     from repro.search.evaluate import evaluate_tree
     from repro.tree.newick import parse_newick
 
-    if not args.tree:
-        raise SystemExit("-f e requires an input tree via -t")
     tree_path = Path(args.tree)
     if not tree_path.exists():
         raise SystemExit(f"tree file not found: {tree_path}")
@@ -204,6 +253,7 @@ def _run_multisearch(args, pal, stage_params) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    validate_args(args)
     pal = load_alignment(args)
 
     stage_params = (
@@ -222,8 +272,6 @@ def main(argv: list[str] | None = None) -> int:
         use_cat=(args.model == "GTRCAT"),
         stage_params=stage_params,
     )
-    if args.resume and not args.checkpoint_dir:
-        raise SystemExit("--resume requires --checkpoint-dir")
     config = HybridConfig(
         n_processes=args.processes,
         n_threads=args.threads,

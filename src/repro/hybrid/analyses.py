@@ -37,6 +37,7 @@ from repro.threads.threaded_engine import ThreadedLikelihoodEngine
 from repro.tree.newick import parse_newick, write_newick
 from repro.tree.topology import Tree
 from repro.util.rng import RAxMLRandom, rank_seed, spawn_stream
+from repro.util.validation import check_min, check_positive
 
 
 @dataclass(frozen=True)
@@ -51,10 +52,9 @@ class MultiSearchConfig:
     stage_params: StageParams = field(default_factory=StageParams)
 
     def __post_init__(self) -> None:
-        if self.n_searches < 1:
-            raise ValueError("n_searches must be >= 1")
-        if self.seed_p <= 0 or self.seed_b <= 0:
-            raise ValueError("seeds must be positive")
+        check_min("n_searches", self.n_searches, 1)
+        check_positive("seed_p (RAxML -p)", self.seed_p)
+        check_positive("seed_b (RAxML -b)", self.seed_b)
 
 
 @dataclass
@@ -73,8 +73,7 @@ class MultiSearchResult:
 
 def searches_per_rank(n_searches: int, n_processes: int) -> int:
     """Each rank runs ``ceil(N/p)`` searches (constant parallelism)."""
-    if n_processes < 1:
-        raise ValueError("n_processes must be >= 1")
+    check_min("n_processes", n_processes, 1)
     return math.ceil(n_searches / n_processes)
 
 

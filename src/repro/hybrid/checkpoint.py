@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict
+from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
 from repro.search.hillclimb import SearchResult
@@ -49,43 +49,36 @@ def alignment_digest(pal) -> str:
     return h.hexdigest()
 
 
+def fingerprint_doc(obj) -> dict:
+    """The JSON-able identity of a config object, declared by the object.
+
+    Reads the object's ``fingerprint_fields`` tuple (see
+    :class:`~repro.hybrid.driver.HybridConfig` and
+    :class:`~repro.search.comprehensive.ComprehensiveConfig`): each named
+    field becomes one document entry, nested dataclass values (e.g.
+    ``stage_params``) as plain dicts.  Adding a result-affecting knob to
+    a config means adding its name to that tuple — nothing here changes.
+    """
+    doc = {}
+    for name in obj.fingerprint_fields:
+        value = getattr(obj, name)
+        doc[name] = asdict(value) if is_dataclass(value) else value
+    return doc
+
+
 def config_fingerprint(pal, config) -> str:
     """Hash of every input that determines a run's results and timings.
 
-    Resilience-only knobs (``fault_plan``, ``checkpoint_dir``, ``resume``)
-    are deliberately excluded: a resumed run and its killed predecessor
-    share a fingerprint by construction.
+    Composed from the configs' declarative ``fingerprint_fields`` plus
+    the alignment digest.  Resilience-only knobs (``fault_plan``,
+    ``checkpoint_dir``, ``resume``) are deliberately excluded from the
+    field lists: a resumed run and its killed predecessor share a
+    fingerprint by construction.
     """
-    cfg = config.comprehensive
-    doc = {
-        "format": FORMAT_VERSION,
-        # Static checkpoints and work-steal journals describe different
-        # units of progress; the mode is part of the run's identity.
-        "schedule": config.schedule,
-        "n_processes": config.n_processes,
-        "n_threads": config.n_threads,
-        "machine": config.machine,
-        "seconds_per_pattern_unit": config.seconds_per_pattern_unit,
-        "bootstopping": config.bootstopping,
-        "bootstop_step": config.bootstop_step,
-        "bootstop_max": config.bootstop_max,
-        # Likelihood values are backend/cache-independent, but timings and
-        # op counts are not — a resumed run must keep the same settings.
-        "kernel": config.kernel,
-        "clv_cache": config.clv_cache,
-        "comprehensive": {
-            "n_bootstraps": cfg.n_bootstraps,
-            "seed_p": cfg.seed_p,
-            "seed_x": cfg.seed_x,
-            "gamma_categories": cfg.gamma_categories,
-            "cat_categories": cfg.cat_categories,
-            "use_cat": cfg.use_cat,
-            "parsimony_refresh_every": cfg.parsimony_refresh_every,
-            "compress_bootstrap_patterns": cfg.compress_bootstrap_patterns,
-            "stage_params": asdict(cfg.stage_params),
-        },
-        "alignment": alignment_digest(pal),
-    }
+    doc = {"format": FORMAT_VERSION}
+    doc.update(fingerprint_doc(config))
+    doc["comprehensive"] = fingerprint_doc(config.comprehensive)
+    doc["alignment"] = alignment_digest(pal)
     return hashlib.sha256(
         json.dumps(doc, sort_keys=True).encode("ascii")
     ).hexdigest()

@@ -8,9 +8,13 @@ Communication follows the paper exactly: one barrier after the bootstrap
 stage, one result exchange at the end ("That and a call to MPI_Barrier
 after the bootstrap stage are the only noteworthy MPI communications").
 
-Optionally the driver runs the WC bootstopping test across ranks — the
-paper's stated future-work item — using shard-partitioned bipartition
-tables (:mod:`repro.bootstop.table`).
+The execution machinery lives in :mod:`repro.runtime` (see
+``docs/ARCHITECTURE.md`` §11): the analysis itself is the declarative
+:func:`~repro.runtime.pipeline.comprehensive_pipeline`, ``schedule``
+selects an :class:`~repro.runtime.backends.ExecutionBackend` from the
+registry, and checkpoint/resume, fault recovery and obs instrumentation
+ride along as middleware.  This module only defines the run
+configuration and wires the SPMD launch to the backend.
 
 Resilience (see ``docs/ARCHITECTURE.md`` §6): with ``checkpoint_dir``
 set, every rank checkpoints each completed stage atomically and a run can
@@ -23,64 +27,17 @@ smaller world, and charge the whole recovery to their virtual clocks.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
-from pathlib import Path
+from typing import ClassVar
 
-from repro.bootstop.support import map_support
-from repro.bootstop.table import BipartitionTable, merge_tables
-from repro.bootstop.wc_test import wc_converged
-from repro.likelihood.engine import OpCounter
-from repro.mpi.comm import CommTiming, DistributedStateError, RankFailure, SimComm
 from repro.mpi.faults import FaultPlan
 from repro.mpi.launcher import run_spmd
-from repro.obs.metrics import aggregate
-from repro.obs.recorder import Recorder, recording
-from repro.obs.recorder import current as _obs_current
-from repro.obs.report import run_report
-from repro.obs.trace import chrome_trace
-from repro.perfmodel.finegrain import MachineRegionTiming
 from repro.perfmodel.machines import machine_by_name
-from repro.search.comprehensive import (
-    ComprehensiveConfig,
-    bootstrap_stage,
-    fast_stage,
-    prepare_model_and_rates,
-    select_best,
-    select_fast_starts,
-    slow_stage,
-    thorough_stage,
-)
-from repro.search.hillclimb import SearchResult
-from repro.search.schedule import make_schedule
+from repro.search.comprehensive import ComprehensiveConfig
 from repro.seq.patterns import PatternAlignment
-from repro.threads.pool import VirtualThreadPool
-from repro.threads.threaded_engine import ThreadedLikelihoodEngine
-from repro.tree.newick import parse_newick, write_newick
-from repro.util.rng import RAxMLRandom, rank_seed
-from repro.util.timing import VirtualClock
-from repro.hybrid.checkpoint import (
-    STAGE_ORDER,
-    CheckpointError,
-    CheckpointStore,
-    config_fingerprint,
-    payload_to_results,
-    results_to_payload,
-)
-from repro.hybrid.results import HybridResult, RankReport
-from repro.sched.checkpoint import SchedJournal, load_journal, load_union
-from repro.sched.placement import initial_assignment
-from repro.sched.queue import StealBoard
-from repro.sched.stealing import run_rank_pool
-from repro.sched.tasks import (
-    TASK_KINDS,
-    TaskContext,
-    build_dag,
-    execute_task,
-    rng_stream_fingerprint,
-    task_id,
-)
+from repro.util.validation import check_choice, check_min
+from repro.hybrid.results import HybridResult, assemble_hybrid_result
+from repro.runtime.backends import BACKENDS, available_schedules, run_rank
 
 
 @dataclass(frozen=True)
@@ -119,17 +76,31 @@ class HybridConfig:
     #: Collect per-rank metrics registries (``--metrics-out``); implied
     #: by ``collect_trace`` since the recorder carries both.
     collect_metrics: bool = False
-    #: Task scheduling mode: "static" is the paper's fixed Table 2
-    #: partition; "work-steal" runs the same shares as a task DAG over
-    #: per-rank deques with deterministic cross-rank stealing
-    #: (:mod:`repro.sched`) — bit-identical results, smaller idle tails.
+    #: Execution backend (:data:`repro.runtime.backends.BACKENDS`):
+    #: "static" is the paper's fixed Table 2 partition; "work-steal" runs
+    #: the same shares as a task DAG over per-rank deques with
+    #: deterministic cross-rank stealing (:mod:`repro.sched`) —
+    #: bit-identical results, smaller idle tails.
     schedule: str = "static"
 
+    #: Fields that enter the checkpoint fingerprint (see
+    #: :func:`repro.hybrid.checkpoint.fingerprint_doc`).  The schedule
+    #: mode is part of the run's identity — static checkpoints and
+    #: work-steal journals describe different units of progress.  Kernel
+    #: and cache settings are included because timings and op counts
+    #: depend on them even though likelihood values do not.
+    #: Resilience-only knobs (``fault_plan``, ``checkpoint_dir``,
+    #: ``resume``) are deliberately excluded: a resumed run and its
+    #: killed predecessor share a fingerprint by construction.
+    fingerprint_fields: ClassVar[tuple[str, ...]] = (
+        "schedule", "n_processes", "n_threads", "machine",
+        "seconds_per_pattern_unit", "bootstopping", "bootstop_step",
+        "bootstop_max", "kernel", "clv_cache",
+    )
+
     def __post_init__(self) -> None:
-        if self.n_processes < 1:
-            raise ValueError("n_processes must be >= 1")
-        if self.n_threads < 1:
-            raise ValueError("n_threads must be >= 1")
+        check_min("n_processes", self.n_processes, 1)
+        check_min("n_threads", self.n_threads, 1)
         machine = machine_by_name(self.machine)
         if self.n_threads > machine.cores_per_node:
             raise ValueError(
@@ -141,804 +112,12 @@ class HybridConfig:
             raise ValueError("bootstop_step must be an even number >= 2")
         if self.resume and self.checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
-        if self.schedule not in ("static", "work-steal"):
-            raise ValueError(
-                f"schedule must be 'static' or 'work-steal', got {self.schedule!r}"
-            )
-        if self.schedule == "work-steal" and self.bootstopping:
+        check_choice("schedule", self.schedule, available_schedules())
+        if self.bootstopping and not BACKENDS[self.schedule].supports_bootstopping:
             raise ValueError(
                 "bootstopping grows the replicate set dynamically and is "
                 "round-synchronised; it requires schedule='static'"
             )
-
-
-class _RankPipeline:
-    """One *logical* rank's collective-free compute pipeline.
-
-    Owns the rank's seed streams (``seed + 10000·r``), virtual thread
-    pool, per-stage accounting, checkpoint store, and fault hooks.  The
-    pipeline never communicates, which is what makes it reusable: a
-    surviving rank replays a dead peer's share by running a second
-    pipeline for the dead *logical* rank on its own clock — the seed
-    discipline guarantees bit-identical replicates.
-    """
-
-    def __init__(
-        self,
-        pal: PatternAlignment,
-        config: HybridConfig,
-        logical_rank: int,
-        clock: VirtualClock,
-        ckpt: CheckpointStore | None = None,
-        resume_through: int = -1,
-        plan: FaultPlan | None = None,
-        save_checkpoints: bool = True,
-    ) -> None:
-        self.pal = pal
-        self.config = config
-        self.cfg = config.comprehensive
-        self.rank = logical_rank
-        self.clock = clock
-        self.p_rng = RAxMLRandom(rank_seed(self.cfg.seed_p, logical_rank))
-        self.x_rng = RAxMLRandom(rank_seed(self.cfg.seed_x, logical_rank))
-        machine = machine_by_name(config.machine)
-        self.pool = VirtualThreadPool(
-            config.n_threads,
-            MachineRegionTiming(machine, config.seconds_per_pattern_unit),
-            clock=clock,
-        )
-        self.ops = OpCounter()
-        self.stage_seconds: dict[str, float] = {}
-        self.stage_ops: dict[str, int] = {}
-        self.ckpt = ckpt
-        self.resume_through = resume_through
-        self.plan = plan
-        self.save_checkpoints = save_checkpoints
-        #: Virtual time spent replaying dead peers' work (charged to a
-        #: dedicated "recovery" bucket, not to the stage it interrupted).
-        self.recovery_seconds = 0.0
-        self._t0 = 0.0
-        self._o0 = 0
-        self._r0 = 0.0
-
-    def engine_factory(self, pal_, model_, rate_model_, weights_, ops_):
-        return ThreadedLikelihoodEngine(
-            pal_, model_, self.pool, rate_model_, weights=weights_, ops=ops_,
-            kernel=self.config.kernel, clv_cache=self.config.clv_cache,
-        )
-
-    # -- fault hooks --------------------------------------------------------
-
-    def kill_hook(self, stage: str) -> None:
-        if self.plan is not None:
-            self.plan.kill_at_stage(self.rank, stage)
-
-    def replicate_hook(self, b: int) -> None:
-        if self.plan is not None:
-            self.plan.kill_at_replicate(self.rank, b)
-
-    # -- stage accounting and checkpoints ------------------------------------
-
-    def begin_stage(self) -> None:
-        self._t0 = self.clock.now
-        self._o0 = self.ops.pattern_ops
-        self._r0 = self.recovery_seconds
-
-    def end_stage(self, stage: str, payload: dict | None = None,
-                  save: bool = True) -> None:
-        recovered = self.recovery_seconds - self._r0
-        self.stage_seconds[stage] = (self.clock.now - self._t0) - recovered
-        self.stage_ops[stage] = self.ops.pattern_ops - self._o0
-        rec = _obs_current()
-        if rec is not None:
-            # The span covers the wall window (incl. recovery time charged
-            # elsewhere); args carry the stage-only accounting.
-            rec.span(stage, "stage", self._t0, args={
-                "stage_seconds": self.stage_seconds[stage],
-                "pattern_ops": self.stage_ops[stage],
-                "recovery_seconds": recovered,
-            })
-        if save and self.ckpt is not None and self.save_checkpoints:
-            doc = dict(payload or {})
-            doc["stage_seconds"] = self.stage_seconds[stage]
-            doc["stage_ops"] = self.stage_ops[stage]
-            doc["clock"] = self.clock.now
-            self.ckpt.save(stage, doc)
-
-    def add_recovery(self, dt: float) -> None:
-        self.recovery_seconds += dt
-
-    def will_load(self, stage: str) -> bool:
-        return self.ckpt is not None and STAGE_ORDER.index(stage) <= self.resume_through
-
-    def _load(self, stage: str) -> dict:
-        data = self.ckpt.load(stage)
-        if data is None:
-            raise CheckpointError(
-                f"rank {self.rank}: negotiated checkpoint for stage "
-                f"{stage!r} disappeared from {self.ckpt.directory}"
-            )
-        self.stage_seconds[stage] = data["stage_seconds"]
-        self.stage_ops[stage] = data["stage_ops"]
-        t0 = self.clock.now
-        # Restore the rank's timeline (synchronize only moves forward, and
-        # a fresh run starts at 0, so this is an exact restore).
-        self.clock.synchronize(data["clock"])
-        rec = _obs_current()
-        if rec is not None:
-            # Resumed stages splice into the trace as one span covering the
-            # restored window, flagged so timelines read unambiguously.
-            rec.span(stage, "stage", t0, self.clock.now, args={
-                "resumed": True,
-                "stage_seconds": self.stage_seconds[stage],
-                "pattern_ops": self.stage_ops[stage],
-            })
-        return data
-
-    # -- the four compute stages ---------------------------------------------
-
-    def run_setup(self):
-        self.kill_hook("setup")
-        if self.will_load("setup"):
-            self._load("setup")
-            # Setup artefacts (frequencies, CAT rates, parsimony tree) are
-            # cheap deterministic preparation; recomputing them on a
-            # throwaway clock avoids serialising models entirely.  p_rng is
-            # only forked (never advanced) by setup, so reusing it keeps
-            # the live and resumed streams identical.  The recorder is
-            # masked: throwaway-clock timestamps would corrupt the spliced
-            # timeline (the resumed-stage span already covers this window).
-            with recording(None):
-                shadow = _RankPipeline(
-                    self.pal, self.config, self.rank, VirtualClock()
-                )
-                return prepare_model_and_rates(
-                    self.pal, self.cfg, self.p_rng, shadow.engine_factory,
-                    shadow.ops,
-                )
-        self.begin_stage()
-        out = prepare_model_and_rates(
-            self.pal, self.cfg, self.p_rng, self.engine_factory, self.ops
-        )
-        self.end_stage("setup")
-        return out
-
-    def load_bootstrap(self):
-        data = self._load("bootstrap")
-        results = payload_to_results(data["results"], self.pal.taxa)
-        # x_rng advanced during the bootstrap stage; restore its stream so
-        # the resumed rank is in exactly the checkpointed state.
-        self.x_rng._state = int(data["x_state"])
-        wc_trace = [tuple(t) for t in data["wc_trace"]]
-        shard = None
-        if data["all_newicks"] is not None:
-            shard = BipartitionTable(
-                self.pal.n_taxa, shard=self.rank, n_shards=data["n_shards"]
-            )
-            shard.add_trees(
-                [parse_newick(n, taxa=self.pal.taxa) for n in data["all_newicks"]]
-            )
-        return results, wc_trace, shard
-
-    def bootstrap_payload(self, results, wc_trace, all_newicks, n_shards) -> dict:
-        return {
-            "results": results_to_payload(results),
-            "wc_trace": [list(t) for t in wc_trace],
-            "all_newicks": all_newicks,
-            "n_shards": n_shards,
-            "x_state": self.x_rng._state,
-        }
-
-    def compute_bootstrap(self, model, search_rm, init_tree):
-        """The standard (non-bootstopping) bootstrap share: ceil(N/p)
-        replicates from this logical rank's streams."""
-        sched = make_schedule(self.cfg.n_bootstraps, self.config.n_processes)
-        return bootstrap_stage(
-            self.pal, model, search_rm, sched.bootstraps_per_process,
-            self.x_rng, self.p_rng, self.engine_factory, self.ops, self.cfg,
-            init_tree, on_replicate=self.replicate_hook,
-        )
-
-    def run_fast(self, model, search_rm, start_trees, n_fast):
-        self.kill_hook("fast")
-        if self.will_load("fast"):
-            return payload_to_results(self._load("fast")["results"], self.pal.taxa)
-        self.begin_stage()
-        starts = select_fast_starts(start_trees, min(n_fast, len(start_trees)))
-        results = fast_stage(
-            self.pal, model, search_rm, starts, self.p_rng,
-            self.engine_factory, self.ops, self.cfg,
-        )
-        self.end_stage("fast", {"results": results_to_payload(results)})
-        return results
-
-    def run_slow(self, model, search_rm, fast_results, n_slow):
-        self.kill_hook("slow")
-        if self.will_load("slow"):
-            return payload_to_results(self._load("slow")["results"], self.pal.taxa)
-        self.begin_stage()
-        starts = [
-            r.tree for r in select_best(fast_results, min(n_slow, len(fast_results)))
-        ]
-        results = slow_stage(
-            self.pal, model, search_rm, starts, self.p_rng,
-            self.engine_factory, self.ops, self.cfg,
-        )
-        self.end_stage("slow", {"results": results_to_payload(results)})
-        return results
-
-    def run_thorough(self, model, gamma_rm, slow_results) -> SearchResult:
-        self.kill_hook("thorough")
-        if self.will_load("thorough"):
-            data = self._load("thorough")
-            return SearchResult(
-                parse_newick(data["newick"], taxa=self.pal.taxa),
-                data["lnl"], data["rounds"],
-            )
-        self.begin_stage()
-        best_slow = select_best(slow_results, 1)[0]
-        thorough, _final_model = thorough_stage(
-            self.pal, model, gamma_rm, best_slow.tree, self.p_rng,
-            self.engine_factory, self.ops, self.cfg,
-        )
-        self.end_stage("thorough", {
-            "newick": write_newick(thorough.tree, digits=None),
-            "lnl": float(thorough.lnl),
-            "rounds": int(thorough.rounds),
-        })
-        return thorough
-
-
-def _open_store(pal, config: HybridConfig, logical_rank: int) -> CheckpointStore | None:
-    if config.checkpoint_dir is None:
-        return None
-    return CheckpointStore(
-        Path(config.checkpoint_dir), logical_rank, config_fingerprint(pal, config)
-    )
-
-
-def _replay_rank(dead_rank: int, comm: SimComm, pal, config: HybridConfig,
-                 upto: str) -> dict:
-    """Re-derive a dead rank's work share on this rank's virtual clock.
-
-    The §2.4 seed discipline (``seed + 10000·r``) makes the dead rank's
-    replicate streams exactly re-derivable, so the global replicate set is
-    unchanged by recovery.  Checkpoints the dead rank managed to write are
-    used instead of recomputation; kill specs are *not* re-armed (the
-    fault already happened — the adopter is a different node).
-
-    ``upto="bootstrap"`` replays only the replicates (the adopter folds
-    the trees into its own fast starts); ``upto="thorough"`` replays the
-    dead rank's whole pipeline with its original Table 2 shares, so the
-    final selection sees the same candidate set as a failure-free run.
-    """
-    ckpt = _open_store(pal, config, dead_rank)
-    resume_through = len(ckpt.available_stages()) - 1 if ckpt is not None else -1
-    pipe = _RankPipeline(
-        pal, config, dead_rank, comm.clock,
-        ckpt=ckpt, resume_through=resume_through, plan=None,
-        save_checkpoints=False,
-    )
-    model, search_rm, gamma_rm, init_tree = pipe.run_setup()
-    if pipe.will_load("bootstrap"):
-        bs_results, _, _ = pipe.load_bootstrap()
-    else:
-        pipe.begin_stage()
-        bs_results = pipe.compute_bootstrap(model, search_rm, init_tree)
-        pipe.end_stage("bootstrap", save=False)
-    trees = [r.tree for r in bs_results]
-    out = {
-        "bootstrap_trees": trees,
-        "bootstrap_newicks": [write_newick(t) for t in trees],
-        "thorough": None,
-    }
-    if upto == "bootstrap":
-        return out
-    sched = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
-    fast = pipe.run_fast(model, search_rm, trees, sched.fast_per_process)
-    slow = pipe.run_slow(model, search_rm, fast, sched.slow_per_process)
-    out["thorough"] = pipe.run_thorough(model, gamma_rm, slow)
-    return out
-
-
-def _rank_main(
-    comm: SimComm,
-    pal: PatternAlignment,
-    config: HybridConfig,
-    board: StealBoard | None = None,
-) -> dict:
-    """The SPMD body: install this rank's recorder, then run the pipeline.
-
-    One :class:`~repro.obs.recorder.Recorder` per rank, on the rank's own
-    virtual clock, installed thread-locally so every instrumented layer
-    (pool, engine, search, collectives) finds it via ``obs.current()``.
-    With both collect flags off no recorder exists and instrumentation
-    reduces to a thread-local read per call site.
-    """
-    rec = None
-    if config.collect_trace or config.collect_metrics:
-        rec = Recorder(
-            comm.rank, comm.clock, n_threads=config.n_threads,
-            record_events=config.collect_trace,
-        )
-    with recording(rec):
-        if config.schedule == "work-steal":
-            out = _rank_body_worksteal(comm, pal, config, board)
-        else:
-            out = _rank_body(comm, pal, config)
-    if rec is not None:
-        for stage, s in out["stage_seconds"].items():
-            rec.gauge(f"stage.seconds.{stage}", s)
-        rec.gauge("rank.finish_time", out["finish_time"])
-        rec.gauge("rank.comm_seconds", out["comm_seconds"])
-        rec.gauge("ops.pattern_ops", out["pattern_ops"])
-        out["metrics"] = rec.metrics.to_dict()
-        out["trace_events"] = rec.export_events() if config.collect_trace else None
-        out["trace_dropped"] = rec.dropped
-    else:
-        out["metrics"] = None
-        out["trace_events"] = None
-        out["trace_dropped"] = 0
-    return out
-
-
-def _rank_body(comm: SimComm, pal: PatternAlignment, config: HybridConfig) -> dict:
-    """One rank's share of the comprehensive analysis."""
-    cfg = config.comprehensive
-    rank = comm.rank
-    sched = make_schedule(cfg.n_bootstraps, comm.size)
-
-    ckpt = _open_store(pal, config, rank)
-    resume_through = -1
-    if ckpt is not None and config.resume:
-        # Negotiate a common resume point: every rank must skip the same
-        # collectives, so resume through the *minimum* contiguous stage
-        # prefix available across ranks.  Cost-free exchange: a resumed
-        # run must stay bit-identical to an uninterrupted one.
-        counts = comm._plain_allgather(
-            len(ckpt.available_stages()), op="resume-negotiation"
-        )
-        resume_through = min(c for c in counts if c is not None) - 1
-
-    pipe = _RankPipeline(
-        pal, config, rank, comm.clock,
-        ckpt=ckpt, resume_through=resume_through, plan=config.fault_plan,
-    )
-    #: Dead logical ranks this physical rank replayed: rank -> replay dict.
-    adopted: dict[int, dict] = {}
-
-    def recover(upto: str) -> None:
-        """Adopt (replay) dead ranks assigned to this survivor.
-
-        Assignment is a pure function of the consistent death/survivor
-        sets (``dead % n_survivors``), so every survivor computes the
-        same adoption map without communicating — including takeovers of
-        work a now-dead adopter had previously replayed.
-        """
-        survivors = comm.alive_ranks()
-        t_r = comm.clock.now
-        replayed_now: list[int] = []
-        for d in comm.known_dead:
-            if config.bootstopping:
-                # Bootstopping gathers replicates every round, so the dead
-                # rank's completed trees are already replicated on every
-                # survivor; the round loop just continues with a smaller
-                # world (degraded, but convergence-driven).
-                continue
-            if survivors[d % len(survivors)] != rank:
-                continue
-            if d not in adopted:
-                adopted[d] = _replay_rank(d, comm, pal, config, upto)
-                replayed_now.append(d)
-        pipe.add_recovery(comm.clock.now - t_r)
-        rec = _obs_current()
-        if rec is not None and replayed_now:
-            rec.count("recovery.replays", len(replayed_now))
-            rec.span("recovery", "recovery", t_r, args={
-                "adopted": replayed_now, "upto": upto,
-            })
-
-    model, search_rm, gamma_rm, init_tree = pipe.run_setup()
-
-    # ---- Stage 1: bootstraps (each rank: ceil(N/p) replicates) ----------
-    pipe.kill_hook("bootstrap")
-    if pipe.will_load("bootstrap"):
-        # The post-bootstrap barrier already happened in the checkpointed
-        # timeline (its cost is inside the restored clock); every rank
-        # resumes past it symmetrically, so it is skipped, not replayed.
-        bs_results, wc_trace, shard = pipe.load_bootstrap()
-    else:
-        pipe.begin_stage()
-        if config.bootstopping:
-            bs_results, wc_trace, shard, all_newicks = _bootstrap_with_bootstopping(
-                comm, pipe, model, search_rm, init_tree
-            )
-        else:
-            bs_results = pipe.compute_bootstrap(model, search_rm, init_tree)
-            wc_trace, shard, all_newicks = [], None, None
-        # The one noteworthy barrier of the MPI code (paper Section 2.1) —
-        # retried after recovery so survivors leave it in lockstep.
-        while True:
-            try:
-                comm.barrier()
-                break
-            except RankFailure:
-                recover(upto="bootstrap")
-        pipe.end_stage(
-            "bootstrap",
-            pipe.bootstrap_payload(bs_results, wc_trace, all_newicks, comm.size),
-        )
-
-    # ---- Stage 2+3: fast and slow searches (Section 2.2: local sort) ----
-    survivors = comm.alive_ranks()
-    if len(survivors) < comm.size:
-        # Degraded mode: Table 2 shares recomputed over the survivors.
-        dsched = sched.shrink(len(survivors))
-        n_fast_share, n_slow_share = dsched.fast_per_process, dsched.slow_per_process
-    else:
-        n_fast_share, n_slow_share = sched.fast_per_process, sched.slow_per_process
-    local_bs_trees = [r.tree for r in bs_results]
-    pool_trees = local_bs_trees + [
-        t for d in sorted(adopted) for t in adopted[d]["bootstrap_trees"]
-    ]
-    if config.bootstopping:
-        n_fast_share = max(1, -(-len(pool_trees) // 5))
-    fast_results = pipe.run_fast(model, search_rm, pool_trees, n_fast_share)
-    slow_results = pipe.run_slow(model, search_rm, fast_results, n_slow_share)
-
-    # ---- Stage 4: every rank runs its own thorough search (Section 2.1) --
-    thorough = pipe.run_thorough(model, gamma_rm, slow_results)
-
-    # ---- Final selection: gather scores, broadcast the winner ------------
-    # Scores are rounded to 1e-6 for the argmax (ties break to the lowest
-    # logical rank) so the winner is independent of thread-count float
-    # noise.  Each physical rank also submits entries for fully-replayed
-    # adoptees; a death here triggers a full replay and a retry.
-    pipe.begin_stage()
-    pipe.kill_hook("finalize")
-    local_newick = write_newick(thorough.tree)
-    while True:
-        entries = [(round(thorough.lnl, 6), -rank, thorough.lnl)]
-        for d in sorted(adopted):
-            replayed = adopted[d]["thorough"]
-            if replayed is not None:
-                entries.append((round(replayed.lnl, 6), -d, replayed.lnl))
-        try:
-            boards = comm.allgather(entries)
-            flat = [
-                (tuple(entry), carrier)
-                for carrier, lst in enumerate(boards)
-                if lst is not None
-                for entry in lst
-            ]
-            (_, neg_rank, winner_lnl), carrier = max(flat)
-            winner_rank = -neg_rank
-            if comm.rank == carrier:
-                win_newick = (
-                    local_newick if winner_rank == rank
-                    else write_newick(adopted[winner_rank]["thorough"].tree)
-                )
-            else:
-                win_newick = None
-            best_newick = comm.bcast(win_newick, root=carrier)
-            break
-        except RankFailure:
-            recover(upto="thorough")
-    pipe.end_stage("finalize", save=False)
-
-    return {
-        "rank": rank,
-        "stage_seconds": {**pipe.stage_seconds, "recovery": pipe.recovery_seconds},
-        "stage_ops": pipe.stage_ops,
-        "local_lnl": thorough.lnl,
-        "local_newick": local_newick,
-        "winner_rank": winner_rank,
-        "winner_lnl": winner_lnl,
-        "best_newick": best_newick,
-        "bootstrap_newicks": [write_newick(t) for t in local_bs_trees]
-        + [n for d in sorted(adopted) for n in adopted[d]["bootstrap_newicks"]],
-        "wc_trace": wc_trace,
-        "shard": shard,
-        "n_fast": len(fast_results),
-        "n_slow": len(slow_results),
-        "finish_time": comm.clock.now,
-        "comm_seconds": comm.comm_seconds(),
-        "pattern_ops": pipe.ops.pattern_ops,
-        "n_retries": comm.n_retries,
-        "recovered_for": sorted(adopted),
-        "failed_ranks": comm.known_dead,
-    }
-
-
-def _rank_body_worksteal(
-    comm: SimComm, pal: PatternAlignment, config: HybridConfig, board: StealBoard
-) -> dict:
-    """One rank's share under ``--schedule work-steal``.
-
-    The whole analysis becomes a DAG of tasks (:mod:`repro.sched.tasks`)
-    over per-rank deques, drained stage by stage through the shared
-    :class:`~repro.sched.queue.StealBoard`.  Every task derives its
-    random streams from its *origin* (the logical rank whose Table 2
-    share it belongs to), so wherever a task runs it produces the trees
-    the static pipeline would — this body changes only *when* and
-    *where* work happens, never *what* it computes.
-
-    A rank killed mid-task abandons it back to the board (re-enqueued at
-    its death's virtual time) and its remaining queue is stolen by the
-    survivors — recovery re-runs only the unfinished tasks, not the dead
-    rank's whole share.  With a checkpoint directory, each completion is
-    journalled (:mod:`repro.sched.checkpoint`) and ``--resume`` preloads
-    the union of all ranks' journals.
-    """
-    cfg = config.comprehensive
-    rank = comm.rank
-    sched = make_schedule(cfg.n_bootstraps, comm.size)
-    dag = build_dag(sched, cfg, comm.size)
-    n_draws = int(pal.weights.sum())
-
-    pipe = _RankPipeline(
-        pal, config, rank, comm.clock, plan=config.fault_plan,
-        save_checkpoints=False,
-    )
-    ctx = TaskContext(pal, cfg, sched, pipe.engine_factory, pipe.ops, n_draws)
-
-    journal = None
-    restored: dict[str, SearchResult] = {}
-    restored_stage_seconds: dict[str, float] = {}
-    restored_stage_clock: dict[str, float] = {}
-    if config.checkpoint_dir is not None:
-        fingerprint = config_fingerprint(pal, config)
-        journal = SchedJournal(config.checkpoint_dir, rank, fingerprint)
-        if config.resume:
-            restored, stage_secs, stage_clocks = load_union(
-                config.checkpoint_dir, config.n_processes, fingerprint, pal.taxa
-            )
-            # Every rank reads the same directory; verify before any rank
-            # writes — divergent views would desynchronise the pools.
-            digest = hashlib.sha256(
-                json.dumps(sorted(restored)).encode("ascii")
-            ).hexdigest()
-            digests = comm._plain_allgather(digest, op="sched-resume")
-            if any(d is not None and d != digest for d in digests):
-                raise CheckpointError(
-                    "ranks loaded divergent sched journals; refusing to resume"
-                )
-            restored_stage_seconds = dict(stage_secs.get(rank, {}))
-            restored_stage_clock = dict(stage_clocks.get(rank, {}))
-            # Carry forward this rank's own journal so the resumed run's
-            # file stays the complete record of everything it executed.
-            own = load_journal(config.checkpoint_dir, rank, fingerprint)
-            if own is not None:
-                journal._tasks = dict(own.get("tasks", {}))
-                journal._stage_seconds = dict(own.get("stage_seconds", {}))
-                journal._clock = float(own.get("clock", 0.0))
-
-    started_bootstraps = 0
-
-    def on_start(task, action) -> None:
-        nonlocal started_bootstraps
-        if task.kind == "bootstrap":
-            b = started_bootstraps
-            started_bootstraps += 1
-            # Same fault-injection point as the static stage loop: the
-            # b-th replicate *this rank* starts (mid-queue kill).
-            pipe.replicate_hook(b)
-
-    status_of = comm._world.status_of
-    outcomes: dict[str, object] = {}
-    for stage in TASK_KINDS:
-        pipe.kill_hook(stage)
-        members = tuple(comm.alive_ranks())
-        tasks = dag[stage]
-        pre = {t.id: restored[t.id] for t in tasks if t.id in restored}
-        board.begin_stage(
-            stage, tasks, initial_assignment(tasks, members), members,
-            pre_completed=pre, status_of=status_of,
-        )
-        pipe.begin_stage()
-        out = run_rank_pool(
-            board, rank, comm.clock,
-            lambda task: execute_task(task, ctx, board.result),
-            status_of=status_of,
-            journal=journal if stage != "setup" else None,
-            on_start=on_start,
-        )
-        pipe.end_stage(stage, save=False)
-        if not out.executed and stage in restored_stage_seconds:
-            # Fully-restored stage: its pool drained instantly; keep the
-            # original run's accounting instead of the ~0 drain time, and
-            # re-anchor the clock at the journalled stage-end so stages
-            # that do re-execute run from bit-identical clock bases
-            # (synchronize only moves forward — the drain time is bounded
-            # by the journalled boundary, which includes the real work).
-            pipe.stage_seconds[stage] = restored_stage_seconds[stage]
-            if stage in restored_stage_clock:
-                comm.clock.synchronize(restored_stage_clock[stage])
-        outcomes[stage] = out
-        if journal is not None:
-            journal.note_stage(stage, pipe.stage_seconds[stage], comm.clock.now)
-        if stage == "bootstrap":
-            # The paper's one noteworthy barrier.  Under work stealing the
-            # pool drain already synchronised the survivors' clocks, but
-            # the barrier's modelled cost (and its death detection) stays.
-            while True:
-                try:
-                    comm.barrier()
-                    break
-                except RankFailure:
-                    continue
-
-    # ---- Final selection: every origin's thorough result is on the board
-    # (whoever executed it), so the winner rule — static's rounded argmax
-    # with ties to the lowest origin — needs no gather of scores.
-    pipe.begin_stage()
-    pipe.kill_hook("finalize")
-    entries = [
-        (
-            round(board.result(task_id("thorough", o, 0)).lnl, 6),
-            -o,
-            board.result(task_id("thorough", o, 0)).lnl,
-        )
-        for o in range(comm.size)
-    ]
-    _, neg_o, winner_lnl = max(entries)
-    winner_rank = -neg_o
-    best_newick = write_newick(board.result(task_id("thorough", winner_rank, 0)).tree)
-    while True:
-        try:
-            # Cross-check the local decisions and charge the final
-            # exchange's modelled cost, exactly like static's gather+bcast.
-            votes = comm.allgather((winner_rank, round(winner_lnl, 6)))
-            break
-        except RankFailure:
-            continue
-    if any(v is not None and v != (winner_rank, round(winner_lnl, 6)) for v in votes):
-        raise DistributedStateError(
-            f"rank {rank}: winner vote mismatch {votes} — the shared board "
-            "diverged across ranks"
-        )
-    pipe.end_stage("finalize", save=False)
-
-    # Report origins the way static reports adoption: each survivor
-    # carries its own origin plus dead origins per the adoption rule.
-    survivors = comm.alive_ranks()
-    dead_origins = [o for o in range(comm.size) if o not in survivors]
-    carried = [rank] + [
-        d for d in sorted(dead_origins) if survivors[d % len(survivors)] == rank
-    ]
-    n_boot = {o: 0 for o in range(comm.size)}
-    for t in dag["bootstrap"]:
-        n_boot[t.origin] += 1
-    bootstrap_newicks = [
-        write_newick(board.result(task_id("bootstrap", o, b)).tree)
-        for o in carried
-        for b in range(n_boot[o])
-    ]
-    thorough = board.result(task_id("thorough", rank, 0))
-
-    stage_stats = board.stage_stats()
-    my_stats = {
-        s: per.get(rank, {}) for s, per in stage_stats.items()
-    }
-    idle_tail = {
-        s: outcomes[s].finish_time - outcomes[s].last_busy_time
-        for s in outcomes
-    }
-    rec = _obs_current()
-    if rec is not None:
-        for s, tail in idle_tail.items():
-            rec.gauge(f"sched.idle_tail.{s}", tail)
-        for s, st in my_stats.items():
-            rec.gauge(f"sched.queue_depth.{s}", st.get("max_queue_depth", 0))
-        rec.gauge(
-            "sched.steal_attempts",
-            sum(st.get("steal_attempts", 0) for st in my_stats.values()),
-        )
-        rec.gauge(
-            "sched.steal_grants",
-            sum(st.get("steal_grants", 0) for st in my_stats.values()),
-        )
-
-    return {
-        "rank": rank,
-        "stage_seconds": {**pipe.stage_seconds, "recovery": 0.0},
-        "stage_ops": pipe.stage_ops,
-        "local_lnl": thorough.lnl,
-        "local_newick": write_newick(thorough.tree),
-        "winner_rank": winner_rank,
-        "winner_lnl": winner_lnl,
-        "best_newick": best_newick,
-        "bootstrap_newicks": bootstrap_newicks,
-        "wc_trace": [],
-        "shard": None,
-        "n_fast": len(outcomes["fast"].executed),
-        "n_slow": len(outcomes["slow"].executed),
-        "finish_time": comm.clock.now,
-        "comm_seconds": comm.comm_seconds(),
-        "pattern_ops": pipe.ops.pattern_ops,
-        "n_retries": comm.n_retries,
-        "recovered_for": sorted(set(carried) - {rank}),
-        "failed_ranks": comm.known_dead,
-        "sched": {
-            "mode": "work-steal",
-            "executed": {s: list(outcomes[s].executed) for s in outcomes},
-            "stolen": {s: list(outcomes[s].stolen) for s in outcomes},
-            "idle_tail": idle_tail,
-            "stats": my_stats,
-        },
-    }
-
-
-def _bootstrap_with_bootstopping(comm: SimComm, pipe: _RankPipeline,
-                                 model, search_rm, init_tree):
-    """Bootstraps in rounds with a cross-rank WC convergence test.
-
-    Every round each rank runs ``bootstop_step / p`` (at least 1)
-    replicates; trees are allgathered (as Newick); each rank keeps its
-    *shard* of the global bipartition hash table (the paper's "framework
-    for parallel operations on hash tables") and every rank runs the WC
-    test on the identical global set (identical seeds → identical
-    decision, no extra broadcast needed).  The loop stops on convergence
-    or at the cap.  A rank death mid-loop shrinks the per-round share;
-    replicates the dead rank already shared stay in the global set.
-    """
-    config, cfg, pal = pipe.config, pipe.cfg, pipe.pal
-    cap = config.bootstop_max or cfg.n_bootstraps * 4
-    per_round = max(1, config.bootstop_step // len(comm.alive_ranks()))
-    results = []
-    all_trees: list = []
-    all_newicks: list[str] = []
-    trace: list[tuple[int, float]] = []
-    # This rank's shard of the distributed bipartition table: it owns the
-    # splits whose hash maps to its rank, over *all* replicates seen.
-    shard = BipartitionTable(pal.n_taxa, shard=comm.rank, n_shards=comm.size)
-    wc_rng = RAxMLRandom(cfg.seed_x + 777)  # identical on every rank
-    current_init = init_tree
-    round_no = 0
-    while True:
-        chunk = bootstrap_stage(
-            pal, model, search_rm, per_round, pipe.x_rng, pipe.p_rng,
-            pipe.engine_factory, pipe.ops, cfg, current_init,
-            on_replicate=pipe.replicate_hook,
-        )
-        round_no += 1
-        results.extend(chunk)
-        current_init = chunk[-1].tree
-        local_newicks = [write_newick(r.tree) for r in chunk]
-        while True:
-            try:
-                gathered = comm.allgather(local_newicks)
-                break
-            except RankFailure:
-                per_round = max(1, config.bootstop_step // len(comm.alive_ranks()))
-        round_trees = [
-            parse_newick(n, taxa=pal.taxa)
-            for rank_list in gathered
-            if rank_list is not None
-            for n in rank_list
-        ]
-        all_newicks.extend(
-            n for rank_list in gathered if rank_list is not None for n in rank_list
-        )
-        all_trees.extend(round_trees)
-        shard.add_trees(round_trees)
-        total = len(all_trees)
-        if total >= 4 and total % 2 == 0:
-            ok, stat = wc_converged(all_trees, RAxMLRandom(wc_rng.seed + round_no))
-            trace.append((total, stat))
-            if ok or total >= cap:
-                break
-        elif total >= cap:
-            break
-    # Sanity of the distributed table: each shard saw every tree.  A real
-    # exception, not an assert — this invariant must hold under python -O.
-    if shard.n_trees != len(all_trees):
-        raise DistributedStateError(
-            f"rank {comm.rank}: bipartition-table shard counted "
-            f"{shard.n_trees} trees but {len(all_trees)} were gathered — "
-            "replicated state diverged across ranks"
-        )
-    return results, trace, shard, all_newicks
 
 
 def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridResult:
@@ -950,134 +129,11 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
     by an attached fault plan contribute nothing here — their work was
     adopted by the survivors.
     """
-    board = None
-    if config.schedule == "work-steal":
-        board = StealBoard(
-            config.n_processes,
-            steal_seed=config.comprehensive.seed_p,
-            # A steal is one request/grant message pair over the virtual
-            # interconnect, charged to the thief.
-            steal_seconds=2 * CommTiming().message_seconds(256),
-            timeout=config.spmd_timeout,
-        )
+    board = BACKENDS[config.schedule].make_shared(config)
     raw = run_spmd(
-        lambda comm: _rank_main(comm, pal, config, board),
+        lambda comm: run_rank(comm, pal, config, board),
         config.n_processes,
         timeout=config.spmd_timeout,
         fault_plan=config.fault_plan,
     )
-    results = [r for r in raw if r is not None]
-    results.sort(key=lambda r: r["rank"])
-
-    ranks = [
-        RankReport(
-            rank=r["rank"],
-            stage_seconds=r["stage_seconds"],
-            stage_ops=r["stage_ops"],
-            local_best_lnl=r["local_lnl"],
-            local_best_newick=r["local_newick"],
-            n_bootstraps=len(r["bootstrap_newicks"]),
-            n_fast=r["n_fast"],
-            n_slow=r["n_slow"],
-            finish_time=r["finish_time"],
-            comm_seconds=r["comm_seconds"],
-            n_retries=r["n_retries"],
-            recovered_for=tuple(r["recovered_for"]),
-        )
-        for r in results
-    ]
-    stages = ("setup", "bootstrap", "fast", "slow", "thorough", "finalize",
-              "recovery")
-    stage_seconds = {
-        s: max(r.stage_seconds.get(s, 0.0) for r in ranks) for s in stages
-    }
-    best_tree = parse_newick(results[0]["best_newick"], taxa=pal.taxa)
-    schedule = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
-    rng_fp = rng_stream_fingerprint(
-        schedule, config.comprehensive, int(pal.weights.sum()), config.n_processes
-    )
-    sched_doc = None
-    if board is not None:
-        sched_doc = {
-            "mode": "work-steal",
-            "stage_stats": {
-                s: {str(r): d for r, d in per.items()}
-                for s, per in board.stage_stats().items()
-            },
-            "steal_log": board.steal_log(),
-            "idle_tail": {
-                str(r["rank"]): r["sched"]["idle_tail"]
-                for r in results
-                if r.get("sched")
-            },
-            "steal_attempts": sum(
-                d.get("steal_attempts", 0)
-                for per in board.stage_stats().values()
-                for d in per.values()
-            ),
-            "steal_grants": sum(
-                d.get("steal_grants", 0)
-                for per in board.stage_stats().values()
-                for d in per.values()
-            ),
-        }
-
-    bootstrap_trees = [
-        parse_newick(n, taxa=pal.taxa)
-        for r in results
-        for n in r["bootstrap_newicks"]
-    ]
-    support_tree = None
-    if config.map_bootstrap_support and len(pal.taxa) >= 4:
-        shards = [r["shard"] for r in results]
-        if len(results) == config.n_processes and all(s is not None for s in shards):
-            # Bootstopping runs kept a rank-sharded distributed table;
-            # merging the shards reproduces the global table exactly.
-            table = merge_tables(shards)
-        else:
-            table = BipartitionTable(len(pal.taxa))
-            table.add_trees(bootstrap_trees)
-        support_tree = map_support(best_tree, table)
-
-    trace = None
-    if config.collect_trace:
-        events = [e for r in results for e in (r["trace_events"] or [])]
-        trace = chrome_trace(events, n_threads=config.n_threads, meta={
-            "n_processes": config.n_processes,
-            "n_threads": config.n_threads,
-            "machine": config.machine,
-            "dropped_events": sum(r["trace_dropped"] for r in results),
-        })
-    metrics = None
-    if config.collect_trace or config.collect_metrics:
-        per_rank = {str(r["rank"]): r["metrics"] for r in results}
-        metrics = {
-            "per_rank": per_rank,
-            "aggregate": aggregate(list(per_rank.values())),
-            "report": run_report(
-                [r.stage_seconds for r in ranks],
-                comm_seconds=[r.comm_seconds for r in ranks],
-                n_processes=config.n_processes,
-                n_threads=config.n_threads,
-                sched=sched_doc,
-            ),
-        }
-
-    return HybridResult(
-        best_tree=best_tree,
-        best_lnl=results[0]["winner_lnl"],
-        winner_rank=results[0]["winner_rank"],
-        schedule=schedule,
-        ranks=ranks,
-        stage_seconds=stage_seconds,
-        total_seconds=max(r.finish_time for r in ranks),
-        support_tree=support_tree,
-        bootstrap_trees=bootstrap_trees,
-        wc_trace=results[0]["wc_trace"],
-        failed_ranks=results[0]["failed_ranks"],
-        trace=trace,
-        metrics=metrics,
-        schedule_mode=config.schedule,
-        rng_fingerprint=rng_fp,
-        sched=sched_doc,
-    )
+    return assemble_hybrid_result(pal, config, raw, board)

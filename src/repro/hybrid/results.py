@@ -1,10 +1,17 @@
-"""Result containers of hybrid runs."""
+"""Result containers of hybrid runs, and the per-rank → global fold."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.search.schedule import WorkSchedule
+from repro.bootstop.support import map_support
+from repro.bootstop.table import BipartitionTable, merge_tables
+from repro.obs.metrics import aggregate
+from repro.obs.report import run_report
+from repro.obs.trace import chrome_trace
+from repro.search.schedule import WorkSchedule, make_schedule
+from repro.sched.tasks import rng_stream_fingerprint
+from repro.tree.newick import parse_newick
 from repro.tree.topology import Tree
 
 
@@ -110,3 +117,130 @@ class HybridResult:
                 for r in self.ranks
             ],
         }
+
+
+def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
+    """Fold the per-rank report dicts of a run into one global result.
+
+    Mirrors what the MPI code's rank 0 does after the final exchange:
+    every surviving rank already agrees on the winner, so assembly is
+    pure bookkeeping — rank reports, per-stage maxima, support mapping
+    (merging bootstopping's sharded bipartition tables exactly), and the
+    optional trace/metrics documents.  Ranks killed by a fault plan
+    contribute ``None`` entries: their work was adopted by survivors.
+    """
+    results = [r for r in raw if r is not None]
+    results.sort(key=lambda r: r["rank"])
+
+    ranks = [
+        RankReport(
+            rank=r["rank"],
+            stage_seconds=r["stage_seconds"],
+            stage_ops=r["stage_ops"],
+            local_best_lnl=r["local_lnl"],
+            local_best_newick=r["local_newick"],
+            n_bootstraps=len(r["bootstrap_newicks"]),
+            n_fast=r["n_fast"],
+            n_slow=r["n_slow"],
+            finish_time=r["finish_time"],
+            comm_seconds=r["comm_seconds"],
+            n_retries=r["n_retries"],
+            recovered_for=tuple(r["recovered_for"]),
+        )
+        for r in results
+    ]
+    stages = ("setup", "bootstrap", "fast", "slow", "thorough", "finalize",
+              "recovery")
+    stage_seconds = {
+        s: max(r.stage_seconds.get(s, 0.0) for r in ranks) for s in stages
+    }
+    best_tree = parse_newick(results[0]["best_newick"], taxa=pal.taxa)
+    schedule = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
+    rng_fp = rng_stream_fingerprint(
+        schedule, config.comprehensive, int(pal.weights.sum()), config.n_processes
+    )
+    sched_doc = None
+    if board is not None:
+        sched_doc = {
+            "mode": "work-steal",
+            "stage_stats": {
+                s: {str(r): d for r, d in per.items()}
+                for s, per in board.stage_stats().items()
+            },
+            "steal_log": board.steal_log(),
+            "idle_tail": {
+                str(r["rank"]): r["sched"]["idle_tail"]
+                for r in results
+                if r.get("sched")
+            },
+            "steal_attempts": sum(
+                d.get("steal_attempts", 0)
+                for per in board.stage_stats().values()
+                for d in per.values()
+            ),
+            "steal_grants": sum(
+                d.get("steal_grants", 0)
+                for per in board.stage_stats().values()
+                for d in per.values()
+            ),
+        }
+
+    bootstrap_trees = [
+        parse_newick(n, taxa=pal.taxa)
+        for r in results
+        for n in r["bootstrap_newicks"]
+    ]
+    support_tree = None
+    if config.map_bootstrap_support and len(pal.taxa) >= 4:
+        shards = [r["shard"] for r in results]
+        if len(results) == config.n_processes and all(s is not None for s in shards):
+            # Bootstopping runs kept a rank-sharded distributed table;
+            # merging the shards reproduces the global table exactly.
+            table = merge_tables(shards)
+        else:
+            table = BipartitionTable(len(pal.taxa))
+            table.add_trees(bootstrap_trees)
+        support_tree = map_support(best_tree, table)
+
+    trace = None
+    if config.collect_trace:
+        events = [e for r in results for e in (r["trace_events"] or [])]
+        trace = chrome_trace(events, n_threads=config.n_threads, meta={
+            "n_processes": config.n_processes,
+            "n_threads": config.n_threads,
+            "machine": config.machine,
+            "dropped_events": sum(r["trace_dropped"] for r in results),
+        })
+    metrics = None
+    if config.collect_trace or config.collect_metrics:
+        per_rank = {str(r["rank"]): r["metrics"] for r in results}
+        metrics = {
+            "per_rank": per_rank,
+            "aggregate": aggregate(list(per_rank.values())),
+            "report": run_report(
+                [r.stage_seconds for r in ranks],
+                comm_seconds=[r.comm_seconds for r in ranks],
+                n_processes=config.n_processes,
+                n_threads=config.n_threads,
+                sched=sched_doc,
+            ),
+        }
+
+    return HybridResult(
+        best_tree=best_tree,
+        best_lnl=results[0]["winner_lnl"],
+        winner_rank=results[0]["winner_rank"],
+        schedule=schedule,
+        ranks=ranks,
+        stage_seconds=stage_seconds,
+        total_seconds=max(r.finish_time for r in ranks),
+        support_tree=support_tree,
+        bootstrap_trees=bootstrap_trees,
+        wc_trace=results[0]["wc_trace"],
+        failed_ranks=results[0]["failed_ranks"],
+        trace=trace,
+        metrics=metrics,
+        schedule_mode=config.schedule,
+        rng_fingerprint=rng_fp,
+        sched=sched_doc,
+    )

@@ -106,6 +106,11 @@ class KernelBackend:
 
     #: Registry name; subclasses must override.
     name = ""
+    #: Whether the engine's signature-keyed CLV cache (``clv_cache=True``)
+    #: is honoured when this backend computes partials.  Backends that
+    #: bypass the engine's partial bookkeeping set this False so the CLI
+    #: can reject a ``--clv-cache`` request that would silently do nothing.
+    uses_clv_cache = True
 
     def __init__(
         self,

@@ -8,8 +8,10 @@ reports (:mod:`repro.obs.report`).
 
 The instrumentation contract: call sites fetch the thread-local active
 recorder with :func:`current`; ``None`` means tracing is off and the
-call site must do nothing else.  The hybrid driver installs one
-recorder per rank (see ``docs/ARCHITECTURE.md`` §8).
+call site must do nothing else.  The runtime layer installs one
+recorder per rank (:func:`repro.runtime.backends.run_rank`; see
+``docs/ARCHITECTURE.md`` §8) and its :class:`~repro.runtime.middleware.ObsMiddleware`
+emits the stage-boundary spans.
 """
 
 from repro.obs.metrics import Histogram, MetricsRegistry, aggregate

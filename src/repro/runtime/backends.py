@@ -1,0 +1,469 @@
+"""Execution backends: how the one stage pipeline is driven per rank.
+
+An :class:`ExecutionBackend` turns the declarative
+:func:`~repro.runtime.pipeline.comprehensive_pipeline` into a rank body.
+Two implementations exist — the paper's static Table 2 partition and the
+work-stealing task scheduler (:mod:`repro.sched`) — and ``--schedule``
+selects one from the registry.  Adding a backend is one new class (see
+``docs/ARCHITECTURE.md`` §11): register it, drive the stages, and the
+determinism discipline (every stage unit derives its streams from its
+origin identity) guarantees bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Protocol
+
+from repro.mpi.comm import CommTiming, DistributedStateError, RankFailure
+from repro.obs.recorder import Recorder, recording
+from repro.search.schedule import make_schedule
+from repro.tree.newick import write_newick
+from repro.hybrid.checkpoint import CheckpointError, config_fingerprint
+from repro.sched.checkpoint import open_journal
+from repro.sched.placement import initial_assignment
+from repro.sched.queue import StealBoard
+from repro.sched.stealing import run_rank_pool
+from repro.sched.tasks import TaskContext, build_dag, execute_task, task_id
+from repro.runtime.context import RankContext
+from repro.runtime.middleware import (
+    CheckpointMiddleware,
+    FaultMiddleware,
+    ObsMiddleware,
+    RecoveryMiddleware,
+    export_rank_observability,
+    open_store,
+)
+from repro.runtime.pipeline import Stage, comprehensive_pipeline
+
+
+class ExecutionBackend(Protocol):
+    """One way of executing the stage pipeline on a rank."""
+
+    #: Registry key; the value of ``HybridConfig.schedule``.
+    name: str
+    #: Whether the round-synchronised bootstopping variant can run.
+    supports_bootstopping: bool
+
+    @staticmethod
+    def make_shared(config):
+        """Shared cross-rank state created once per run (e.g. a steal
+        board), passed to every rank's :meth:`run`.  None if unneeded."""
+
+    def run(self, comm, pal, config, board) -> dict:
+        """Execute the pipeline for ``comm.rank``; returns the rank report."""
+
+
+BACKENDS: dict[str, type] = {}
+
+
+def register_backend(cls):
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_schedules() -> tuple[str, ...]:
+    return tuple(BACKENDS)
+
+
+def backend_for(schedule: str) -> ExecutionBackend:
+    return BACKENDS[schedule]()
+
+
+def run_rank(comm, pal, config, board=None) -> dict:
+    """The SPMD body: install this rank's recorder, then run the backend.
+
+    One :class:`~repro.obs.recorder.Recorder` per rank, on the rank's own
+    virtual clock, installed thread-locally so every instrumented layer
+    (pool, engine, search, collectives, middleware) finds it via
+    ``obs.current()``.  With both collect flags off no recorder exists
+    and instrumentation reduces to a thread-local read per call site.
+    """
+    rec = None
+    if config.collect_trace or config.collect_metrics:
+        rec = Recorder(
+            comm.rank, comm.clock, n_threads=config.n_threads,
+            record_events=config.collect_trace,
+        )
+    with recording(rec):
+        out = backend_for(config.schedule).run(comm, pal, config, board)
+    export_rank_observability(rec, out, config.collect_trace)
+    return out
+
+
+@register_backend
+class StaticBackend:
+    """The paper's fixed Table 2 partition, stage by stage.
+
+    Every pipeline stage runs (or checkpoint-loads) in order on every
+    rank; recovery from rank deaths replays the dead rank's pipeline on
+    a communicator-less context via :class:`RecoveryMiddleware`.
+    """
+
+    name = "static"
+    supports_bootstopping = True
+
+    @staticmethod
+    def make_shared(config):
+        return None
+
+    def run(self, comm, pal, config, board=None) -> dict:
+        pipeline = comprehensive_pipeline()
+        cfg = config.comprehensive
+        rank = comm.rank
+        sched = make_schedule(cfg.n_bootstraps, comm.size)
+
+        ckpt = open_store(pal, config, rank)
+        resume_through = -1
+        if ckpt is not None and config.resume:
+            # Negotiate a common resume point: every rank must skip the same
+            # collectives, so resume through the *minimum* contiguous stage
+            # prefix available across ranks.  Cost-free exchange: a resumed
+            # run must stay bit-identical to an uninterrupted one.
+            counts = comm._plain_allgather(
+                len(ckpt.available_stages()), op="resume-negotiation"
+            )
+            resume_through = min(c for c in counts if c is not None) - 1
+
+        recovery = RecoveryMiddleware(
+            comm, lambda dead, upto: self._replay(comm, pal, config, dead, upto)
+        )
+        ctx = RankContext(
+            pal, config, rank, comm.clock, comm=comm,
+            middlewares=(
+                FaultMiddleware(config.fault_plan),
+                ObsMiddleware(),
+                CheckpointMiddleware(ckpt, resume_through),
+                recovery,
+            ),
+        )
+        ctx.state["schedule"] = sched
+        ctx.state["adopted"] = recovery.adopted
+        ctx.recover = lambda upto: recovery.recover(ctx, upto)
+
+        for stage in pipeline:
+            self._exec_stage(ctx, stage)
+
+        adopted = recovery.adopted
+        thorough = ctx.state["thorough"]
+        return {
+            "rank": rank,
+            "stage_seconds": {**ctx.stage_seconds, "recovery": ctx.recovery_seconds},
+            "stage_ops": ctx.stage_ops,
+            "local_lnl": thorough.lnl,
+            "local_newick": ctx.state["local_newick"],
+            "winner_rank": ctx.state["winner_rank"],
+            "winner_lnl": ctx.state["winner_lnl"],
+            "best_newick": ctx.state["best_newick"],
+            "bootstrap_newicks": [
+                write_newick(t) for t in ctx.state["local_bs_trees"]
+            ] + [n for d in sorted(adopted) for n in adopted[d]["bootstrap_newicks"]],
+            "wc_trace": ctx.state["wc_trace"],
+            "shard": ctx.state["shard"],
+            "n_fast": len(ctx.state["fast_results"]),
+            "n_slow": len(ctx.state["slow_results"]),
+            "finish_time": comm.clock.now,
+            "comm_seconds": comm.comm_seconds(),
+            "pattern_ops": ctx.ops.pattern_ops,
+            "n_retries": comm.n_retries,
+            "recovered_for": sorted(adopted),
+            "failed_ranks": comm.known_dead,
+        }
+
+    def _exec_stage(self, ctx: RankContext, stage: Stage) -> None:
+        """Drive one stage: kill hook, then load-or-run (with the paper's
+        barrier and its recovery retry where declared), then fuse."""
+        ctx.emit("on_stage_start", stage.name)
+        ckpt = ctx.middleware(CheckpointMiddleware)
+        if stage.checkpointed and ckpt is not None and ckpt.will_load(stage.name):
+            # For the bootstrap, the post-stage barrier already happened in
+            # the checkpointed timeline (its cost is inside the restored
+            # clock); every rank resumes past it symmetrically, so it is
+            # skipped, not replayed.
+            data = ckpt.load_stage(ctx, stage.name)
+            stage.load(ctx, data)
+        else:
+            ctx.begin_stage()
+            stage.run(ctx)
+            if stage.barrier_after and ctx.comm is not None:
+                # The one noteworthy barrier of the MPI code (paper
+                # Section 2.1) — retried after recovery so survivors leave
+                # it in lockstep.
+                while True:
+                    try:
+                        ctx.comm.barrier()
+                        break
+                    except RankFailure:
+                        ctx.recover(stage.name)
+            saving = (
+                stage.checkpointed and ckpt is not None
+                and ckpt.store is not None and ctx.save_checkpoints
+            )
+            payload = stage.payload(ctx) if stage.payload and saving else None
+            ctx.end_stage(stage.name, payload=payload, save=stage.checkpointed)
+        if stage.fuse is not None and ctx.comm is not None:
+            stage.fuse(ctx)
+
+    def _replay(self, comm, pal, config, dead_rank: int, upto: str) -> dict:
+        """Re-derive a dead rank's work share on this rank's virtual clock.
+
+        The §2.4 seed discipline (``seed + 10000·r``) makes the dead
+        rank's replicate streams exactly re-derivable, so the global
+        replicate set is unchanged by recovery.  Checkpoints the dead rank
+        managed to write are used instead of recomputation; kill specs are
+        *not* re-armed (the fault already happened — the adopter is a
+        different node).
+
+        ``upto="bootstrap"`` replays only the replicates (the adopter
+        folds the trees into its own fast starts); ``upto="thorough"``
+        replays the dead rank's whole pipeline with its original Table 2
+        shares, so the final selection sees the same candidate set as a
+        failure-free run.
+        """
+        pipeline = comprehensive_pipeline()
+        ckpt = open_store(pal, config, dead_rank)
+        resume_through = len(ckpt.available_stages()) - 1 if ckpt is not None else -1
+        ctx = RankContext(
+            pal, config, dead_rank, comm.clock, comm=None,
+            middlewares=(ObsMiddleware(), CheckpointMiddleware(ckpt, resume_through)),
+            save_checkpoints=False,
+        )
+        self._exec_stage(ctx, pipeline["setup"])
+        self._exec_stage(ctx, pipeline["bootstrap"])
+        trees = [r.tree for r in ctx.state["bs_results"]]
+        out = {
+            "bootstrap_trees": trees,
+            "bootstrap_newicks": [write_newick(t) for t in trees],
+            "thorough": None,
+        }
+        if upto == "bootstrap":
+            return out
+        sched = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
+        ctx.state.update(
+            pool_trees=trees,
+            n_fast_share=sched.fast_per_process,
+            n_slow_share=sched.slow_per_process,
+        )
+        for name in ("fast", "slow", "thorough"):
+            self._exec_stage(ctx, pipeline[name])
+        out["thorough"] = ctx.state["thorough"]
+        return out
+
+
+@register_backend
+class WorkStealBackend:
+    """The task-DAG scheduler (:mod:`repro.sched`) behind the pipeline.
+
+    Each task-mapped stage becomes a pool over per-rank deques drained
+    through the shared :class:`~repro.sched.queue.StealBoard`.  Every
+    task derives its random streams from its *origin* (the logical rank
+    whose Table 2 share it belongs to), so wherever a task runs it
+    produces the trees the static backend would — this backend changes
+    only *when* and *where* work happens, never *what* it computes.
+
+    A rank killed mid-task abandons it back to the board (re-enqueued at
+    its death's virtual time) and its remaining queue is stolen by the
+    survivors — recovery re-runs only the unfinished tasks, not the dead
+    rank's whole share.  With a checkpoint directory, each completion is
+    journalled (:mod:`repro.sched.checkpoint`) and ``--resume`` preloads
+    the union of all ranks' journals.
+    """
+
+    name = "work-steal"
+    supports_bootstopping = False
+
+    @staticmethod
+    def make_shared(config):
+        return StealBoard(
+            config.n_processes,
+            steal_seed=config.comprehensive.seed_p,
+            # A steal is one request/grant message pair over the virtual
+            # interconnect, charged to the thief.
+            steal_seconds=2 * CommTiming().message_seconds(256),
+            timeout=config.spmd_timeout,
+        )
+
+    def run(self, comm, pal, config, board: StealBoard) -> dict:
+        pipeline = comprehensive_pipeline()
+        cfg = config.comprehensive
+        rank = comm.rank
+        sched = make_schedule(cfg.n_bootstraps, comm.size)
+        dag = build_dag(sched, cfg, comm.size)
+        n_draws = int(pal.weights.sum())
+
+        ctx = RankContext(
+            pal, config, rank, comm.clock, comm=comm,
+            middlewares=(FaultMiddleware(config.fault_plan), ObsMiddleware()),
+            save_checkpoints=False,
+        )
+        task_ctx = TaskContext(pal, cfg, sched, ctx.engine_factory, ctx.ops, n_draws)
+
+        journal = None
+        restored: dict = {}
+        restored_stage_seconds: dict[str, float] = {}
+        restored_stage_clock: dict[str, float] = {}
+        if config.checkpoint_dir is not None:
+            journal, restored, restored_stage_seconds, restored_stage_clock = (
+                open_journal(
+                    config.checkpoint_dir, rank, config.n_processes,
+                    config_fingerprint(pal, config), pal.taxa,
+                    resume=config.resume,
+                )
+            )
+            if config.resume:
+                # Every rank reads the same directory; verify before any
+                # rank writes — divergent views would desynchronise the
+                # pools.
+                digest = hashlib.sha256(
+                    json.dumps(sorted(restored)).encode("ascii")
+                ).hexdigest()
+                digests = comm._plain_allgather(digest, op="sched-resume")
+                if any(d is not None and d != digest for d in digests):
+                    raise CheckpointError(
+                        "ranks loaded divergent sched journals; refusing to resume"
+                    )
+
+        status_of = comm._world.status_of
+        outcomes: dict[str, object] = {}
+        for stage in pipeline.task_stages:
+            ctx.emit("on_stage_start", stage.name)
+            members = tuple(comm.alive_ranks())
+            tasks = dag[stage.name]
+            pre = {t.id: restored[t.id] for t in tasks if t.id in restored}
+            board.begin_stage(
+                stage.name, tasks, initial_assignment(tasks, members), members,
+                pre_completed=pre, status_of=status_of,
+            )
+            ctx.begin_stage()
+            out = run_rank_pool(
+                board, rank, comm.clock,
+                lambda task: execute_task(task, task_ctx, board.result),
+                status_of=status_of,
+                journal=journal if stage.name != "setup" else None,
+                on_start=lambda task, action: ctx.emit(
+                    "on_task_start", task, action
+                ),
+            )
+            ctx.end_stage(stage.name, save=False)
+            if not out.executed and stage.name in restored_stage_seconds:
+                # Fully-restored stage: its pool drained instantly; keep the
+                # original run's accounting instead of the ~0 drain time,
+                # and re-anchor the clock at the journalled stage-end so
+                # stages that do re-execute run from bit-identical clock
+                # bases (synchronize only moves forward — the drain time is
+                # bounded by the journalled boundary, which includes the
+                # real work).
+                ctx.stage_seconds[stage.name] = restored_stage_seconds[stage.name]
+                if stage.name in restored_stage_clock:
+                    comm.clock.synchronize(restored_stage_clock[stage.name])
+            outcomes[stage.name] = out
+            if journal is not None:
+                journal.note_stage(
+                    stage.name, ctx.stage_seconds[stage.name], comm.clock.now
+                )
+            if stage.barrier_after:
+                # The paper's one noteworthy barrier.  Under work stealing
+                # the pool drain already synchronised the survivors'
+                # clocks, but the barrier's modelled cost (and its death
+                # detection) stays.
+                while True:
+                    try:
+                        comm.barrier()
+                        break
+                    except RankFailure:
+                        continue
+
+        # ---- Final selection: every origin's thorough result is on the
+        # board (whoever executed it), so the winner rule — static's
+        # rounded argmax with ties to the lowest origin — needs no gather
+        # of scores.
+        ctx.begin_stage()
+        ctx.emit("on_stage_start", "finalize")
+        entries = [
+            (
+                round(board.result(task_id("thorough", o, 0)).lnl, 6),
+                -o,
+                board.result(task_id("thorough", o, 0)).lnl,
+            )
+            for o in range(comm.size)
+        ]
+        _, neg_o, winner_lnl = max(entries)
+        winner_rank = -neg_o
+        best_newick = write_newick(
+            board.result(task_id("thorough", winner_rank, 0)).tree
+        )
+        while True:
+            try:
+                # Cross-check the local decisions and charge the final
+                # exchange's modelled cost, exactly like static's
+                # gather+bcast.
+                votes = comm.allgather((winner_rank, round(winner_lnl, 6)))
+                break
+            except RankFailure:
+                continue
+        if any(
+            v is not None and v != (winner_rank, round(winner_lnl, 6))
+            for v in votes
+        ):
+            raise DistributedStateError(
+                f"rank {rank}: winner vote mismatch {votes} — the shared board "
+                "diverged across ranks"
+            )
+        ctx.end_stage("finalize", save=False)
+
+        # Report origins the way static reports adoption: each survivor
+        # carries its own origin plus dead origins per the adoption rule.
+        survivors = comm.alive_ranks()
+        dead_origins = [o for o in range(comm.size) if o not in survivors]
+        carried = [rank] + [
+            d for d in sorted(dead_origins) if survivors[d % len(survivors)] == rank
+        ]
+        n_boot = {o: 0 for o in range(comm.size)}
+        for t in dag["bootstrap"]:
+            n_boot[t.origin] += 1
+        bootstrap_newicks = [
+            write_newick(board.result(task_id("bootstrap", o, b)).tree)
+            for o in carried
+            for b in range(n_boot[o])
+        ]
+        thorough = board.result(task_id("thorough", rank, 0))
+
+        stage_stats = board.stage_stats()
+        my_stats = {
+            s: per.get(rank, {}) for s, per in stage_stats.items()
+        }
+        idle_tail = {
+            s: outcomes[s].finish_time - outcomes[s].last_busy_time
+            for s in outcomes
+        }
+        ctx.emit("on_sched_summary", idle_tail=idle_tail, stats=my_stats)
+
+        return {
+            "rank": rank,
+            "stage_seconds": {**ctx.stage_seconds, "recovery": 0.0},
+            "stage_ops": ctx.stage_ops,
+            "local_lnl": thorough.lnl,
+            "local_newick": write_newick(thorough.tree),
+            "winner_rank": winner_rank,
+            "winner_lnl": winner_lnl,
+            "best_newick": best_newick,
+            "bootstrap_newicks": bootstrap_newicks,
+            "wc_trace": [],
+            "shard": None,
+            "n_fast": len(outcomes["fast"].executed),
+            "n_slow": len(outcomes["slow"].executed),
+            "finish_time": comm.clock.now,
+            "comm_seconds": comm.comm_seconds(),
+            "pattern_ops": ctx.ops.pattern_ops,
+            "n_retries": comm.n_retries,
+            "recovered_for": sorted(set(carried) - {rank}),
+            "failed_ranks": comm.known_dead,
+            "sched": {
+                "mode": "work-steal",
+                "executed": {s: list(outcomes[s].executed) for s in outcomes},
+                "stolen": {s: list(outcomes[s].stolen) for s in outcomes},
+                "idle_tail": idle_tail,
+                "stats": my_stats,
+            },
+        }

@@ -16,8 +16,8 @@ Modules:
 * :mod:`repro.sched.queue` — per-rank deques plus the conservative
   virtual-time protocol that makes concurrent stealing reproducible;
 * :mod:`repro.sched.stealing` — the per-rank pool loop used by the
-  hybrid driver and a sequential discrete-event simulator sharing the
-  same decision core (benchmarks, advisor, parity tests);
+  work-steal runtime backend and a sequential discrete-event simulator
+  sharing the same decision core (benchmarks, advisor, parity tests);
 * :mod:`repro.sched.placement` — cost-aware initial assignment hinted
   by :mod:`repro.perfmodel`;
 * :mod:`repro.sched.checkpoint` — per-rank task journals backing

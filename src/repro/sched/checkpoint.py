@@ -166,3 +166,41 @@ def load_union(
                 tid, SearchResult(parse_newick(newick, taxa=taxa), lnl, rounds)
             )
     return results, stage_seconds, stage_clock
+
+
+def open_journal(
+    directory: str | Path, rank: int, n_ranks: int, fingerprint: str, taxa,
+    resume: bool = False,
+) -> tuple[
+    SchedJournal,
+    dict[str, SearchResult],
+    dict[str, float],
+    dict[str, float],
+]:
+    """One rank's journal, primed for a (possibly resumed) run.
+
+    Returns ``(journal, restored, stage_seconds, stage_clock)``.  Without
+    ``resume`` the journal is fresh and the rest is empty.  With
+    ``resume``, ``restored`` is the :func:`load_union` of every rank's
+    journal (whoever executed a task, its result is the same), the two
+    stage maps are *this* rank's journalled accounting, and the rank's
+    own journal content is carried forward so the resumed run's file
+    stays the complete record of everything it executed.
+    """
+    journal = SchedJournal(directory, rank, fingerprint)
+    if not resume:
+        return journal, {}, {}, {}
+    restored, stage_seconds, stage_clock = load_union(
+        directory, n_ranks, fingerprint, taxa
+    )
+    own = load_journal(directory, rank, fingerprint)
+    if own is not None:
+        journal._tasks = dict(own.get("tasks", {}))
+        journal._stage_seconds = dict(own.get("stage_seconds", {}))
+        journal._clock = float(own.get("clock", 0.0))
+    return (
+        journal,
+        restored,
+        dict(stage_seconds.get(rank, {})),
+        dict(stage_clock.get(rank, {})),
+    )

@@ -1,6 +1,7 @@
 """Work-steal execution: the threaded pool loop and a sequential simulator.
 
-:func:`run_rank_pool` is what the hybrid driver runs per rank and stage:
+:func:`run_rank_pool` is what the work-steal execution backend
+(:class:`~repro.runtime.backends.WorkStealBackend`) runs per rank and stage:
 a loop of ``next_action`` → synchronise the virtual clock → execute →
 report completion, with rank death funnelled into
 :meth:`~repro.sched.queue.StealBoard.abandon` so the in-flight task is

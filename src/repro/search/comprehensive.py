@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, ClassVar
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.search.searches import (
     thorough_search,
 )
 from repro.search.starting_tree import parsimony_starting_tree
+from repro.util.validation import check_min, check_positive
 from repro.tree.topology import Tree
 from repro.util.rng import RAxMLRandom, spawn_stream
 
@@ -87,13 +88,20 @@ class ComprehensiveConfig:
     compress_bootstrap_patterns: bool = True
     stage_params: StageParams = field(default_factory=StageParams)
 
+    #: Fields that enter the checkpoint fingerprint (every one of these
+    #: changes the run's results or timings; see
+    #: :func:`repro.hybrid.checkpoint.fingerprint_doc`).
+    fingerprint_fields: ClassVar[tuple[str, ...]] = (
+        "n_bootstraps", "seed_p", "seed_x", "gamma_categories",
+        "cat_categories", "use_cat", "parsimony_refresh_every",
+        "compress_bootstrap_patterns", "stage_params",
+    )
+
     def __post_init__(self) -> None:
-        if self.n_bootstraps < 1:
-            raise ValueError("n_bootstraps must be >= 1")
-        if self.seed_p <= 0 or self.seed_x <= 0:
-            raise ValueError("seeds must be positive (RAxML -p / -x)")
-        if self.parsimony_refresh_every < 1:
-            raise ValueError("parsimony_refresh_every must be >= 1")
+        check_min("n_bootstraps", self.n_bootstraps, 1)
+        check_positive("seed_p (RAxML -p)", self.seed_p)
+        check_positive("seed_x (RAxML -x)", self.seed_x)
+        check_min("parsimony_refresh_every", self.parsimony_refresh_every, 1)
 
 
 @dataclass

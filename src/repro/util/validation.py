@@ -11,6 +11,19 @@ def check_positive(name: str, value) -> None:
         raise ValueError(f"{name} must be positive, got {value!r}")
 
 
+def check_min(name: str, value, minimum) -> None:
+    """Raise ``ValueError`` unless ``value`` is at least ``minimum``."""
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+def check_choice(name: str, value, choices) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    if value not in choices:
+        opts = ", ".join(repr(c) for c in choices)
+        raise ValueError(f"{name} must be one of {opts}, got {value!r}")
+
+
 def check_probability_vector(name: str, vec, atol: float = 1e-8) -> np.ndarray:
     """Validate and return a 1-D probability vector (non-negative, sums to 1)."""
     arr = np.asarray(vec, dtype=np.float64)

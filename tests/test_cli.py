@@ -146,3 +146,69 @@ class TestMainEndToEnd:
 
         tree = parse_newick((tmp_path / "RAxML_bestTree.t1.nwk").read_text())
         tree.validate()
+
+
+class TestValidateArgs:
+    """The up-front flag-combination sweep (repro.cli.validate_args)."""
+
+    def _args(self, extra):
+        return build_parser().parse_args(["--simulate", "5", "50"] + extra)
+
+    def test_resume_requires_checkpoint_dir(self):
+        from repro.cli import validate_args
+
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            validate_args(self._args(["--resume"]))
+        validate_args(self._args(["--resume", "--checkpoint-dir", "/tmp/ck"]))
+
+    def test_tree_only_for_evaluate(self):
+        from repro.cli import validate_args
+
+        with pytest.raises(SystemExit, match="-f e"):
+            validate_args(self._args(["-t", "x.nwk"]))
+        with pytest.raises(SystemExit, match="-f e"):
+            validate_args(self._args(["-f", "d", "-t", "x.nwk"]))
+        validate_args(self._args(["-f", "e", "-t", "x.nwk"]))
+
+    def test_evaluate_requires_tree(self):
+        from repro.cli import validate_args
+
+        with pytest.raises(SystemExit, match="-t"):
+            validate_args(self._args(["-f", "e"]))
+
+    def test_clv_cache_kernel_capability(self, monkeypatch):
+        from repro.cli import validate_args
+        from repro.likelihood.kernels import get_kernel
+
+        # Every bundled kernel honours the engine-level cache today; the
+        # sweep guards future backends that bypass it.
+        validate_args(self._args(["--clv-cache"]))
+        monkeypatch.setattr(
+            get_kernel("reference"), "uses_clv_cache", False
+        )
+        with pytest.raises(SystemExit, match="clv-cache"):
+            validate_args(self._args(["--clv-cache"]))
+
+    def test_bootstopping_needs_static_schedule(self):
+        from repro.cli import validate_args
+
+        with pytest.raises(SystemExit, match="schedule"):
+            validate_args(
+                self._args(["--bootstopping", "--schedule", "work-steal"])
+            )
+
+    def test_comprehensive_only_flags_rejected_elsewhere(self):
+        from repro.cli import validate_args
+
+        for extra in (
+            ["-f", "d", "--bootstopping"],
+            ["-f", "d", "--checkpoint-dir", "/tmp/ck"],
+            ["-f", "e", "-t", "x.nwk", "--trace", "t.json"],
+            ["-f", "e", "-t", "x.nwk", "--metrics-out", "m.json"],
+            ["-b", "777", "-J", "MR"],
+            ["-b", "777", "--schedule", "work-steal"],
+        ):
+            with pytest.raises(SystemExit, match="comprehensive"):
+                validate_args(self._args(extra))
+        # The same flags are fine for the comprehensive analysis.
+        validate_args(self._args(["--schedule", "work-steal", "-J", "MR"]))
