@@ -1,0 +1,305 @@
+"""The deterministic chaos campaign: sweep seeded fault plans, assert
+the runtime's three resilience invariants, emit ``BENCH_chaos.json``.
+
+Every scenario runs the pinned toy comprehensive analysis (the same one
+the golden parity suite pins) under a generated
+:class:`~repro.chaos.plans.ScenarioSpec` and checks:
+
+1. **No hang** — the run completes under the simulated world's own
+   deadlines (a wedged collective is detected by peers' virtual-clock
+   suspicion, never by the test watching a wall clock).
+2. **Determinism** — whenever recovery succeeds, the result is
+   bit-identical to the fault-free baseline: best lnL, best tree, and
+   the bootstrap multiset.  Static recovery replays a dead rank's whole
+   original share and never re-partitions the survivors' streams, so
+   this holds for kills at any stage, replicate or collective index.  A
+   sample of scenarios is additionally run twice to confirm the fault
+   path itself is replayable bit-for-bit, timings included.
+3. **Checkpoint → resume equivalence** — a sample of scenarios runs
+   checkpointed and is then resumed with the kills/glitches stripped
+   (they already happened) and the joins kept (they are membership, and
+   keep the checkpoints' membership fingerprints valid); the resumed
+   run must reproduce the fault-free baseline.
+
+The campaign is a pure function of ``(seed, n_scenarios)``: the report
+names every scenario's plan, so any violation can be replayed in
+isolation with :func:`replay_scenario`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.chaos.plans import ScenarioSpec, generate_scenario, strip_for_resume
+from repro.datasets import test_dataset as make_test_dataset
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.mpi.policy import TimeoutPolicy
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+from repro.tree.newick import write_newick
+
+#: Both execution backends are swept, alternately.
+SCHEDULES = ("static", "work-steal")
+
+#: World sizes swept (alternately, per schedule).
+WORLD_SIZES = (2, 3)
+
+#: Scenario indices divisible by this run the checkpoint→resume check.
+RESUME_EVERY = 3
+
+#: Scenario indices divisible by this are run twice (replay determinism).
+REPEAT_EVERY = 25
+
+#: Snappy suspicion deadline (virtual seconds): the toy analysis's real
+#: collective waits are under ~0.1 virtual seconds, so 2.0 never falsely
+#: suspects a live rank but converts a hung one into a death quickly.
+CHAOS_TIMEOUTS = TimeoutPolicy(collective_seconds=2.0, world_seconds=600.0)
+
+#: The pinned toy analysis (same dataset family as the parity goldens).
+DATASET = {"n_taxa": 6, "n_sites": 60, "seed": 301}
+QUICK = StageParams(bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+                    thorough_max_rounds=2, brlen_passes=1)
+
+
+def _make_inputs():
+    pal, _ = make_test_dataset(**DATASET)
+    cc = ComprehensiveConfig(n_bootstraps=4, cat_categories=3,
+                             stage_params=QUICK)
+    return pal, cc
+
+
+def _capture(result) -> dict:
+    """The fields equality is asserted over (results, not timings)."""
+    return {
+        "best_lnl": result.best_lnl,
+        "best_newick": (
+            write_newick(result.best_tree, digits=None)
+            if result.best_tree is not None else None
+        ),
+        "bootstrap_newicks": sorted(
+            write_newick(t, digits=None) for t in result.bootstrap_trees
+        ),
+        "n_bootstraps_done": result.n_bootstraps_done,
+    }
+
+
+def _capture_replay(result) -> dict:
+    """Replay determinism is the strongest check: timings included."""
+    doc = _capture(result)
+    doc["total_seconds"] = result.total_seconds
+    doc["finish_times"] = [r.finish_time for r in result.ranks]
+    doc["failed_ranks"] = sorted(result.failed_ranks)
+    doc["stage_seconds"] = dict(result.stage_seconds)
+    return doc
+
+
+def _run(pal, cc, spec: ScenarioSpec, *, plan=None, checkpoint_dir=None,
+         resume=False, quorum=0.0):
+    config = HybridConfig(
+        n_processes=spec.n_processes,
+        n_threads=1,
+        comprehensive=cc,
+        schedule=spec.schedule,
+        fault_plan=spec.plan if plan is None and not resume else plan,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        quorum=quorum,
+        timeout_policy=CHAOS_TIMEOUTS,
+    )
+    return run_hybrid_analysis(pal, config)
+
+
+def run_scenario(pal, cc, spec: ScenarioSpec, baseline: dict,
+                 workdir: Path | None) -> dict:
+    """Run one scenario; returns its record (with a ``violations`` list)."""
+    record = spec.as_doc()
+    record["checks"] = []
+    violations: list[str] = []
+    t0 = time.perf_counter()
+
+    check_resume = workdir is not None and spec.index % RESUME_EVERY == 0
+    ckpt = None
+    if check_resume:
+        ckpt = workdir / f"ckpt-{spec.schedule}-{spec.index}"
+
+    try:
+        result = _run(pal, cc, spec, checkpoint_dir=str(ckpt) if ckpt else None)
+    except BaseException as exc:  # RankKilledError is a BaseException
+        violations.append(f"hang-or-crash: {type(exc).__name__}: {exc}")
+        record["violations"] = violations
+        record["elapsed_seconds"] = round(time.perf_counter() - t0, 3)
+        return record
+
+    got = _capture(result)
+    record["checks"].append("equality-full")
+    for key in ("best_lnl", "best_newick", "bootstrap_newicks",
+                "n_bootstraps_done"):
+        if got[key] != baseline[key]:
+            violations.append(f"determinism: {key} differs from baseline")
+
+    if spec.index % REPEAT_EVERY == 0 and not violations:
+        record["checks"].append("replay")
+        # Config-identical re-run: checkpointing shifts collective call
+        # indices (the resume negotiation is itself a collective), so a
+        # checkpointed first run is only comparable to a checkpointed
+        # replay (into its own directory).
+        again = _run(pal, cc, spec,
+                     checkpoint_dir=str(ckpt) + "-replay" if ckpt else None)
+        if _capture_replay(again) != _capture_replay(result):
+            violations.append("determinism: replaying the same plan diverged")
+
+    if check_resume and not violations:
+        record["checks"].append("resume")
+        try:
+            resumed = _run(
+                pal, cc, spec, plan=strip_for_resume(spec.plan),
+                checkpoint_dir=str(ckpt), resume=True,
+            )
+        except BaseException as exc:
+            violations.append(
+                f"resume: hang-or-crash: {type(exc).__name__}: {exc}"
+            )
+        else:
+            # A resumed continuation is fault-free (the faults already
+            # happened), so it must reproduce the fault-free baseline.
+            for key, want in baseline.items():
+                if _capture(resumed)[key] != want:
+                    violations.append(f"resume: {key} differs from baseline")
+
+    record["violations"] = violations
+    record["elapsed_seconds"] = round(time.perf_counter() - t0, 3)
+    return record
+
+
+def run_degradation_probes(pal, cc) -> list[dict]:
+    """Below-quorum scenarios: the run must *complete*, tagged partial.
+
+    Kills all but one rank of a p=3 world with ``quorum=0.9``: survivors
+    are under quorum, so instead of replaying the dead ranks' shares the
+    run finishes with partial results and machine-readable notes.
+    """
+    from repro.mpi.faults import FaultPlan, KillSpec
+
+    probes = []
+    for schedule in SCHEDULES:
+        spec = ScenarioSpec(
+            index=-1, schedule=schedule, n_processes=3,
+            plan=FaultPlan(kills=(KillSpec(rank=1, stage="fast"),
+                                  KillSpec(rank=2, stage="slow"))),
+            equality="degraded", deaths=(1, 2),
+        )
+        record = spec.as_doc()
+        record["checks"] = ["degradation"]
+        violations = []
+        t0 = time.perf_counter()
+        try:
+            result = _run(pal, cc, spec, quorum=0.9)
+        except BaseException as exc:
+            violations.append(f"degradation: {type(exc).__name__}: {exc}")
+        else:
+            if not result.degraded or not result.notes:
+                violations.append(
+                    "degradation: below-quorum run not tagged as partial"
+                )
+            if sorted(result.failed_ranks) != [1, 2]:
+                violations.append(
+                    f"degradation: failed_ranks {result.failed_ranks} != [1, 2]"
+                )
+        record["violations"] = violations
+        record["elapsed_seconds"] = round(time.perf_counter() - t0, 3)
+        probes.append(record)
+    return probes
+
+
+def run_campaign(n_scenarios: int = 200, seed: int = 20260808,
+                 out: str | Path | None = None,
+                 workdir: str | Path | None = None,
+                 progress=None) -> dict:
+    """Run the full campaign and return (and optionally write) its report.
+
+    ``n_scenarios`` counts generated fault scenarios; the two degradation
+    probes and the cached fault-free baselines ride on top.  ``workdir``
+    holds the checkpoint directories of the resume checks (a temporary
+    directory when None).  ``progress`` is an optional callable invoked
+    with each finished scenario record.
+    """
+    import tempfile
+
+    t0 = time.perf_counter()
+    pal, cc = _make_inputs()
+
+    baselines: dict[tuple[str, int], dict] = {}
+    records: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(workdir) if workdir is not None else Path(tmp)
+        root.mkdir(parents=True, exist_ok=True)
+        for i in range(n_scenarios):
+            schedule = SCHEDULES[i % len(SCHEDULES)]
+            p = WORLD_SIZES[(i // len(SCHEDULES)) % len(WORLD_SIZES)]
+            key = (schedule, p)
+            if key not in baselines:
+                base_spec = ScenarioSpec(
+                    index=-1, schedule=schedule, n_processes=p,
+                    plan=None, equality="baseline", deaths=(),
+                )
+                baselines[key] = _capture(_run(pal, cc, base_spec, plan=None))
+            spec = generate_scenario(i, seed, schedule, p)
+            record = run_scenario(pal, cc, spec, baselines[key], root)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+        records.extend(run_degradation_probes(pal, cc))
+
+    violations = [
+        {"index": r["index"], "schedule": r["schedule"], "violations": v}
+        for r in records if (v := r["violations"])
+    ]
+    checks = sorted({c for r in records for c in r["checks"]})
+    report = {
+        "campaign": "repro.chaos",
+        "seed": seed,
+        "n_scenarios": n_scenarios,
+        "n_records": len(records),
+        "n_violations": len(violations),
+        "violations": violations,
+        "counts": {
+            "by_schedule": {
+                s: sum(1 for r in records if r["schedule"] == s)
+                for s in SCHEDULES
+            },
+            "by_equality": {
+                e: sum(1 for r in records if r["equality"] == e)
+                for e in sorted({r["equality"] for r in records})
+            },
+            "by_check": {
+                c: sum(1 for r in records if c in r["checks"]) for c in checks
+            },
+        },
+        "timeout_policy": {
+            "collective_seconds": CHAOS_TIMEOUTS.collective_seconds,
+            "world_seconds": CHAOS_TIMEOUTS.world_seconds,
+        },
+        "dataset": dict(DATASET),
+        "elapsed_seconds": round(time.perf_counter() - t0, 3),
+        "scenarios": records,
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n",
+                       encoding="ascii")
+    return report
+
+
+def replay_scenario(index: int, seed: int, schedule: str,
+                    n_processes: int) -> dict:
+    """Re-run one scenario from a campaign report, in isolation."""
+    pal, cc = _make_inputs()
+    base_spec = ScenarioSpec(index=-1, schedule=schedule,
+                             n_processes=n_processes, plan=None,
+                             equality="baseline", deaths=())
+    baseline = _capture(_run(pal, cc, base_spec, plan=None))
+    spec = generate_scenario(index, seed, schedule, n_processes)
+    return run_scenario(pal, cc, spec, baseline, None)

@@ -1,0 +1,179 @@
+"""Seeded random :class:`~repro.mpi.faults.FaultPlan` generation.
+
+A chaos campaign needs fault schedules that are *adversarial but legal*:
+random enough to explore the failure-mode space (kills at every kind of
+point, transient glitches, elastic joins, and combinations), yet bounded
+so every scenario is recoverable by construction — at least one original
+rank survives, transient failures stay within the retry budget, and
+joiner ranks are never targeted before they exist.
+
+Generation is a pure function of ``(seed, schedule, index)`` via
+:class:`random.Random` seeded with a string key, so a campaign can be
+re-run — or a single failing scenario replayed — bit-identically from
+its report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mpi.faults import (
+    STAGE_POINTS,
+    CollectiveGlitch,
+    FaultPlan,
+    JoinSpec,
+    KillSpec,
+)
+
+#: Transient ``fail`` glitches are retried with exponential backoff up
+#: to the policy's ``max_retries`` (default 8); staying well below keeps
+#: every generated glitch survivable.
+MAX_GLITCH_FAILURES = 3
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One generated chaos scenario: a fault plan plus its oracle class.
+
+    ``equality`` declares what the scenario must reproduce of the
+    fault-free baseline.  Every recoverable plan is ``"full"``: best
+    lnL, best tree and the bootstrap multiset must be bit-identical to
+    the baseline — static recovery replays a dead rank's whole original
+    share (never re-partitioning the survivors' streams) and work-steal
+    task streams are origin-pure, so kills at any stage, replicate or
+    collective index, with glitches and elastic joins on top, must all
+    reproduce the fault-free result exactly.
+    """
+
+    index: int
+    schedule: str
+    n_processes: int
+    plan: FaultPlan
+    equality: str
+    deaths: tuple[int, ...]
+
+    def as_doc(self) -> dict:
+        """JSON-serialisable record (enough to replay the scenario)."""
+        return {
+            "index": self.index,
+            "schedule": self.schedule,
+            "n_processes": self.n_processes,
+            "equality": self.equality,
+            "deaths": list(self.deaths),
+            "kills": [
+                {"rank": k.rank, "stage": k.stage, "replicate": k.replicate,
+                 "collective": k.collective}
+                for k in self.plan.kills
+            ],
+            "glitches": [
+                {"rank": g.rank, "call_index": g.call_index, "kind": g.kind,
+                 "failures": g.failures, "delay_seconds": g.delay_seconds}
+                for g in self.plan.glitches
+            ],
+            "joins": [
+                {"rank": j.rank, "stage": j.stage} for j in self.plan.joins
+            ],
+        }
+
+
+def _classify(schedule: str, kills, glitches) -> str:
+    """Equality oracle for a plan (see :class:`ScenarioSpec`).
+
+    Work-steal task streams are origin-pure — every task's RNG streams
+    derive from its origin rank, not its executor — and static recovery
+    replays a dead rank's whole original share without re-partitioning
+    the survivors' streams, so every recoverable plan must reproduce
+    the fault-free baseline bit for bit.
+    """
+    return "full"
+
+
+def generate_scenario(
+    index: int,
+    seed: int,
+    schedule: str,
+    n_processes: int,
+    max_replicate: int = 2,
+) -> ScenarioSpec:
+    """Generate the ``index``-th scenario of a campaign, deterministically.
+
+    The plan always remains recoverable: the set of ranks doomed to die
+    (fail-stop kills plus ``hang`` glitches, which peers convert into
+    deaths via their collective deadline) never exceeds
+    ``n_processes - 1``, and kills/glitches only target original ranks —
+    joiners enter clean.
+    """
+    rng = random.Random(f"chaos:{seed}:{schedule}:{index}")
+    p = n_processes
+    doomed: set[int] = set()
+
+    kills: list[KillSpec] = []
+    for _ in range(rng.choice((0, 1, 1, 2))):
+        victim = rng.randrange(p)
+        if victim not in doomed and len(doomed) + 1 > p - 1:
+            continue  # keep at least one original survivor
+        doomed.add(victim)
+        point = rng.choice(("stage", "stage", "replicate", "collective"))
+        if point == "stage":
+            kills.append(KillSpec(rank=victim, stage=rng.choice(STAGE_POINTS)))
+        elif point == "replicate":
+            kills.append(KillSpec(rank=victim,
+                                  replicate=rng.randrange(max_replicate + 1)))
+        else:
+            kills.append(KillSpec(rank=victim, collective=rng.randrange(6)))
+
+    glitches: list[CollectiveGlitch] = []
+    used: set[tuple[int, int]] = set()
+    for _ in range(rng.choice((0, 1, 1, 2, 3))):
+        rank = rng.randrange(p)
+        call_index = rng.randrange(8)
+        if (rank, call_index) in used:
+            continue
+        kind = rng.choice(("fail", "fail", "delay", "hang"))
+        if kind == "hang":
+            if rank not in doomed and len(doomed) + 1 > p - 1:
+                continue  # a hang dooms its rank too
+            doomed.add(rank)
+            glitches.append(CollectiveGlitch(rank=rank, call_index=call_index,
+                                             kind="hang"))
+        elif kind == "fail":
+            glitches.append(CollectiveGlitch(
+                rank=rank, call_index=call_index, kind="fail",
+                failures=rng.randint(1, MAX_GLITCH_FAILURES)))
+        else:
+            glitches.append(CollectiveGlitch(
+                rank=rank, call_index=call_index, kind="delay",
+                delay_seconds=round(rng.uniform(0.005, 0.2), 6)))
+        used.add((rank, call_index))
+
+    joins = tuple(
+        JoinSpec(rank=p + i, stage=rng.choice(STAGE_POINTS))
+        for i in range(rng.choice((0, 1, 1, 2)))
+    )
+
+    plan = FaultPlan(kills=tuple(kills), glitches=tuple(glitches), joins=joins)
+    return ScenarioSpec(
+        index=index,
+        schedule=schedule,
+        n_processes=p,
+        plan=plan,
+        equality=_classify(schedule, plan.kills, plan.glitches),
+        deaths=tuple(sorted(doomed)),
+    )
+
+
+def strip_for_resume(plan: FaultPlan) -> FaultPlan | None:
+    """The fault plan a ``--resume`` continuation of ``plan`` should use.
+
+    Kills and glitches already happened in the first run — re-injecting
+    them would fault the continuation, and a killed rank resumes alive.
+    Elastic joins are *membership*, not faults: the joiner ranks exist
+    again in the resumed world and re-enter at the same epoch
+    boundaries, which is exactly what keeps the membership fingerprints
+    of the loaded checkpoints valid.  Returns None when nothing remains
+    (so the continuation runs fault-free in non-resilient mode).
+    """
+    if not plan.joins:
+        return None
+    return FaultPlan(joins=plan.joins)

@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--resume", action="store_true",
                         help="resume a killed run from --checkpoint-dir "
                              "(bit-identical to an uninterrupted run)")
+    parser.add_argument("--quorum", type=float, default=0.0,
+                        help="graceful-degradation threshold as a fraction of "
+                             "-np: when fewer than ceil(QUORUM*np) ranks "
+                             "survive, stop adopting dead ranks' work and "
+                             "finish with partial results tagged in the run "
+                             "report (0.0 disables; default 0.0)")
     parser.add_argument("--simulate", nargs=2, type=int, metavar=("TAXA", "SITES"),
                         help="simulate an alignment instead of reading one")
     parser.add_argument("--simulate-seed", type=int, default=4242,
@@ -280,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         bootstopping=args.bootstopping,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        quorum=args.quorum,
         schedule=args.schedule,
         kernel=args.kernel,
         clv_cache=args.clv_cache,

@@ -32,6 +32,7 @@ from typing import ClassVar
 
 from repro.mpi.faults import FaultPlan
 from repro.mpi.launcher import run_spmd
+from repro.mpi.policy import RetryPolicy, TimeoutPolicy
 from repro.perfmodel.machines import machine_by_name
 from repro.search.comprehensive import ComprehensiveConfig
 from repro.seq.patterns import PatternAlignment
@@ -65,6 +66,19 @@ class HybridConfig:
     #: Deterministic fault schedule; also switches the simulated world
     #: into resilient mode (rank deaths are survived, not fatal).
     fault_plan: FaultPlan | None = None
+    #: Graceful-degradation threshold, as a fraction of ``n_processes``:
+    #: when the surviving membership falls below ``ceil(quorum * p)``,
+    #: survivors stop adopting dead ranks' work and the run completes
+    #: with partial results tagged in the result's ``notes`` instead of
+    #: grinding through replays (or dying).  0.0 disables degradation.
+    quorum: float = 0.0
+    #: Unified retry/backoff policy for the communication layer (None:
+    #: the historical defaults).  Excluded from the checkpoint
+    #: fingerprint — how patiently a run retried does not change what it
+    #: computed.
+    retry_policy: RetryPolicy | None = None
+    #: Unified deadline policy (None: derived from ``spmd_timeout``).
+    timeout_policy: TimeoutPolicy | None = None
     #: Likelihood kernel backend used by every rank's engines.
     kernel: str = "reference"
     #: Enable signature-keyed CLV caching in every rank's engines (the
@@ -118,6 +132,19 @@ class HybridConfig:
                 "bootstopping grows the replicate set dynamically and is "
                 "round-synchronised; it requires schedule='static'"
             )
+        if not (0.0 <= self.quorum <= 1.0):
+            raise ValueError(f"quorum must be in [0, 1], got {self.quorum}")
+        if (
+            self.bootstopping
+            and self.fault_plan is not None
+            and self.fault_plan.joins
+        ):
+            raise ValueError(
+                "elastic joins are epoch-boundary events of the stage "
+                "pipeline; bootstopping's round-synchronised bootstrap "
+                "does not define those boundaries — use joins without "
+                "bootstopping"
+            )
 
 
 def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridResult:
@@ -135,5 +162,7 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
         config.n_processes,
         timeout=config.spmd_timeout,
         fault_plan=config.fault_plan,
+        retry_policy=config.retry_policy,
+        timeout_policy=config.timeout_policy,
     )
     return assemble_hybrid_result(pal, config, raw, board)

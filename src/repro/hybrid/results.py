@@ -31,6 +31,9 @@ class RankReport:
     comm_seconds: float = 0.0  # virtual time spent communicating/waiting
     n_retries: int = 0  # transiently-failed collectives retried (with backoff)
     recovered_for: tuple[int, ...] = ()  # dead ranks whose work this rank replayed
+    backoff_seconds: float = 0.0  # virtual time charged to retry backoff
+    #: Replay time bucketed by the stage whose boundary triggered it.
+    recovery_by_stage: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -64,10 +67,25 @@ class HybridResult:
     #: Work-steal scheduling statistics (per-stage, per-rank counters,
     #: steal log, idle tails); None for static runs.
     sched: dict | None = None
+    #: Degradation notes (quorum loss, partial results).  Non-empty
+    #: ``notes`` means ``degraded`` — the run completed but some dead
+    #: ranks' work was not recovered.
+    notes: list[str] = field(default_factory=list)
+    degraded: bool = False
+    #: Final membership picture (epoch, live set, deltas, fingerprint)
+    #: as observed by the lowest surviving rank.
+    membership: dict | None = None
+    #: Elastic joiners' summaries (rank, join stage, adoptions).
+    joiners: list[dict] = field(default_factory=list)
 
     @property
     def n_bootstraps_done(self) -> int:
-        return sum(r.n_bootstraps for r in self.ranks)
+        """Replicates in the global bootstrap set, whoever computed them
+        — original ranks' shares plus replicates adopted by joiners."""
+        return (
+            sum(r.n_bootstraps for r in self.ranks)
+            + sum(j.get("n_bootstraps", 0) for j in self.joiners)
+        )
 
     def rank_lnls(self) -> list[float]:
         """Per-rank thorough-search likelihoods (Table 6's comparison)."""
@@ -80,7 +98,10 @@ class HybridResult:
         return {
             "best_lnl": self.best_lnl,
             "winner_rank": self.winner_rank,
-            "best_tree": write_newick(self.best_tree),
+            "best_tree": (
+                write_newick(self.best_tree)
+                if self.best_tree is not None else None
+            ),
             "support_tree": (
                 write_newick(self.support_tree, support=True)
                 if self.support_tree is not None
@@ -98,6 +119,10 @@ class HybridResult:
             "rng_fingerprint": self.rng_fingerprint,
             "sched": self.sched,
             "failed_ranks": list(self.failed_ranks),
+            "notes": list(self.notes),
+            "degraded": self.degraded,
+            "membership": self.membership,
+            "joiners": list(self.joiners),
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,
             "wc_trace": [list(t) for t in self.wc_trace],
@@ -131,6 +156,17 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
     """
     results = [r for r in raw if r is not None]
     results.sort(key=lambda r: r["rank"])
+    # Elastic joiners (hot spares) are folded in separately: they have no
+    # Table 2 share of their own, so they do not appear as RankReports —
+    # but the trees they adopted from dead ranks are part of the global
+    # bootstrap set, and their timing/metrics join the documents.
+    joiners = [r for r in results if r.get("joiner")]
+    results = [r for r in results if not r.get("joiner")]
+    if not results:
+        # Pathological survival: every original rank died but a joiner
+        # finished.  Fold the joiners in as the reporting ranks so the
+        # run still returns a (degraded) result instead of crashing.
+        results, joiners = joiners, []
 
     ranks = [
         RankReport(
@@ -146,6 +182,8 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
             comm_seconds=r["comm_seconds"],
             n_retries=r["n_retries"],
             recovered_for=tuple(r["recovered_for"]),
+            backoff_seconds=r.get("backoff_seconds", 0.0),
+            recovery_by_stage=dict(r.get("recovery_seconds_by_stage", {})),
         )
         for r in results
     ]
@@ -154,7 +192,11 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
     stage_seconds = {
         s: max(r.stage_seconds.get(s, 0.0) for r in ranks) for s in stages
     }
-    best_tree = parse_newick(results[0]["best_newick"], taxa=pal.taxa)
+    best_newick = results[0]["best_newick"]
+    best_tree = (
+        parse_newick(best_newick, taxa=pal.taxa)
+        if best_newick is not None else None
+    )
     schedule = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
     rng_fp = rng_stream_fingerprint(
         schedule, config.comprehensive, int(pal.weights.sum()), config.n_processes
@@ -187,11 +229,11 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
 
     bootstrap_trees = [
         parse_newick(n, taxa=pal.taxa)
-        for r in results
+        for r in results + joiners
         for n in r["bootstrap_newicks"]
     ]
     support_tree = None
-    if config.map_bootstrap_support and len(pal.taxa) >= 4:
+    if config.map_bootstrap_support and len(pal.taxa) >= 4 and best_tree is not None:
         shards = [r["shard"] for r in results]
         if len(results) == config.n_processes and all(s is not None for s in shards):
             # Bootstopping runs kept a rank-sharded distributed table;
@@ -204,16 +246,19 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
 
     trace = None
     if config.collect_trace:
-        events = [e for r in results for e in (r["trace_events"] or [])]
+        events = [e for r in results + joiners for e in (r["trace_events"] or [])]
         trace = chrome_trace(events, n_threads=config.n_threads, meta={
             "n_processes": config.n_processes,
             "n_threads": config.n_threads,
             "machine": config.machine,
-            "dropped_events": sum(r["trace_dropped"] for r in results),
+            "dropped_events": sum(r["trace_dropped"] for r in results + joiners),
         })
     metrics = None
     if config.collect_trace or config.collect_metrics:
-        per_rank = {str(r["rank"]): r["metrics"] for r in results}
+        per_rank = {str(r["rank"]): r["metrics"] for r in results + joiners}
+        recovery_by_rank = [r.recovery_by_stage for r in ranks] + [
+            dict(j.get("recovery_seconds_by_stage", {})) for j in joiners
+        ]
         metrics = {
             "per_rank": per_rank,
             "aggregate": aggregate(list(per_rank.values())),
@@ -223,8 +268,13 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
                 n_processes=config.n_processes,
                 n_threads=config.n_threads,
                 sched=sched_doc,
+                recovery=recovery_by_rank,
             ),
         }
+
+    notes = sorted({
+        note for r in results + joiners for note in r.get("notes", ())
+    })
 
     return HybridResult(
         best_tree=best_tree,
@@ -243,4 +293,17 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
         schedule_mode=config.schedule,
         rng_fingerprint=rng_fp,
         sched=sched_doc,
+        notes=notes,
+        degraded=bool(notes),
+        membership=results[0].get("membership"),
+        joiners=[
+            {
+                "rank": j["rank"],
+                "join_stage": j.get("join_stage"),
+                "recovered_for": list(j.get("recovered_for", ())),
+                "n_bootstraps": len(j.get("bootstrap_newicks", ())),
+                "finish_time": j.get("finish_time"),
+            }
+            for j in joiners
+        ],
     )

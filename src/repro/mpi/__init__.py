@@ -26,9 +26,17 @@ from repro.mpi.comm import (
     SimComm,
     SPMDError,
 )
-from repro.mpi.faults import CollectiveGlitch, FaultPlan, KillSpec, RankKilledError
+from repro.mpi.faults import (
+    CollectiveGlitch,
+    FaultPlan,
+    JoinSpec,
+    KillSpec,
+    RankKilledError,
+)
 from repro.mpi.launcher import run_spmd
+from repro.mpi.membership import MembershipLedger, MembershipView
 from repro.mpi.mp_backend import run_coarse_multiprocessing
+from repro.mpi.policy import RetryPolicy, TimeoutPolicy
 from repro.util.rng import rank_seed
 
 __all__ = [
@@ -44,7 +52,12 @@ __all__ = [
     "FaultPlan",
     "KillSpec",
     "CollectiveGlitch",
+    "JoinSpec",
     "RankKilledError",
+    "MembershipView",
+    "MembershipLedger",
+    "RetryPolicy",
+    "TimeoutPolicy",
     "run_spmd",
     "run_coarse_multiprocessing",
     "rank_seed",

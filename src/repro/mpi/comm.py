@@ -20,7 +20,17 @@ receives a :class:`RankFailure` carrying a *consistent* death set (the
 first rank to complete an exchange freezes the participant view for that
 generation, so every survivor observes the same deaths at the same
 collective).  Transiently failing collectives are retried with
-exponential backoff charged to the virtual clock.
+exponential backoff charged to the virtual clock; retry and timeout
+knobs live in one :class:`~repro.mpi.policy.RetryPolicy` /
+:class:`~repro.mpi.policy.TimeoutPolicy` pair.
+
+Membership: each communicator tracks a versioned
+:class:`~repro.mpi.membership.MembershipView` — the epoch increments on
+every observed membership delta.  Deaths shrink the view at collectives
+(above); elastic *joins* grow it at declared epoch boundaries via
+:meth:`SimComm.advance_epoch`, which activates dormant joiner ranks with
+a deterministic entry state (generation, clock, live set) shared by all
+participants.
 """
 
 from __future__ import annotations
@@ -33,6 +43,8 @@ from dataclasses import dataclass
 from math import ceil, log2
 
 from repro.mpi.faults import FaultPlan, RankKilledError
+from repro.mpi.membership import MembershipLedger, MembershipView
+from repro.mpi.policy import RetryPolicy, TimeoutPolicy
 from repro.obs.recorder import current as _obs_current
 from repro.util.timing import VirtualClock
 
@@ -90,14 +102,19 @@ class _DeadRankSentinel:
 DEAD_RANK = _DeadRankSentinel()
 
 
-#: Rank lifecycle states tracked by :class:`_World`.
+#: Rank lifecycle states tracked by :class:`_World`.  ``DORMANT`` ranks
+#: are allocated joiners that have not entered the world yet: invisible
+#: to collectives, suspicion and schedules until activated.
 RUNNING, EXITED, FAILED, DEAD = "running", "exited", "failed", "dead"
+DORMANT = "dormant"
 
 #: First backoff (virtual seconds) before retrying a failed collective;
-#: doubles on every subsequent attempt.
+#: doubles on every subsequent attempt.  Kept as the historical default
+#: of :class:`repro.mpi.policy.RetryPolicy`.
 RETRY_BACKOFF = 1e-3
 
-#: Maximum retries of one transiently-failing collective call.
+#: Maximum retries of one transiently-failing collective call (default
+#: of :class:`repro.mpi.policy.RetryPolicy`).
 MAX_RETRIES = 8
 
 
@@ -150,30 +167,124 @@ class _World:
         self,
         size: int,
         timing: CommTiming,
-        timeout: float,
+        timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
-        max_retries: int = MAX_RETRIES,
+        max_retries: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        timeout_policy: TimeoutPolicy | None = None,
+        dormant: tuple[int, ...] = (),
     ) -> None:
+        # Policy resolution: explicit policy objects win; the legacy
+        # ``timeout`` / ``max_retries`` floats are folded into policies
+        # so every consumer reads one place.
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_retries=MAX_RETRIES if max_retries is None else max_retries
+            )
+        if timeout_policy is None:
+            timeout_policy = TimeoutPolicy.from_timeout(
+                600.0 if timeout is None else timeout
+            )
         self.size = size
         self.timing = timing
-        self.timeout = timeout
+        self.retry_policy = retry_policy
+        self.timeout_policy = timeout_policy
         self.fault_plan = fault_plan
         #: Resilient worlds tolerate fail-stop deaths instead of aborting.
         self.resilient = fault_plan is not None
-        self.max_retries = max_retries
         self.mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
         self.mailbox_lock = threading.Lock()
         #: Everything below is guarded by ``cond``.
         self.cond = threading.Condition()
         self.scratch: dict[int, dict[int, tuple]] = {}
         self.scratch_ops: dict[int, str] = {}
+        #: Expected participant set per generation, frozen by the first
+        #: rank to arrive.  Membership changes mid-generation (a joiner
+        #: activated by a faster rank) must not alter who an in-flight
+        #: collective waits for.
+        self.expected: dict[int, frozenset[int]] = {}
         #: Participant view frozen by the first rank to complete each
         #: generation — the agreement that keeps death sets consistent.
         self.outcomes: dict[int, frozenset[int]] = {}
         self.leavers: dict[int, set[int]] = {}
-        self.status: dict[int, str] = {r: RUNNING for r in range(size)}
+        self.status: dict[int, str] = {
+            r: (DORMANT if r in dormant else RUNNING) for r in range(size)
+        }
+        #: Ranks alive at t=0 (dormant joiners excluded).
+        self.initial_live: tuple[int, ...] = tuple(
+            r for r in range(size) if r not in dormant
+        )
+        #: Deterministic activation records per join point, installed by
+        #: the first live rank to process the epoch boundary.
+        self.join_info: dict[str, dict] = {}
+        #: Cross-rank blackboard for values every rank computes
+        #: identically (e.g. the negotiated resume prefix) that late
+        #: joiners need at activation.  Guarded by ``cond``.
+        self.shared: dict[str, object] = {}
+        #: World-level chronicle of membership transitions (reporting).
+        self.ledger = MembershipLedger(self.initial_live)
         #: Set at teardown to release ranks wedged by an injected hang.
         self.release = threading.Event()
+        #: Per-rank virtual clocks, registered at communicator creation.
+        #: The failure detector's heartbeat: a rank that is computing
+        #: advances its clock continuously, a wedged/killed rank's clock
+        #: is frozen — so suspicion reads clock *progress*, never wall
+        #: time alone (which would suspect slow-but-healthy peers).
+        self.clocks: dict[int, VirtualClock] = {}
+
+    @property
+    def timeout(self) -> float:
+        """Per-collective suspicion deadline (harness seconds)."""
+        return self.timeout_policy.collective_seconds
+
+    @property
+    def max_retries(self) -> int:
+        return self.retry_policy.max_retries
+
+    def install_join(
+        self,
+        point: str,
+        ranks: tuple[int, ...],
+        generation: int,
+        entry: float,
+        epoch: int,
+        live: tuple[int, ...],
+        dead: tuple[int, ...],
+        glitched: tuple[int, ...] = (),
+    ) -> dict:
+        """Activate the joiners of one epoch boundary (idempotent).
+
+        Every live participant of the boundary exchange calls this with
+        identical values (generation and entry time come from the frozen
+        exchange board; epoch and live set from the deterministic delta
+        history), so ``setdefault`` makes the first caller the installer
+        and the rest witnesses.
+        """
+        with self.cond:
+            info = self.join_info.setdefault(point, {
+                "point": point, "ranks": tuple(ranks),
+                "generation": generation, "entry": entry, "epoch": epoch,
+                "live": tuple(live), "dead": tuple(dead),
+            })
+            for r in info["ranks"]:
+                if self.status[r] == DORMANT:
+                    self.status[r] = RUNNING
+            self.cond.notify_all()
+            return info
+
+    def await_activation(self, rank: int, point: str) -> dict | None:
+        """Block a dormant joiner until its epoch boundary (or teardown).
+
+        Returns the activation record, or ``None`` when the world tore
+        down before the boundary was reached (the joiner then exits
+        without ever having been a member).
+        """
+        with self.cond:
+            while self.status[rank] == DORMANT and not self.release.is_set():
+                self.cond.wait(0.05)
+            if self.status[rank] != RUNNING:
+                return None
+            return self.join_info.get(point)
 
     def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -186,6 +297,10 @@ class _World:
     def running(self) -> list[int]:
         """Ranks still executing (caller must hold ``cond``)."""
         return [r for r in range(self.size) if self.status[r] == RUNNING]
+
+    def any_running(self) -> bool:
+        with self.cond:
+            return any(s == RUNNING for s in self.status.values())
 
     def mark(self, rank: int, status: str) -> None:
         with self.cond:
@@ -212,13 +327,35 @@ class SimComm:
         self.rank = rank
         self.size = world.size
         self.clock = clock if clock is not None else VirtualClock()
+        world.clocks[rank] = self.clock
         self._generation = 0
         self._collective_calls = 0
         #: Ranks this communicator believes alive; shrinks only at exchange
         #: completion, so all survivors agree on it after each collective.
-        self.known_alive: set[int] = set(range(world.size))
+        self.known_alive: set[int] = set(world.initial_live)
+        #: Every rank this communicator has ever seen as a member
+        #: (initial live set plus observed joiners) — the base set that
+        #: :attr:`known_dead` is computed against.
+        self._ever_alive: set[int] = set(world.initial_live)
+        #: Membership epoch: bumped once per observed delta batch
+        #: (deaths noticed at one collective, or one join boundary).
+        self.epoch = 0
+        #: Joiner ranks this communicator has observed entering.
+        self._joined_seen: set[int] = set()
+        #: Epoch-boundary points already processed (each join point is
+        #: handled exactly once, even across collective retries).
+        self._joined_points: set[str] = set()
+        #: Entry-time maximum of the most recent completed exchange —
+        #: the deterministic activation instant handed to joiners.
+        self._last_entry_max = 0.0
+        #: True for a rank that entered the world via an elastic join;
+        #: the SPMD body uses this to start from its join point instead
+        #: of replaying the collectives that happened before it existed.
+        self.is_joiner = False
         #: Transient-collective retries performed by this rank.
         self.n_retries = 0
+        #: Virtual seconds this rank spent in retry backoff.
+        self.backoff_seconds = 0.0
         #: Per-rank record of every communication operation.
         self.trace: list[CommEvent] = []
 
@@ -255,8 +392,36 @@ class SimComm:
 
     @property
     def known_dead(self) -> list[int]:
-        """Ranks this communicator has observed dying (sorted)."""
-        return sorted(set(range(self.size)) - self.known_alive)
+        """Ranks this communicator has observed dying (sorted).
+
+        Computed against the set of ranks that were ever members —
+        dormant joiners that have not entered yet are neither alive nor
+        dead."""
+        return sorted(self._ever_alive - self.known_alive)
+
+    def membership_view(self) -> MembershipView:
+        """This rank's current versioned membership picture."""
+        return MembershipView(
+            epoch=self.epoch,
+            live=tuple(sorted(self.known_alive)),
+            joined=tuple(sorted(self._joined_seen)),
+            dead=tuple(self.known_dead),
+        )
+
+    def _bump_epoch(self, *, joined=(), dead=(), point: str | None = None) -> None:
+        """Advance the membership epoch by one observed delta batch."""
+        self.epoch += 1
+        rec = _obs_current()
+        if rec is not None:
+            args = {"epoch": self.epoch, "live": sorted(self.known_alive)}
+            if joined:
+                args["joined"] = sorted(joined)
+            if dead:
+                args["dead"] = sorted(dead)
+            if point is not None:
+                args["point"] = point
+            rec.count("membership.epochs")
+            rec.instant("membership-epoch", "fault", args=args)
 
     # -- mpi4py-style accessors ------------------------------------------
 
@@ -294,6 +459,8 @@ class SimComm:
                 status = world.status_of(source)
                 if status == DEAD:
                     self.known_alive.discard(source)
+                    self._bump_epoch(dead=(source,))
+                    world.ledger.record_deaths((source,), self.clock.now)
                     rec = _obs_current()
                     if rec is not None:
                         rec.count("comm.rank_failures")
@@ -344,13 +511,17 @@ class SimComm:
                 f"rank {self.rank} hung in collective call {index}"
             )
         elif glitch.kind == "fail":
-            attempts = min(glitch.failures, world.max_retries)
+            policy = world.retry_policy
+            attempts = min(glitch.failures, policy.max_retries)
             rec = _obs_current()
             for attempt in range(attempts):
+                backoff = policy.backoff_seconds(attempt)
                 self.n_retries += 1
-                self.clock.advance(RETRY_BACKOFF * (2 ** attempt))
+                self.backoff_seconds += backoff
+                self.clock.advance(backoff)
                 if rec is not None:
                     rec.count("comm.retries")
+                    rec.count("comm.backoff_seconds", backoff)
                     rec.instant(
                         "retry", "comm",
                         args={"op": op, "call": index, "attempt": attempt + 1},
@@ -381,6 +552,10 @@ class SimComm:
         gen = self._generation
         self._generation += 1
         deadline = time.monotonic() + world.timeout
+        hard_deadline = time.monotonic() + world.timeout_policy.world_seconds
+        #: Heartbeat observations per straggler: (virtual clock, wall
+        #: time it was last seen advancing).
+        progress: dict[int, tuple[float | None, float]] = {}
         with world.cond:
             expected = world.scratch_ops.setdefault(gen, op)
             if expected != op:
@@ -390,6 +565,13 @@ class SimComm:
                     f"{expected!r}"
                 )
             board = world.scratch.setdefault(gen, {})
+            # The first arriver freezes who participates in this
+            # generation: the ranks running *now*.  A joiner activated
+            # while the collective is in flight enters at the next
+            # generation — nobody must wait for it here.
+            expected = world.expected.setdefault(
+                gen, frozenset(world.running()) | {self.rank}
+            )
             if self.rank in board:
                 raise SPMDError(
                     f"rank {self.rank} re-entered collective generation {gen}"
@@ -398,11 +580,11 @@ class SimComm:
             world.cond.notify_all()
             while True:
                 waiting_for = [
-                    r for r in range(world.size)
+                    r for r in sorted(expected)
                     if r not in board and world.status[r] == RUNNING
                 ]
                 defectors = [
-                    r for r in range(world.size)
+                    r for r in sorted(expected)
                     if r not in board and world.status[r] in (EXITED, FAILED)
                 ]
                 if defectors:
@@ -413,15 +595,42 @@ class SimComm:
                     )
                 if not waiting_for:
                     break
-                remaining = deadline - time.monotonic()
-                if remaining <= 0.0:
-                    if world.resilient:
-                        # Per-call deadline expired: fail-stop suspicion.
-                        # Declare the stragglers dead so survivors recover.
-                        for r in waiting_for:
+                if world.resilient:
+                    # Fail-stop suspicion on frozen virtual clocks: a
+                    # straggler is declared dead only once its clock has
+                    # made no progress for the per-call deadline.  A
+                    # peer that is legitimately computing advances its
+                    # clock continuously (every likelihood op charges
+                    # it); a wedged, killed or diverged rank's clock is
+                    # frozen — so slow-but-healthy ranks are never
+                    # falsely suspected, no matter how long their stage
+                    # takes in harness time.
+                    now = time.monotonic()
+                    stalled = []
+                    for r in waiting_for:
+                        rc = world.clocks.get(r)
+                        beat = rc.now if rc is not None else None
+                        prev = progress.get(r)
+                        if prev is None or prev[0] != beat:
+                            progress[r] = (beat, now)
+                        elif now - prev[1] >= world.timeout:
+                            stalled.append(r)
+                    if stalled:
+                        for r in stalled:
                             world.status[r] = DEAD
                         world.cond.notify_all()
                         continue
+                    if now >= hard_deadline:
+                        raise SPMDError(
+                            f"collective {op!r} (generation {gen}) broken: "
+                            f"rank {self.rank} exceeded the world deadline "
+                            f"({world.timeout_policy.world_seconds:.1f}s) "
+                            f"waiting for live rank(s) {waiting_for}"
+                        )
+                    world.cond.wait(0.25)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
                     raise SPMDError(
                         f"collective {op!r} (generation {gen}) broken: rank "
                         f"{self.rank} timed out after {world.timeout:.1f}s "
@@ -432,17 +641,26 @@ class SimComm:
             # every survivor observes the *same* death set for this call.
             outcome = world.outcomes.get(gen)
             if outcome is None:
-                outcome = world.outcomes[gen] = frozenset(world.running())
+                outcome = world.outcomes[gen] = frozenset(
+                    r for r in expected if world.status[r] == RUNNING
+                )
             result = dict(board)
             left = world.leavers.setdefault(gen, set())
             left.add(self.rank)
             if outcome <= left:
                 for store in (world.scratch, world.scratch_ops,
-                              world.outcomes, world.leavers):
+                              world.expected, world.outcomes, world.leavers):
                     store.pop(gen, None)
+        # Deterministic instant of this exchange (max of the frozen entry
+        # clocks) — the activation time handed to joiners at a boundary.
+        self._last_entry_max = max(t for _, t in result.values())
         newly_dead = sorted(self.known_alive - outcome)
         if newly_dead:
             self.known_alive.difference_update(newly_dead)
+            # The failure detector's round-trip cost (0.0 by default).
+            self.clock.advance(world.timeout_policy.suspicion_charge_seconds)
+            self._bump_epoch(dead=newly_dead)
+            world.ledger.record_deaths(tuple(newly_dead), self.clock.now)
             rec = _obs_current()
             if rec is not None:
                 rec.count("comm.rank_failures")
@@ -461,6 +679,88 @@ class SimComm:
         to uninterrupted ones."""
         board = self._exchange(obj, op=op, internal=True)
         return [board[r][0] if r in board else None for r in range(self.size)]
+
+    def publish(self, key: str, value):
+        """Deposit a coordination value on the world blackboard.
+
+        First writer wins (every rank must compute the value
+        identically); late joiners read it with :meth:`lookup` after
+        activation.  Cost-free — publication is runtime coordination,
+        not modelled communication."""
+        with self._world.cond:
+            return self._world.shared.setdefault(key, value)
+
+    def lookup(self, key: str, default=None):
+        """Read a value previously :meth:`publish`-ed by any rank."""
+        with self._world.cond:
+            return self._world.shared.get(key, default)
+
+    # -- membership epochs ---------------------------------------------------
+
+    def advance_epoch(self, point: str) -> None:
+        """Process the membership epoch boundary at pipeline ``point``.
+
+        A no-op unless the fault plan declares joiners at this point.
+        Otherwise the live ranks run one internal coordination exchange
+        (so the activation instant — generation, entry clock, live set —
+        is identical everywhere) and activate the dormant joiners.  Each
+        point is processed at most once per rank, so backend retry loops
+        can safely call this again after handling a :class:`RankFailure`.
+
+        Peer deaths noticed *at* the boundary exchange still raise
+        :class:`RankFailure`, but only after the join has been applied —
+        the joiner is then part of the surviving membership that runs
+        recovery.
+        """
+        world = self._world
+        plan = world.fault_plan
+        if plan is None:
+            return
+        joining = plan.joins_at(point)
+        if not joining or point in self._joined_points:
+            return
+        self._joined_points.add(point)
+        try:
+            self._exchange(None, op=f"epoch:{point}", internal=True)
+        except RankFailure:
+            self._activate(point, joining)
+            raise
+        self._activate(point, joining)
+
+    def _activate(self, point: str, joining: tuple[int, ...]) -> None:
+        """Apply one join delta locally and install the activation record."""
+        world = self._world
+        self.known_alive.update(joining)
+        self._ever_alive.update(joining)
+        self._joined_seen.update(joining)
+        self._bump_epoch(joined=joining, point=point)
+        entry = self._last_entry_max
+        world.install_join(
+            point, joining,
+            generation=self._generation,
+            entry=entry,
+            epoch=self.epoch,
+            live=tuple(sorted(self.known_alive)),
+            dead=tuple(self.known_dead),
+        )
+        world.ledger.record_join(point, joining, self.epoch, entry)
+
+    def _adopt_join_state(self, info: dict) -> None:
+        """Initialise a freshly-activated joiner from its activation record.
+
+        The record was computed identically by every live participant of
+        the boundary exchange, so the joiner enters with a deterministic
+        generation, clock, epoch and membership view.
+        """
+        self.is_joiner = True
+        self._generation = info["generation"]
+        self.clock.synchronize(info["entry"])
+        self._last_entry_max = info["entry"]
+        self.known_alive = set(info["live"])
+        self._ever_alive = set(info["live"]) | set(info["dead"])
+        self.epoch = info["epoch"]
+        self._joined_seen = set(info["ranks"])
+        self._joined_points.add(info["point"])
 
     def _sync_clocks(self, board: dict[int, tuple], extra: float) -> None:
         entry_max = max(t for _, t in board.values())

@@ -8,6 +8,7 @@ from typing import Callable, Sequence
 
 from repro.mpi.comm import (
     DEAD,
+    DORMANT,
     EXITED,
     FAILED,
     AllRanksDeadError,
@@ -17,6 +18,7 @@ from repro.mpi.comm import (
     _World,
 )
 from repro.mpi.faults import FaultPlan, RankKilledError
+from repro.mpi.policy import RetryPolicy, TimeoutPolicy
 from repro.util.timing import VirtualClock
 
 
@@ -45,6 +47,21 @@ def _raise_rank_errors(errors: list) -> None:
     raise exc
 
 
+def _joiner_ranks(n_ranks: int, fault_plan: FaultPlan | None) -> tuple[int, ...]:
+    """Validate and return the plan's joiner ranks (sorted)."""
+    if fault_plan is None or not fault_plan.joins:
+        return ()
+    joiners = tuple(sorted(j.rank for j in fault_plan.joins))
+    expected = tuple(range(n_ranks, n_ranks + len(joiners)))
+    if joiners != expected:
+        raise ValueError(
+            f"joiner ranks must be numbered directly above the initial "
+            f"world of {n_ranks}: expected {list(expected)}, got "
+            f"{list(joiners)}"
+        )
+    return joiners
+
+
 def run_spmd(
     fn: Callable[[SimComm], object],
     n_ranks: int,
@@ -52,6 +69,8 @@ def run_spmd(
     clocks: Sequence[VirtualClock] | None = None,
     timeout: float = 600.0,
     fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    timeout_policy: TimeoutPolicy | None = None,
 ) -> list:
     """Execute ``fn(comm)`` on every rank of a simulated world.
 
@@ -66,19 +85,52 @@ def run_spmd(
     world into resilient mode and injects the planned faults; ranks killed
     by the plan return ``None`` in the result list (their peers are
     expected to recover their work).
+
+    A plan with :class:`~repro.mpi.faults.JoinSpec` entries allocates the
+    joiner ranks up front as *dormant* threads: they block until the live
+    ranks reach the declared epoch boundary (``comm.advance_epoch``),
+    then run ``fn`` with a communicator initialised from the boundary's
+    deterministic activation record.  The result list covers initial and
+    joiner ranks; joiners that were never activated return ``None``.
+
+    ``retry_policy`` / ``timeout_policy`` consolidate the resilience
+    knobs; the legacy ``timeout`` float is honoured when no
+    ``timeout_policy`` is given (it governs both the per-collective
+    suspicion deadline and the shared world deadline).
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
     timing = comm_timing if comm_timing is not None else CommTiming()
-    if clocks is not None and len(clocks) != n_ranks:
+    if timeout_policy is None:
+        timeout_policy = TimeoutPolicy.from_timeout(timeout)
+    joiners = _joiner_ranks(n_ranks, fault_plan)
+    total = n_ranks + len(joiners)
+    if clocks is not None and len(clocks) not in (n_ranks, total):
         raise ValueError("clocks must have one entry per rank")
-    world = _World(n_ranks, timing, timeout, fault_plan=fault_plan)
-    results: list = [None] * n_ranks
-    errors: list = [None] * n_ranks
-    deaths: list = [None] * n_ranks
+    world = _World(
+        total, timing, fault_plan=fault_plan,
+        retry_policy=retry_policy, timeout_policy=timeout_policy,
+        dormant=joiners,
+    )
+    results: list = [None] * total
+    errors: list = [None] * total
+    deaths: list = [None] * total
+
+    def rank_clock(rank: int) -> VirtualClock | None:
+        if clocks is None or rank >= len(clocks):
+            return None
+        return clocks[rank]
 
     def target(rank: int) -> None:
-        comm = SimComm(world, rank, clocks[rank] if clocks is not None else None)
+        comm = SimComm(world, rank, rank_clock(rank))
+        if rank in joiners:
+            point = fault_plan.join_stage_of(rank)
+            info = world.await_activation(rank, point)
+            if info is None:
+                # World tore down before the boundary: the joiner never
+                # became a member; it exits still dormant.
+                return
+            comm._adopt_join_state(info)
         try:
             results[rank] = fn(comm)
         except RankKilledError as exc:
@@ -93,34 +145,39 @@ def run_spmd(
 
     threads = [
         threading.Thread(target=target, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
-        for r in range(n_ranks)
+        for r in range(total)
     ]
     for t in threads:
         t.start()
     # One *shared* deadline for the whole world (a per-thread timeout would
     # make the worst-case wait n_ranks x timeout).  Ranks already declared
-    # dead are not waited for: their threads are released below.
-    deadline = time.monotonic() + timeout
+    # dead are not waited for: their threads are released below.  Dormant
+    # joiners are only waited for while someone is left to activate them.
+    deadline = time.monotonic() + timeout_policy.world_seconds
     for rank, t in enumerate(threads):
         while t.is_alive():
-            if world.status_of(rank) == DEAD:
+            status = world.status_of(rank)
+            if status == DEAD:
                 break
+            if status == DORMANT and not world.any_running():
+                break  # nobody left alive to reach this joiner's boundary
             remaining = deadline - time.monotonic()
             if remaining <= 0.0:
                 break
             t.join(min(remaining, 0.1))
-    # Wake any rank wedged inside an injected hang so its thread can exit.
+    # Wake any rank wedged inside an injected hang (or a joiner that will
+    # never be activated) so its thread can exit.
     world.release.set()
     stuck = []
     for rank, t in enumerate(threads):
         if t.is_alive():
             t.join(0.5)
-        if t.is_alive() and world.status_of(rank) != DEAD:
+        if t.is_alive() and world.status_of(rank) not in (DEAD, DORMANT):
             stuck.append(t.name)
     if stuck:
         raise SPMDError(
             f"{', '.join(stuck)} did not finish within the shared "
-            f"{timeout}s deadline"
+            f"{timeout_policy.world_seconds}s deadline"
         )
     _raise_rank_errors(errors)
     if fault_plan is None:
@@ -129,8 +186,14 @@ def run_spmd(
                 # A RankKilledError outside a fault plan is a bug, not a
                 # simulated failure — surface it.
                 raise death
-    elif world.dead_ranks() == list(range(n_ranks)):
-        raise AllRanksDeadError(
-            f"all {n_ranks} ranks died before completing; nothing to recover"
-        )
+    else:
+        member_statuses = [
+            world.status_of(r) for r in range(total)
+            if world.status_of(r) != DORMANT
+        ]
+        if member_statuses and all(s == DEAD for s in member_statuses):
+            raise AllRanksDeadError(
+                f"all {len(member_statuses)} member ranks died before "
+                "completing; nothing to recover"
+            )
     return results

@@ -1,0 +1,118 @@
+"""Epoch-based rank membership.
+
+Each rank holds a versioned :class:`MembershipView` — the epoch number,
+the live set, and the deltas (ranks that joined, ranks that died) that
+produced it.  Views advance deterministically: deaths are discovered by
+the resilient collectives' suspicion deadline on virtual clocks (the
+collective arrival *is* the heartbeat; missing the deadline is the
+suspicion), and joins happen only at declared epoch boundaries via
+:meth:`repro.mpi.comm.SimComm.advance_epoch`.  Because both kinds of
+delta surface exclusively at deterministic collective points, every
+rank walks the same sequence of views for a given fault plan — there
+is no gossip round and no wall-clock sensitivity.
+
+The :class:`MembershipLedger` is the world-level chronicle of those
+transitions; it exists for the launcher and for post-run reporting.
+The per-rank view (``SimComm.membership_view()``) is the authority a
+rank acts on, because a rank must never act on membership information
+it has not yet deterministically observed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """One rank's versioned picture of who is in the world.
+
+    ``epoch`` increments by one for every observed membership change
+    (a batch of deaths noticed at one collective, or a join boundary).
+    ``live`` is the full membership after the change; ``joined`` and
+    ``dead`` are the deltas that produced this view from its
+    predecessor.
+    """
+
+    epoch: int
+    live: tuple[int, ...]
+    joined: tuple[int, ...] = ()
+    dead: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if tuple(sorted(self.live)) != self.live:
+            raise ValueError(f"live set must be sorted, got {self.live!r}")
+
+    @property
+    def size(self) -> int:
+        return len(self.live)
+
+    def fingerprint(self) -> str:
+        """Stable digest of (epoch, live) — what a checkpoint stamps.
+
+        Deltas are history, not state: two ranks that reached the same
+        epoch and live set agree on membership regardless of how the
+        deltas were batched, so only (epoch, live) participates.
+        """
+        doc = {"epoch": self.epoch, "live": list(self.live)}
+        blob = json.dumps(doc, sort_keys=True).encode("ascii")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def as_doc(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "live": list(self.live),
+            "joined": list(self.joined),
+            "dead": list(self.dead),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class MembershipLedger:
+    """World-level chronicle of membership transitions.
+
+    Thread-safe append-only record kept by ``_World`` for post-run
+    reporting.  Ranks do *not* read the ledger to make decisions —
+    they act on their own deterministic :class:`MembershipView`.
+    """
+
+    initial_live: tuple[int, ...]
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    events: list[dict] = field(default_factory=list)
+
+    def record_join(self, point: str, ranks: tuple[int, ...], epoch: int,
+                    time: float) -> None:
+        with self._lock:
+            key = ("join", point, ranks)
+            if any(e["_key"] == key for e in self.events):
+                return  # every live rank reports the same activation once
+            self.events.append({
+                "_key": key, "kind": "join", "point": point,
+                "ranks": list(ranks), "epoch": epoch, "time": time,
+            })
+
+    def record_deaths(self, ranks: tuple[int, ...], time: float) -> None:
+        with self._lock:
+            key = ("death", ranks)
+            if any(e["_key"] == key for e in self.events):
+                return  # survivors all observe the same death batch
+            self.events.append({
+                "_key": key, "kind": "death", "ranks": list(ranks),
+                "time": time,
+            })
+
+    def as_doc(self) -> dict:
+        with self._lock:
+            return {
+                "initial_live": list(self.initial_live),
+                "events": [
+                    {k: v for k, v in e.items() if k != "_key"}
+                    for e in self.events
+                ],
+            }

@@ -87,6 +87,7 @@ def run_report(
     n_processes: int | None = None,
     n_threads: int | None = None,
     sched: Mapping | None = None,
+    recovery: Sequence[Mapping[str, float]] | None = None,
 ) -> dict:
     """The complete JSON report block written by ``--metrics-out``.
 
@@ -97,6 +98,11 @@ def run_report(
     attempts/grants, per-stage queue stats, per-rank idle tails) is
     embedded verbatim under ``"sched"`` so the Fig. 3–4 stage report
     carries the idle-tail deltas dynamic scheduling achieved.
+
+    ``recovery`` is each rank's replay time bucketed by the pipeline
+    stage whose boundary triggered it; when any rank recovered, the
+    report carries a ``"recovery_overhead"`` block so the Fig. 3–4
+    decomposition can show what resilience cost per stage.
     """
     rows = stage_decomposition(per_rank)
     totals = [sum(float(v) for v in r.values()) for r in per_rank]
@@ -117,4 +123,18 @@ def run_report(
         ]
     if sched is not None:
         doc["sched"] = dict(sched)
+    if recovery is not None and any(recovery):
+        stages = sorted(
+            {s for r in recovery for s in r},
+            key=lambda s: ALL_STAGES.index(s) if s in ALL_STAGES else len(ALL_STAGES),
+        )
+        doc["recovery_overhead"] = {
+            "per_stage": {
+                s: max(float(r.get(s, 0.0)) for r in recovery) for s in stages
+            },
+            "per_rank": [dict(r) for r in recovery],
+            "total_seconds": sum(
+                float(v) for r in recovery for v in r.values()
+            ),
+        }
     return doc

@@ -20,7 +20,11 @@ from repro.mpi.comm import CommTiming, DistributedStateError, RankFailure
 from repro.obs.recorder import Recorder, recording
 from repro.search.schedule import make_schedule
 from repro.tree.newick import write_newick
-from repro.hybrid.checkpoint import CheckpointError, config_fingerprint
+from repro.hybrid.checkpoint import (
+    STAGE_ORDER,
+    CheckpointError,
+    config_fingerprint,
+)
 from repro.sched.checkpoint import open_journal
 from repro.sched.placement import initial_assignment
 from repro.sched.queue import StealBoard
@@ -34,6 +38,7 @@ from repro.runtime.middleware import (
     RecoveryMiddleware,
     export_rank_observability,
     open_store,
+    quorum_lost,
 )
 from repro.runtime.pipeline import Stage, comprehensive_pipeline
 
@@ -109,10 +114,12 @@ class StaticBackend:
         return None
 
     def run(self, comm, pal, config, board=None) -> dict:
+        if comm.is_joiner:
+            return self._run_joiner(comm, pal, config)
         pipeline = comprehensive_pipeline()
         cfg = config.comprehensive
         rank = comm.rank
-        sched = make_schedule(cfg.n_bootstraps, comm.size)
+        sched = make_schedule(cfg.n_bootstraps, config.n_processes)
 
         ckpt = open_store(pal, config, rank)
         resume_through = -1
@@ -125,9 +132,12 @@ class StaticBackend:
                 len(ckpt.available_stages()), op="resume-negotiation"
             )
             resume_through = min(c for c in counts if c is not None) - 1
+        # Late joiners cannot take part in the negotiation (they do not
+        # exist yet); the blackboard hands them the agreed prefix.
+        comm.publish("resume_through", resume_through)
 
         recovery = RecoveryMiddleware(
-            comm, lambda dead, upto: self._replay(comm, pal, config, dead, upto)
+            comm, lambda dead: self._replay(comm, pal, config, dead)
         )
         ctx = RankContext(
             pal, config, rank, comm.clock, comm=comm,
@@ -167,13 +177,30 @@ class StaticBackend:
             "comm_seconds": comm.comm_seconds(),
             "pattern_ops": ctx.ops.pattern_ops,
             "n_retries": comm.n_retries,
+            "backoff_seconds": comm.backoff_seconds,
             "recovered_for": sorted(adopted),
             "failed_ranks": comm.known_dead,
+            "recovery_seconds_by_stage": dict(ctx.recovery_by_stage),
+            "notes": list(ctx.state.get("__notes__", [])),
+            "membership": comm.membership_view().as_doc(),
         }
 
     def _exec_stage(self, ctx: RankContext, stage: Stage) -> None:
-        """Drive one stage: kill hook, then load-or-run (with the paper's
-        barrier and its recovery retry where declared), then fuse."""
+        """Drive one stage: epoch boundary, kill hook, then load-or-run
+        (with the paper's barrier and its recovery retry where declared),
+        then fuse."""
+        ctx.current_stage = stage.name
+        if ctx.comm is not None:
+            # The membership epoch boundary comes first: a joiner declared
+            # at this stage enters the world before any same-boundary kill
+            # fires, and a death noticed at the boundary exchange is
+            # recovered exactly like one noticed at the barrier.
+            while True:
+                try:
+                    ctx.comm.advance_epoch(stage.name)
+                    break
+                except RankFailure:
+                    ctx.recover(stage.name)
         ctx.emit("on_stage_start", stage.name)
         ckpt = ctx.middleware(CheckpointMiddleware)
         if stage.checkpointed and ckpt is not None and ckpt.will_load(stage.name):
@@ -205,8 +232,9 @@ class StaticBackend:
         if stage.fuse is not None and ctx.comm is not None:
             stage.fuse(ctx)
 
-    def _replay(self, comm, pal, config, dead_rank: int, upto: str) -> dict:
-        """Re-derive a dead rank's work share on this rank's virtual clock.
+    def _replay(self, comm, pal, config, dead_rank: int) -> dict:
+        """Re-derive a dead rank's *whole* work share on this rank's
+        virtual clock.
 
         The §2.4 seed discipline (``seed + 10000·r``) makes the dead
         rank's replicate streams exactly re-derivable, so the global
@@ -215,11 +243,11 @@ class StaticBackend:
         *not* re-armed (the fault already happened — the adopter is a
         different node).
 
-        ``upto="bootstrap"`` replays only the replicates (the adopter
-        folds the trees into its own fast starts); ``upto="thorough"``
-        replays the dead rank's whole pipeline with its original Table 2
-        shares, so the final selection sees the same candidate set as a
-        failure-free run.
+        The replay always covers the dead rank's full pipeline with its
+        original Table 2 shares — replicates through the thorough search
+        — whichever boundary noticed the death, so the final selection
+        sees the same candidate set as a failure-free run and the result
+        stays bit-identical.
         """
         pipeline = comprehensive_pipeline()
         ckpt = open_store(pal, config, dead_rank)
@@ -237,8 +265,6 @@ class StaticBackend:
             "bootstrap_newicks": [write_newick(t) for t in trees],
             "thorough": None,
         }
-        if upto == "bootstrap":
-            return out
         sched = make_schedule(config.comprehensive.n_bootstraps, config.n_processes)
         ctx.state.update(
             pool_trees=trees,
@@ -249,6 +275,101 @@ class StaticBackend:
             self._exec_stage(ctx, pipeline[name])
         out["thorough"] = ctx.state["thorough"]
         return out
+
+    def _run_joiner(self, comm, pal, config) -> dict:
+        """The rank body of an elastic joiner (hot spare).
+
+        A joiner enters at its epoch boundary with no Table 2 share of
+        its own — growing the share partition mid-run would change every
+        rank's replicate streams and break bit-identity with the static
+        world.  Instead it rebalances the *membership*: from its boundary
+        on it takes part in every collective, counts as a survivor in the
+        deterministic adoption rule (so it replays dead ranks' shares
+        like any original survivor), and submits its adoptees' candidates
+        to the final selection.
+        """
+        pipeline = comprehensive_pipeline()
+        rank = comm.rank
+        recovery = RecoveryMiddleware(
+            comm, lambda dead: self._replay(comm, pal, config, dead)
+        )
+        ctx = RankContext(
+            pal, config, rank, comm.clock, comm=comm,
+            middlewares=(
+                FaultMiddleware(config.fault_plan), ObsMiddleware(), recovery,
+            ),
+            save_checkpoints=False,
+        )
+        ctx.state["adopted"] = recovery.adopted
+        ctx.recover = lambda upto: recovery.recover(ctx, upto)
+        join_stage = config.fault_plan.join_stage_of(rank)
+        names = [s.name for s in pipeline]
+        start = names.index(join_stage)
+        resume_through = comm.lookup("resume_through", -1)
+        for stage in pipeline.stages[start:]:
+            ctx.current_stage = stage.name
+            if stage.name != join_stage:
+                # Later epoch boundaries (this joiner's own boundary
+                # exchange already happened — it produced this rank).
+                while True:
+                    try:
+                        comm.advance_epoch(stage.name)
+                        break
+                    except RankFailure:
+                        ctx.recover(stage.name)
+            if comm.known_dead:
+                # Service adoption claims at every boundary, not only
+                # after a failed collective of our own: the deterministic
+                # candidate rule counts this joiner as a survivor, so a
+                # claim may elect it for a death that surfaced in an
+                # exchange it was not part of — most directly the very
+                # boundary that activated it (the activation record
+                # already carries that death set).
+                ctx.recover(stage.name)
+            ctx.emit("on_stage_start", stage.name)
+            if stage.name == "finalize":
+                ctx.begin_stage()
+                stage.run(ctx)
+                ctx.end_stage(stage.name, save=False)
+            elif stage.barrier_after and STAGE_ORDER.index(stage.name) > resume_through:
+                # The paper's post-bootstrap barrier; skipped when the
+                # live ranks resumed past it (same rule as will_load).
+                while True:
+                    try:
+                        comm.barrier()
+                        break
+                    except RankFailure:
+                        ctx.recover(stage.name)
+        adopted = recovery.adopted
+        return {
+            "rank": rank,
+            "joiner": True,
+            "join_stage": join_stage,
+            "stage_seconds": {**ctx.stage_seconds, "recovery": ctx.recovery_seconds},
+            "stage_ops": ctx.stage_ops,
+            "local_lnl": None,
+            "local_newick": None,
+            "winner_rank": ctx.state.get("winner_rank"),
+            "winner_lnl": ctx.state.get("winner_lnl"),
+            "best_newick": ctx.state.get("best_newick"),
+            "bootstrap_newicks": [
+                n for d in sorted(adopted) for n in adopted[d]["bootstrap_newicks"]
+            ],
+            "wc_trace": [],
+            "shard": None,
+            "n_fast": 0,
+            "n_slow": 0,
+            "finish_time": comm.clock.now,
+            "comm_seconds": comm.comm_seconds(),
+            "pattern_ops": ctx.ops.pattern_ops,
+            "n_retries": comm.n_retries,
+            "backoff_seconds": comm.backoff_seconds,
+            "recovered_for": sorted(adopted),
+            "failed_ranks": comm.known_dead,
+            "recovery_seconds_by_stage": dict(ctx.recovery_by_stage),
+            "notes": list(ctx.state.get("__notes__", [])),
+            "membership": comm.membership_view().as_doc(),
+        }
 
 
 @register_backend
@@ -288,9 +409,13 @@ class WorkStealBackend:
         pipeline = comprehensive_pipeline()
         cfg = config.comprehensive
         rank = comm.rank
-        sched = make_schedule(cfg.n_bootstraps, comm.size)
-        dag = build_dag(sched, cfg, comm.size)
+        n_procs = config.n_processes
+        sched = make_schedule(cfg.n_bootstraps, n_procs)
+        dag = build_dag(sched, cfg, n_procs)
         n_draws = int(pal.weights.sum())
+        join_stage = (
+            config.fault_plan.join_stage_of(rank) if comm.is_joiner else None
+        )
 
         ctx = RankContext(
             pal, config, rank, comm.clock, comm=comm,
@@ -304,17 +429,23 @@ class WorkStealBackend:
         restored_stage_seconds: dict[str, float] = {}
         restored_stage_clock: dict[str, float] = {}
         if config.checkpoint_dir is not None:
+            # Union journals over every rank that can have written one —
+            # including elastic joiners of a previous (interrupted) run.
+            n_journal = n_procs + (
+                len(config.fault_plan.joins) if config.fault_plan else 0
+            )
             journal, restored, restored_stage_seconds, restored_stage_clock = (
                 open_journal(
-                    config.checkpoint_dir, rank, config.n_processes,
+                    config.checkpoint_dir, rank, n_journal,
                     config_fingerprint(pal, config), pal.taxa,
                     resume=config.resume,
                 )
             )
-            if config.resume:
+            if config.resume and not comm.is_joiner:
                 # Every rank reads the same directory; verify before any
                 # rank writes — divergent views would desynchronise the
-                # pools.
+                # pools.  (Joiners read the same union after activation;
+                # they cannot take part in the pre-run exchange.)
                 digest = hashlib.sha256(
                     json.dumps(sorted(restored)).encode("ascii")
                 ).hexdigest()
@@ -326,14 +457,74 @@ class WorkStealBackend:
 
         status_of = comm._world.status_of
         outcomes: dict[str, object] = {}
-        for stage in pipeline.task_stages:
+        stage_names = [s.name for s in pipeline.task_stages]
+        if join_stage is None:
+            start = 0
+        elif join_stage in stage_names:
+            start = stage_names.index(join_stage)
+        else:
+            # join_stage == "finalize": the joiner enters after every task
+            # stage completed; it only takes part in the final selection.
+            start = len(stage_names)
+        for stage in pipeline.task_stages[start:]:
+            ctx.current_stage = stage.name
+            if stage.name != join_stage:
+                # Membership epoch boundary: joiners declared here enter
+                # before assignment, so the queues rebalance over the
+                # current membership (a joiner's own boundary already
+                # happened — it produced this rank).
+                while True:
+                    try:
+                        comm.advance_epoch(stage.name)
+                        break
+                    except RankFailure:
+                        continue
+            if getattr(config, "quorum", 0.0) > 0.0:
+                # Graceful degradation needs *agreed* membership at every
+                # boundary.  Static mode gets it from its per-stage
+                # collectives; under work stealing deaths otherwise
+                # surface only on the board (which never updates
+                # known_alive), so quorum runs add a heartbeat barrier.
+                # Joiners run it too — their own epoch exchange happened
+                # at activation, before this point.
+                while True:
+                    try:
+                        comm.barrier()
+                        break
+                    except RankFailure:
+                        continue
             ctx.emit("on_stage_start", stage.name)
             members = tuple(comm.alive_ranks())
             tasks = dag[stage.name]
+            if quorum_lost(ctx, len(members)):
+                # Graceful degradation: below quorum the dead origins'
+                # remaining tasks are dropped (every rank computes the
+                # same membership, hence the same drop).  Task streams
+                # are origin-pure, so the surviving origins' results are
+                # unaffected; the run completes partial, not dead.
+                live = set(members)
+                tasks = [t for t in tasks if t.origin in live]
+            # Drop tasks whose upstream can no longer complete (their
+            # origin was dropped at an earlier, below-quorum stage).  At
+            # a boundary every prior-stage completion is on the board, so
+            # this fixpoint is identical on every member, joiners
+            # included.
+            while True:
+                kept = {t.id for t in tasks}
+                viable = [
+                    t for t in tasks
+                    if all(
+                        d in kept or d in restored or board.has_result(d)
+                        for d in t.deps
+                    )
+                ]
+                if len(viable) == len(tasks):
+                    break
+                tasks = viable
             pre = {t.id: restored[t.id] for t in tasks if t.id in restored}
             board.begin_stage(
                 stage.name, tasks, initial_assignment(tasks, members), members,
-                pre_completed=pre, status_of=status_of,
+                pre_completed=pre, status_of=status_of, epoch=comm.epoch,
             )
             ctx.begin_stage()
             out = run_rank_pool(
@@ -377,35 +568,46 @@ class WorkStealBackend:
         # ---- Final selection: every origin's thorough result is on the
         # board (whoever executed it), so the winner rule — static's
         # rounded argmax with ties to the lowest origin — needs no gather
-        # of scores.
+        # of scores.  Below quorum, dropped origins simply have no entry
+        # (partial result, tagged in the notes).
+        ctx.current_stage = "finalize"
+        if join_stage != "finalize":
+            while True:
+                try:
+                    comm.advance_epoch("finalize")
+                    break
+                except RankFailure:
+                    continue
         ctx.begin_stage()
         ctx.emit("on_stage_start", "finalize")
-        entries = [
-            (
-                round(board.result(task_id("thorough", o, 0)).lnl, 6),
-                -o,
-                board.result(task_id("thorough", o, 0)).lnl,
+        entries = []
+        for o in range(n_procs):
+            tid = task_id("thorough", o, 0)
+            if board.has_result(tid):
+                lnl = board.result(tid).lnl
+                entries.append((round(lnl, 6), -o, lnl))
+        if entries:
+            _, neg_o, winner_lnl = max(entries)
+            winner_rank = -neg_o
+            best_newick = write_newick(
+                board.result(task_id("thorough", winner_rank, 0)).tree
             )
-            for o in range(comm.size)
-        ]
-        _, neg_o, winner_lnl = max(entries)
-        winner_rank = -neg_o
-        best_newick = write_newick(
-            board.result(task_id("thorough", winner_rank, 0)).tree
+        else:
+            winner_rank, winner_lnl, best_newick = None, None, None
+        vote = (
+            winner_rank,
+            None if winner_lnl is None else round(winner_lnl, 6),
         )
         while True:
             try:
                 # Cross-check the local decisions and charge the final
                 # exchange's modelled cost, exactly like static's
                 # gather+bcast.
-                votes = comm.allgather((winner_rank, round(winner_lnl, 6)))
+                votes = comm.allgather(vote)
                 break
             except RankFailure:
                 continue
-        if any(
-            v is not None and v != (winner_rank, round(winner_lnl, 6))
-            for v in votes
-        ):
+        if any(v is not None and v != vote for v in votes):
             raise DistributedStateError(
                 f"rank {rank}: winner vote mismatch {votes} — the shared board "
                 "diverged across ranks"
@@ -413,21 +615,27 @@ class WorkStealBackend:
         ctx.end_stage("finalize", save=False)
 
         # Report origins the way static reports adoption: each survivor
-        # carries its own origin plus dead origins per the adoption rule.
+        # (elastic joiners included) carries its own origin plus dead
+        # origins per the adoption rule.
         survivors = comm.alive_ranks()
-        dead_origins = [o for o in range(comm.size) if o not in survivors]
-        carried = [rank] + [
+        dead_origins = [o for o in range(n_procs) if o not in survivors]
+        carried = ([rank] if rank < n_procs else []) + [
             d for d in sorted(dead_origins) if survivors[d % len(survivors)] == rank
         ]
-        n_boot = {o: 0 for o in range(comm.size)}
+        n_boot = {o: 0 for o in range(n_procs)}
         for t in dag["bootstrap"]:
             n_boot[t.origin] += 1
         bootstrap_newicks = [
             write_newick(board.result(task_id("bootstrap", o, b)).tree)
             for o in carried
             for b in range(n_boot[o])
+            if board.has_result(task_id("bootstrap", o, b))
         ]
-        thorough = board.result(task_id("thorough", rank, 0))
+        tid_self = task_id("thorough", rank, 0)
+        thorough = (
+            board.result(tid_self)
+            if rank < n_procs and board.has_result(tid_self) else None
+        )
 
         stage_stats = board.stage_stats()
         my_stats = {
@@ -439,26 +647,32 @@ class WorkStealBackend:
         }
         ctx.emit("on_sched_summary", idle_tail=idle_tail, stats=my_stats)
 
-        return {
+        report = {
             "rank": rank,
             "stage_seconds": {**ctx.stage_seconds, "recovery": 0.0},
             "stage_ops": ctx.stage_ops,
-            "local_lnl": thorough.lnl,
-            "local_newick": write_newick(thorough.tree),
+            "local_lnl": thorough.lnl if thorough is not None else None,
+            "local_newick": (
+                write_newick(thorough.tree) if thorough is not None else None
+            ),
             "winner_rank": winner_rank,
             "winner_lnl": winner_lnl,
             "best_newick": best_newick,
             "bootstrap_newicks": bootstrap_newicks,
             "wc_trace": [],
             "shard": None,
-            "n_fast": len(outcomes["fast"].executed),
-            "n_slow": len(outcomes["slow"].executed),
+            "n_fast": len(outcomes["fast"].executed) if "fast" in outcomes else 0,
+            "n_slow": len(outcomes["slow"].executed) if "slow" in outcomes else 0,
             "finish_time": comm.clock.now,
             "comm_seconds": comm.comm_seconds(),
             "pattern_ops": ctx.ops.pattern_ops,
             "n_retries": comm.n_retries,
+            "backoff_seconds": comm.backoff_seconds,
             "recovered_for": sorted(set(carried) - {rank}),
             "failed_ranks": comm.known_dead,
+            "recovery_seconds_by_stage": dict(ctx.recovery_by_stage),
+            "notes": list(ctx.state.get("__notes__", [])),
+            "membership": comm.membership_view().as_doc(),
             "sched": {
                 "mode": "work-steal",
                 "executed": {s: list(outcomes[s].executed) for s in outcomes},
@@ -467,3 +681,7 @@ class WorkStealBackend:
                 "stats": my_stats,
             },
         }
+        if comm.is_joiner:
+            report["joiner"] = True
+            report["join_stage"] = join_stage
+        return report

@@ -74,6 +74,12 @@ class RankContext:
         #: Virtual time spent replaying dead peers' work (charged to a
         #: dedicated "recovery" bucket, not to the stage it interrupted).
         self.recovery_seconds = 0.0
+        #: The same time bucketed by the stage whose boundary triggered
+        #: it (drives the per-stage recovery-overhead report).
+        self.recovery_by_stage: dict[str, float] = {}
+        #: The stage currently executing (set by the backend at each
+        #: boundary); attributes recovery time and quorum notes.
+        self.current_stage: str | None = None
         self._t0 = 0.0
         self._o0 = 0
         self._r0 = 0.0
@@ -124,3 +130,15 @@ class RankContext:
 
     def add_recovery(self, dt: float) -> None:
         self.recovery_seconds += dt
+        if dt > 0.0:
+            stage = self.current_stage or "finalize"
+            self.recovery_by_stage[stage] = (
+                self.recovery_by_stage.get(stage, 0.0) + dt
+            )
+
+    def add_note(self, note: str) -> None:
+        """Record a degradation note (quorum loss, partial results);
+        surfaced in the rank report and the assembled ``HybridResult``."""
+        notes = self.state.setdefault("__notes__", [])
+        if note not in notes:
+            notes.append(note)

@@ -13,6 +13,7 @@ charged.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 from repro.hybrid.checkpoint import (
@@ -21,6 +22,7 @@ from repro.hybrid.checkpoint import (
     CheckpointStore,
     config_fingerprint,
 )
+from repro.mpi.comm import DistributedStateError
 from repro.obs.recorder import current as _obs_current
 
 
@@ -170,6 +172,20 @@ class CheckpointMiddleware(RunMiddleware):
                 f"rank {ctx.rank}: negotiated checkpoint for stage "
                 f"{stage!r} disappeared from {self.store.directory}"
             )
+        stamp = data.get("membership")
+        if stamp is not None and ctx.comm is not None:
+            view = ctx.comm.membership_view()
+            if stamp["fingerprint"] != view.fingerprint():
+                raise DistributedStateError(
+                    f"rank {ctx.rank}: checkpoint for stage {stage!r} was "
+                    f"written under membership epoch {stamp['epoch']} "
+                    f"(live={stamp['live']}, "
+                    f"fingerprint {stamp['fingerprint']}), but this run's "
+                    f"membership is epoch {view.epoch} "
+                    f"(live={list(view.live)}, "
+                    f"fingerprint {view.fingerprint()}); resume requires "
+                    "an identical rank membership"
+                )
         ctx.stage_seconds[stage] = data["stage_seconds"]
         ctx.stage_ops[stage] = data["stage_ops"]
         t0 = ctx.clock.now
@@ -187,17 +203,28 @@ class CheckpointMiddleware(RunMiddleware):
         doc["stage_seconds"] = ctx.stage_seconds[stage]
         doc["stage_ops"] = ctx.stage_ops[stage]
         doc["clock"] = ctx.clock.now
+        if ctx.comm is not None:
+            # Stamp the membership the stage completed under; resume
+            # rejects checkpoints from a different epoch/live set.
+            view = ctx.comm.membership_view()
+            doc["membership"] = {
+                "epoch": view.epoch,
+                "live": list(view.live),
+                "fingerprint": view.fingerprint(),
+            }
         self.store.save(stage, doc)
 
 
 class RecoveryMiddleware(RunMiddleware):
     """Dead-rank adoption (the §2.4 seed discipline makes replays exact).
 
-    Assignment is a pure function of the consistent death/survivor sets
-    (``dead % n_survivors``), so every survivor computes the same
-    adoption map without communicating — including takeovers of work a
-    now-dead adopter had previously replayed.  The actual replay is
-    injected by the backend (it owns pipeline execution).
+    The candidate adopter is a pure function of the consistent
+    death/survivor sets (``dead % n_survivors``) at the recovery where
+    the death first surfaced, and the winning claim is pinned on the
+    world blackboard — so later deaths or elastic joins (which change
+    the survivor list) never re-assign a share that was already
+    replayed.  The actual replay is injected by the backend (it owns
+    pipeline execution).
     """
 
     def __init__(self, comm, replay) -> None:
@@ -210,6 +237,12 @@ class RecoveryMiddleware(RunMiddleware):
         survivors = self.comm.alive_ranks()
         t_r = self.comm.clock.now
         replayed_now: list[int] = []
+        if quorum_lost(ctx, len(survivors)):
+            # Graceful degradation: below quorum the survivors stop
+            # adopting dead peers' work — the run completes with partial
+            # results, tagged instead of raising.
+            ctx.emit("on_recovery", t0=t_r, replayed=[], upto=upto)
+            return
         for d in self.comm.known_dead:
             if ctx.config.bootstopping:
                 # Bootstopping gathers replicates every round, so the dead
@@ -217,13 +250,56 @@ class RecoveryMiddleware(RunMiddleware):
                 # survivor; the round loop just continues with a smaller
                 # world (degraded, but convergence-driven).
                 continue
-            if survivors[d % len(survivors)] != ctx.rank:
+            # Adoption is a world-shared, versioned claim.  Every rank
+            # computes the same version-0 candidate (ranks recovering
+            # from the same failed collective agree on the survivor
+            # list) and the first claim sticks: recomputing from the
+            # *current* survivors at every recovery would re-assign an
+            # already-adopted rank when a later death or join changes
+            # the list, and the new adopter would replay a share a
+            # previous one already submitted.  The one claim that MUST
+            # move is a claim pinned to an adopter that itself died —
+            # its local replay died with it — so each rank walks the
+            # version chain until the pinned owner is alive in its own
+            # view; a version only ever advances past a dead owner, so
+            # the chain is monotone and every rank converges on the
+            # same final owner.
+            v = 0
+            while True:
+                owner = self.comm.publish(
+                    f"adopter:{d}:{v}", survivors[(d + v) % len(survivors)]
+                )
+                if owner not in self.comm.known_dead:
+                    break
+                v += 1
+            if owner != ctx.rank:
                 continue
             if d not in self.adopted:
-                self.adopted[d] = self._replay(d, upto)
+                self.adopted[d] = self._replay(d)
                 replayed_now.append(d)
         ctx.add_recovery(self.comm.clock.now - t_r)
         ctx.emit("on_recovery", t0=t_r, replayed=replayed_now, upto=upto)
+
+
+def quorum_lost(ctx, n_survivors: int) -> bool:
+    """True when survivors fell below ``config.quorum`` of the initial
+    world — the degradation threshold.  Records the note on first loss.
+
+    ``quorum`` is a fraction of ``n_processes``; 0.0 (the default)
+    disables degradation and preserves full replay-recovery semantics.
+    """
+    quorum = getattr(ctx.config, "quorum", 0.0)
+    if quorum <= 0.0:
+        return False
+    needed = math.ceil(quorum * ctx.config.n_processes)
+    if n_survivors >= needed:
+        return False
+    ctx.add_note(
+        f"quorum lost: {n_survivors} survivors < {needed} required "
+        f"(quorum={quorum} of {ctx.config.n_processes}); dead ranks' "
+        "work not recovered, results are partial"
+    )
+    return True
 
 
 def open_store(pal, config, logical_rank: int) -> CheckpointStore | None:

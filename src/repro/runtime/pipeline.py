@@ -196,20 +196,31 @@ def _fuse_bootstrap(ctx: RankContext) -> None:
     surviving world, local trees pooled with adopted replays."""
     comm, config = ctx.comm, ctx.config
     sched = ctx.state["schedule"]
-    survivors = comm.alive_ranks()
-    if len(survivors) < comm.size:
-        # Degraded mode: Table 2 shares recomputed over the survivors.
-        dsched = sched.shrink(len(survivors))
-        n_fast, n_slow = dsched.fast_per_process, dsched.slow_per_process
-    else:
-        n_fast, n_slow = sched.fast_per_process, sched.slow_per_process
     adopted = ctx.state["adopted"]
     local_bs_trees = [r.tree for r in ctx.state["bs_results"]]
-    pool_trees = local_bs_trees + [
-        t for d in sorted(adopted) for t in adopted[d]["bootstrap_trees"]
-    ]
     if config.bootstopping:
+        # Bootstopping is convergence-driven, not share-driven: deaths
+        # shrink the Table 2 counts over the survivors and the adopted
+        # replays join the pool the next rounds draw from.
+        survivors = [r for r in comm.alive_ranks() if r < config.n_processes]
+        if len(survivors) < config.n_processes:
+            dsched = sched.shrink(len(survivors))
+            n_fast, n_slow = dsched.fast_per_process, dsched.slow_per_process
+        else:
+            n_fast, n_slow = sched.fast_per_process, sched.slow_per_process
+        pool_trees = local_bs_trees + [
+            t for d in sorted(adopted) for t in adopted[d]["bootstrap_trees"]
+        ]
         n_fast = max(1, -(-len(pool_trees) // 5))
+    else:
+        # Fixed-N runs keep every rank's original Table 2 share and seed
+        # the fast starts from the rank's *own* replicates only — deaths
+        # never re-partition.  A dead rank's share is replayed whole by
+        # its adopter (origin-pure streams), so the final candidate set
+        # — and hence the selected tree — is bit-identical to a
+        # fault-free run no matter when the death happened.
+        n_fast, n_slow = sched.fast_per_process, sched.slow_per_process
+        pool_trees = local_bs_trees
     ctx.state.update(
         local_bs_trees=local_bs_trees, pool_trees=pool_trees,
         n_fast_share=n_fast, n_slow_share=n_slow,
@@ -291,11 +302,15 @@ def _run_finalize(ctx: RankContext) -> None:
     adoptees; a death here triggers a full replay and a retry.
     """
     comm, rank = ctx.comm, ctx.rank
-    thorough = ctx.state["thorough"]
+    # Elastic joiners (hot spares) have no thorough result of their own:
+    # they submit entries only for adoptees they fully replayed.
+    thorough = ctx.state.get("thorough")
     adopted = ctx.state["adopted"]
-    local_newick = write_newick(thorough.tree)
+    local_newick = write_newick(thorough.tree) if thorough is not None else None
     while True:
-        entries = [(round(thorough.lnl, 6), -rank, thorough.lnl)]
+        entries = []
+        if thorough is not None:
+            entries.append((round(thorough.lnl, 6), -rank, thorough.lnl))
         for d in sorted(adopted):
             replayed = adopted[d]["thorough"]
             if replayed is not None:

@@ -44,6 +44,13 @@ from repro.util.rng import RAxMLRandom, rank_seed
 #: same run always steals identically).
 VICTIM_SEED_OFFSET = 4099
 
+#: Stride mixing the membership epoch into the victim seeds: an elastic
+#: join (or a death) re-seeds every member's permutation stream
+#: deterministically at the next stage, so thieves spread over the *new*
+#: membership instead of replaying a permutation drawn for the old one.
+#: Epoch 0 reproduces the historical seeds exactly.
+EPOCH_SEED_STRIDE = 7919
+
 
 class SchedulerError(RuntimeError):
     """The steal board reached an impossible or wedged state."""
@@ -94,6 +101,7 @@ class SchedState:
         members: tuple[int, ...],
         steal_seed: int,
         completed: dict[str, object] | None = None,
+        epoch: int = 0,
     ) -> None:
         self.tasks: dict[str, Task] = {t.id: t for t in tasks}
         self.members = tuple(members)
@@ -110,7 +118,9 @@ class SchedState:
         self.dead: set[int] = set()
         self.stats: dict[int, RankStats] = {r: RankStats() for r in members}
         self._victim_rngs: dict[int, RAxMLRandom] = {
-            r: RAxMLRandom(rank_seed(steal_seed + VICTIM_SEED_OFFSET, r))
+            r: RAxMLRandom(rank_seed(
+                steal_seed + VICTIM_SEED_OFFSET + epoch * EPOCH_SEED_STRIDE, r
+            ))
             for r in members
         }
         self._pending = {
@@ -292,6 +302,7 @@ class StealBoard:
         members: tuple[int, ...],
         pre_completed: dict[str, object] | None = None,
         status_of=None,
+        epoch: int = 0,
     ) -> None:
         """Install (first caller) or join (everyone else) a stage pool.
 
@@ -335,7 +346,7 @@ class StealBoard:
                 }
                 state = SchedState(
                     live, trimmed, members, self.steal_seed,
-                    completed=self._results,
+                    completed=self._results, epoch=epoch,
                 )
                 state.completed = self._results  # shared, persists stages
                 for tid, res in (pre_completed or {}).items():

@@ -1,0 +1,428 @@
+"""Tests for the epoch-based membership layer and the unified policies.
+
+Covers the membership data model (:mod:`repro.mpi.membership`), the
+consolidated :class:`RetryPolicy`/:class:`TimeoutPolicy` pair
+(:mod:`repro.mpi.policy`), the membership stamps checkpoints carry (a
+resume under different membership must fail loudly), quorum-based
+graceful degradation on both backends, the world-shared adoption claim
+(a dead rank's share is replayed exactly once even when later deaths or
+joins reshuffle the survivor list), and the audit guarantee that
+``RankKilledError`` — a ``BaseException`` — is never swallowed by a
+broad ``except Exception`` on the way out of a dying rank.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import test_dataset as make_test_dataset
+from repro.hybrid.driver import HybridConfig, run_hybrid_analysis
+from repro.mpi.comm import DistributedStateError
+from repro.mpi.faults import FaultPlan, JoinSpec, KillSpec, RankKilledError
+from repro.mpi.launcher import run_spmd
+from repro.mpi.membership import MembershipLedger, MembershipView
+from repro.mpi.policy import RetryPolicy, TimeoutPolicy
+from repro.search.comprehensive import ComprehensiveConfig
+from repro.search.searches import StageParams
+from repro.tree.newick import write_newick
+
+
+@pytest.fixture(scope="module")
+def pal():
+    pal, _ = make_test_dataset(n_taxa=6, n_sites=60, seed=301)
+    return pal
+
+
+@pytest.fixture(scope="module")
+def quick_cc():
+    return ComprehensiveConfig(
+        n_bootstraps=4,
+        cat_categories=3,
+        stage_params=StageParams(
+            bootstrap_rounds=1, fast_rounds=1, slow_max_rounds=1,
+            thorough_max_rounds=2, brlen_passes=1,
+        ),
+    )
+
+
+def hybrid_config(quick_cc, **kw):
+    kw.setdefault("n_processes", 2)
+    kw.setdefault("n_threads", 1)
+    kw.setdefault("comprehensive", quick_cc)
+    kw.setdefault("timeout_policy",
+                  TimeoutPolicy(collective_seconds=2.0, world_seconds=600.0))
+    return HybridConfig(**kw)
+
+
+def capture(result):
+    return {
+        "best_lnl": result.best_lnl,
+        "best_newick": write_newick(result.best_tree, digits=None),
+        "bootstraps": sorted(
+            write_newick(t, digits=None) for t in result.bootstrap_trees
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# MembershipView / MembershipLedger data model
+# ---------------------------------------------------------------------------
+
+
+class TestMembershipView:
+    def test_fingerprint_depends_only_on_epoch_and_live(self):
+        a = MembershipView(epoch=3, live=(0, 2), joined=(), dead=(1,))
+        b = MembershipView(epoch=3, live=(0, 2), joined=(2,), dead=())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_changes_with_epoch_or_live(self):
+        base = MembershipView(epoch=1, live=(0, 1))
+        assert base.fingerprint() != MembershipView(epoch=2, live=(0, 1)).fingerprint()
+        assert base.fingerprint() != MembershipView(epoch=1, live=(0,)).fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="epoch"):
+            MembershipView(epoch=-1, live=(0,))
+        with pytest.raises(ValueError, match="sorted"):
+            MembershipView(epoch=0, live=(1, 0))
+
+    def test_as_doc_roundtrips_to_json(self):
+        view = MembershipView(epoch=2, live=(0, 1, 3), joined=(3,), dead=(2,))
+        doc = json.loads(json.dumps(view.as_doc()))
+        assert doc["epoch"] == 2
+        assert doc["live"] == [0, 1, 3]
+        assert doc["joined"] == [3]
+        assert doc["dead"] == [2]
+        assert doc["fingerprint"] == view.fingerprint()
+
+
+class TestMembershipLedger:
+    def test_deduplicates_repeated_observations(self):
+        ledger = MembershipLedger(initial_live=(0, 1, 2))
+        for _ in range(3):  # every survivor reports the same batch
+            ledger.record_deaths((2,), time=1.0)
+            ledger.record_join("bootstrap", (3,), epoch=2, time=2.0)
+        doc = ledger.as_doc()
+        assert doc["initial_live"] == [0, 1, 2]
+        assert len(doc["events"]) == 2
+        kinds = [e["kind"] for e in doc["events"]]
+        assert kinds == ["death", "join"]
+        assert all("_key" not in e for e in doc["events"])
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / TimeoutPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestPolicies:
+    def test_backoff_is_exponential(self):
+        p = RetryPolicy(max_retries=4, base_backoff=0.001, multiplier=2.0)
+        assert p.backoff_seconds(0) == pytest.approx(0.001)
+        assert p.backoff_seconds(3) == pytest.approx(0.008)
+
+    def test_retry_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_timeout_validation_and_backcompat(self):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(collective_seconds=0.0)
+        with pytest.raises(ValueError):
+            TimeoutPolicy(world_seconds=-1.0)
+        legacy = TimeoutPolicy.from_timeout(42.0)
+        assert legacy.collective_seconds == 42.0
+        assert legacy.world_seconds == 42.0
+
+    def test_policies_not_in_checkpoint_fingerprint(self, pal, quick_cc):
+        from repro.hybrid.checkpoint import config_fingerprint
+
+        a = hybrid_config(quick_cc)
+        b = hybrid_config(
+            quick_cc,
+            retry_policy=RetryPolicy(max_retries=2, base_backoff=0.5),
+            timeout_policy=TimeoutPolicy(collective_seconds=1.0),
+        )
+        assert config_fingerprint(pal, a) == config_fingerprint(pal, b)
+
+
+# ---------------------------------------------------------------------------
+# Epoch advancement end to end
+# ---------------------------------------------------------------------------
+
+
+class TestEpochs:
+    def test_fault_free_run_stays_at_epoch_zero(self, pal, quick_cc):
+        result = run_hybrid_analysis(pal, hybrid_config(quick_cc))
+        assert result.membership["epoch"] == 0
+        assert result.membership["live"] == [0, 1]
+        assert result.joiners == []
+
+    @pytest.mark.parametrize("schedule", ["static", "work-steal"])
+    def test_join_bumps_epoch_and_preserves_results(
+        self, pal, quick_cc, schedule
+    ):
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, schedule=schedule)
+        )
+        plan = FaultPlan(joins=(JoinSpec(rank=2, stage="bootstrap"),))
+        joined = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, schedule=schedule, fault_plan=plan)
+        )
+        # The elastic-join acceptance scenario: same final trees/lnl.
+        assert capture(joined) == capture(baseline)
+        assert joined.membership["epoch"] >= 1
+        assert 2 in joined.membership["live"]
+        assert [j["rank"] for j in joined.joiners] == [2]
+        assert joined.joiners[0]["join_stage"] == "bootstrap"
+
+    def test_death_bumps_epoch(self, pal, quick_cc):
+        plan = FaultPlan(kills=(KillSpec(rank=1, stage="fast"),))
+        result = run_hybrid_analysis(pal, hybrid_config(quick_cc, fault_plan=plan))
+        assert result.failed_ranks == [1]
+        assert result.membership["epoch"] >= 1
+        assert result.membership["live"] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint membership stamps (--resume guard)
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointMembershipGuard:
+    def test_resume_under_different_membership_is_rejected(
+        self, pal, quick_cc, tmp_path
+    ):
+        ck = tmp_path / "ck"
+        config = hybrid_config(quick_cc, checkpoint_dir=str(ck))
+        run_hybrid_analysis(pal, config)
+
+        # Tamper: pretend the checkpoints were written in a world that
+        # had already advanced to a different epoch/live set.
+        stamped = 0
+        for path in ck.rglob("*.json"):
+            doc = json.loads(path.read_text())
+            stamp = (doc.get("payload") or {}).get("membership")
+            if stamp is None:
+                continue
+            stamp["epoch"] += 7
+            stamp["fingerprint"] = "0" * 16
+            path.write_text(json.dumps(doc))
+            stamped += 1
+        assert stamped > 0, "no membership stamps found to tamper with"
+
+        resume = hybrid_config(quick_cc, checkpoint_dir=str(ck), resume=True)
+        with pytest.raises(DistributedStateError, match="membership"):
+            run_hybrid_analysis(pal, resume)
+
+    def test_resume_with_same_membership_succeeds(self, pal, quick_cc, tmp_path):
+        ck = tmp_path / "ck"
+        config = hybrid_config(quick_cc, checkpoint_dir=str(ck))
+        baseline = run_hybrid_analysis(pal, config)
+        resumed = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, checkpoint_dir=str(ck), resume=True)
+        )
+        assert capture(resumed) == capture(baseline)
+
+
+# ---------------------------------------------------------------------------
+# Quorum-based graceful degradation
+# ---------------------------------------------------------------------------
+
+
+class TestQuorumDegradation:
+    @pytest.mark.parametrize("schedule", ["static", "work-steal"])
+    def test_below_quorum_completes_partial_and_tagged(
+        self, pal, quick_cc, schedule
+    ):
+        plan = FaultPlan(kills=(KillSpec(rank=1, stage="fast"),
+                                KillSpec(rank=2, stage="slow")))
+        config = hybrid_config(
+            quick_cc, n_processes=3, schedule=schedule,
+            fault_plan=plan, quorum=0.9,
+        )
+        result = run_hybrid_analysis(pal, config)
+        assert result.degraded
+        assert any("quorum lost" in n for n in result.notes)
+        assert sorted(result.failed_ranks) == [1, 2]
+        # The run still selected a tree from the surviving candidates.
+        assert result.best_tree is not None
+
+    def test_quorum_zero_recovers_fully(self, pal, quick_cc):
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3)
+        )
+        plan = FaultPlan(kills=(KillSpec(rank=1, stage="fast"),
+                                KillSpec(rank=2, stage="slow")))
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3, fault_plan=plan)
+        )
+        assert not result.degraded and not result.notes
+        assert capture(result) == capture(baseline)
+
+    def test_quorum_validation(self, quick_cc):
+        with pytest.raises(ValueError, match="quorum"):
+            hybrid_config(quick_cc, quorum=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Adoption is a world-shared claim (no double replay)
+# ---------------------------------------------------------------------------
+
+
+class TestAdoptionClaim:
+    def test_later_membership_changes_never_double_replay(self, pal, quick_cc):
+        """Two staggered deaths plus joins reshuffle the survivor list
+        between recoveries; the claimed adopter must stick, keeping the
+        global replicate multiset (and everything else) bit-identical."""
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3)
+        )
+        plan = FaultPlan(
+            kills=(KillSpec(rank=2, replicate=1),
+                   KillSpec(rank=1, stage="fast")),
+            joins=(JoinSpec(rank=3, stage="setup"),
+                   JoinSpec(rank=4, stage="bootstrap")),
+        )
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3, fault_plan=plan)
+        )
+        assert sorted(result.failed_ranks) == [1, 2]
+        assert capture(result) == capture(baseline)
+        # Each dead rank was adopted exactly once across ranks + joiners.
+        adopters = [r.recovered_for for r in result.ranks] + [
+            tuple(j["recovered_for"]) for j in result.joiners
+        ]
+        flat = [d for recovered in adopters for d in recovered]
+        assert sorted(flat) == [1, 2]
+
+    def test_claim_elected_joiner_services_it(self, pal, quick_cc):
+        """A death surfacing at the very boundary that activates a joiner
+        can elect that joiner as adopter; the joiner must notice the
+        claim from its activation record (it was not part of the failed
+        exchange) and replay the share."""
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3)
+        )
+        # Rank 2 dies at 'fast'; the death surfaces at the 'slow'
+        # boundary where rank 3 joins, so the survivor list is [0, 1, 3]
+        # and the deterministic candidate for dead rank 2 is rank 3.
+        plan = FaultPlan(
+            kills=(KillSpec(rank=2, stage="fast"),),
+            joins=(JoinSpec(rank=3, stage="slow"),),
+        )
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3, fault_plan=plan)
+        )
+        assert sorted(result.failed_ranks) == [2]
+        assert capture(result) == capture(baseline)
+        adopters = [list(r.recovered_for) for r in result.ranks] + [
+            list(j["recovered_for"]) for j in result.joiners
+        ]
+        flat = [d for recovered in adopters for d in recovered]
+        assert flat == [2]
+
+    def test_claim_moves_when_the_adopter_itself_dies(self, pal, quick_cc):
+        """An adopter's local replay dies with it: the versioned claim
+        must advance past the dead owner so a survivor replays again."""
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3)
+        )
+        # Rank 1 dies at 'bootstrap'; survivors [0, 2] elect rank 2
+        # ((1 + 0) % 2) as adopter.  Rank 2 then dies at 'slow', taking
+        # its replay of rank 1's share with it — the claim's version 1
+        # must hand both shares to rank 0.
+        plan = FaultPlan(
+            kills=(KillSpec(rank=1, stage="bootstrap"),
+                   KillSpec(rank=2, stage="slow")),
+        )
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, n_processes=3, fault_plan=plan)
+        )
+        assert sorted(result.failed_ranks) == [1, 2]
+        assert capture(result) == capture(baseline)
+        assert sorted(result.ranks[0].recovered_for) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# RankKilledError audit: a dying rank is never swallowed
+# ---------------------------------------------------------------------------
+
+
+class TestRankKilledErrorAudit:
+    def test_rank_killed_error_is_base_exception(self):
+        assert issubclass(RankKilledError, BaseException)
+        assert not issubclass(RankKilledError, Exception)
+
+    def test_except_exception_cannot_swallow_a_kill(self):
+        """The exact leak the audit guards against: user-level code with
+        a broad ``except Exception`` must not convert a kill into a
+        survivable condition."""
+        witnessed = []
+
+        def body(comm):
+            try:
+                if comm.rank == 1:
+                    raise RankKilledError("rank 1 killed at 'fast'")
+            except Exception:  # the classic overbroad handler
+                witnessed.append("swallowed")
+            return comm.rank
+
+        results = run_spmd(body, 2, fault_plan=FaultPlan())
+        assert witnessed == []
+        assert results[0] == 0
+        assert results[1] is None  # rank 1 died, not recovered here
+
+    def test_pool_releases_board_state_when_rank_dies(self, pal, quick_cc):
+        """A kill inside a work-steal pool must abandon the rank's board
+        state (releasing its queue to survivors), not wedge the drain."""
+        baseline = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, schedule="work-steal")
+        )
+        plan = FaultPlan(kills=(KillSpec(rank=1, replicate=0),))
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, schedule="work-steal", fault_plan=plan)
+        )
+        assert result.failed_ranks == [1]
+        assert capture(result) == capture(baseline)
+
+
+# ---------------------------------------------------------------------------
+# Recovery overhead reaches the obs report (Fig. 3-4 wiring)
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryObservability:
+    def test_recovery_overhead_block_in_report(self, pal, quick_cc):
+        plan = FaultPlan(kills=(KillSpec(rank=1, stage="fast"),))
+        config = hybrid_config(
+            quick_cc, fault_plan=plan, collect_metrics=True,
+        )
+        result = run_hybrid_analysis(pal, config)
+        report = result.metrics["report"]
+        overhead = report.get("recovery_overhead")
+        assert overhead, "recovery_overhead block missing from the report"
+        assert overhead["total_seconds"] > 0.0
+        assert any(v > 0.0 for v in overhead["per_stage"].values())
+
+    def test_fault_free_run_reports_zero_recovery(self, pal, quick_cc):
+        result = run_hybrid_analysis(
+            pal, hybrid_config(quick_cc, collect_metrics=True)
+        )
+        overhead = result.metrics["report"].get("recovery_overhead")
+        if overhead is not None:
+            assert overhead["total_seconds"] == 0.0
+
+    def test_retry_and_backoff_counters_surface(self, pal, quick_cc):
+        from repro.mpi.faults import CollectiveGlitch
+
+        plan = FaultPlan(glitches=(
+            CollectiveGlitch(rank=0, call_index=0, kind="fail", failures=2),
+        ))
+        result = run_hybrid_analysis(pal, hybrid_config(quick_cc, fault_plan=plan))
+        assert sum(r.n_retries for r in result.ranks) >= 2
+        assert sum(r.backoff_seconds for r in result.ranks) > 0.0
