@@ -1,24 +1,40 @@
-"""Kernel-layer microbenchmark: traversal planner vs from-scratch.
+"""Kernel-layer microbenchmark: the backend matrix on real SPR rounds.
 
-Runs a real SPR round on a >=500-pattern simulated alignment twice —
-once with a cold engine that recomputes every CLV per evaluation, once
-with the traversal planner's CLV cache enabled — and records pattern-op
-totals and wall time to ``output/BENCH_kernels.json``.  The acceptance
-claims asserted here:
+Two legs, both recorded to ``output/BENCH_kernels.json`` (the record is
+written *before* any claim is asserted, so a failed assertion still
+leaves the numbers on disk for inspection):
 
-* the incremental (planned) round executes *strictly fewer* clv_updates
-  than the from-scratch baseline while returning the bit-identical tree
-  and log-likelihood;
-* serial, threaded, reference-kernel and blocked-kernel engines agree on
-  the log-likelihood to the last bit.
+* **Small leg** (always runs; this is what CI's ``kernels-smoke`` job
+  executes): a >=500-pattern simulated alignment, one SPR round per
+  variant — from-scratch vs planned reference, plus the blocked and
+  batched backends, serial and thread-sharded.  Asserts are exact:
+  bit-identical log-likelihoods everywhere, the planner saves CLV work,
+  and every planned backend charges *exactly* the reference op counts
+  (blocking, level-batching, and contribution reuse are wall-clock
+  optimisations, never less logical work).
+* **Full leg** (``REPRO_BENCH_FULL=1``): the paper's largest data-set
+  shape — 125 taxa x 29,149 characters, ~19.4k patterns — three SPR
+  rounds per kernel, each kernel in its *own subprocess* so every
+  backend pays its own allocator/page-commissioning cost (in-process
+  ordering would let the second kernel reuse the first one's committed
+  pages and flatter its cold round).  Wall-clock records live here,
+  where the rounds are long enough to mean something: the batched
+  backend's cold (first) round and steady-state rounds are both
+  reported as speedups over reference, with regression-canary floors
+  asserted below the observed ranges, and no registered kernel may
+  lose to the reference at steady state beyond a noise tolerance.
 """
 
 import json
+import os
+import subprocess
+import sys
 import time
 
 from repro.datasets import test_dataset as make_test_dataset
 from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
 from repro.likelihood.gtr import GTRModel
+from repro.likelihood.kernels import available_kernels
 from repro.search.spr import SPRParams, spr_round
 from repro.threads.pool import VirtualThreadPool
 from repro.threads.threaded_engine import ThreadedLikelihoodEngine
@@ -30,6 +46,51 @@ from conftest import OUTPUT_DIR
 
 MODEL = GTRModel(rates=(1.3, 3.1, 0.9, 1.0, 3.4, 1.0), freqs=(0.28, 0.22, 0.24, 0.26))
 PARAMS = SPRParams(radius=2, min_improvement=0.01)
+
+#: Steady-state wall-clock tolerance for "no kernel regresses vs
+#: reference": the 1-core hosts this runs on show 15-20% run-to-run
+#: noise, so a regression must exceed that to count as real.
+NO_REGRESSION_TOLERANCE = 1.25
+
+# The full leg's per-kernel child process: the paper's largest dataset
+# shape (125 taxa, 29,149 characters; the tuned invariant fraction lands
+# the simulation at 19,441 unique patterns vs the real data's 19,436),
+# three SPR rounds from a fixed Yule start tree, reported as JSON.
+_FULL_CHILD = r"""
+import json, sys, time
+from repro.datasets.generator import SimulationParams, simulate_alignment
+from repro.seq.patterns import compress_alignment
+from repro.likelihood.engine import LikelihoodEngine, OpCounter, RateModel
+from repro.likelihood.gtr import GTRModel
+from repro.search.spr import SPRParams, spr_round
+from repro.util.rng import RAxMLRandom
+from repro.tree.random_trees import yule_tree
+
+kernel = sys.argv[1]
+n_rounds = int(sys.argv[2])
+aln, _ = simulate_alignment(SimulationParams(
+    n_taxa=125, n_sites=29149, seed=20260808, proportion_invariant=0.2837,
+))
+pal = compress_alignment(aln)
+model = GTRModel(rates=(1.3, 3.1, 0.9, 1.0, 3.4, 1.0),
+                 freqs=(0.28, 0.22, 0.24, 0.26))
+ops = OpCounter()
+engine = LikelihoodEngine(pal, model, RateModel.gamma(0.8, 4), ops=ops,
+                          kernel=kernel, clv_cache=True)
+tree = yule_tree(pal.taxa, RAxMLRandom(4711))
+rng = RAxMLRandom(97)
+params = SPRParams(radius=2, min_improvement=0.01, max_prune_candidates=8)
+rounds, lnls, lnl = [], [], None
+for _ in range(n_rounds):
+    t0 = time.perf_counter()
+    tree, lnl, _ = spr_round(engine, tree, params, current_lnl=lnl, rng=rng)
+    rounds.append(time.perf_counter() - t0)
+    lnls.append(lnl)
+print(json.dumps({
+    "kernel": kernel, "n_patterns": pal.n_patterns,
+    "round_seconds": rounds, "lnls": lnls, "ops": ops.snapshot(),
+}))
+"""
 
 
 def _spr_round(pal, kernel: str, clv_cache: bool, n_threads: int = 1):
@@ -59,20 +120,99 @@ def run_microbench():
         "reference-scratch": _spr_round(pal, "reference", clv_cache=False),
         "reference-planned": _spr_round(pal, "reference", clv_cache=True),
         "blocked-planned": _spr_round(pal, "blocked", clv_cache=True),
+        "batched-planned": _spr_round(pal, "batched", clv_cache=True),
         "threaded4-planned": _spr_round(pal, "reference", clv_cache=True, n_threads=4),
+        "batched-threaded4": _spr_round(pal, "batched", clv_cache=True, n_threads=4),
     }
     return pal.n_patterns, variants
 
 
+def _full_child(kernel: str, n_rounds: int):
+    proc = subprocess.run(
+        [sys.executable, "-c", _FULL_CHILD, kernel, str(n_rounds)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_full_bench():
+    """The 19.4k-pattern SPR-round benchmark, one subprocess per kernel.
+
+    The *cold* round (a fresh process's first SPR round) is dominated by
+    page commissioning, whose cost depends on host memory state and
+    varies ~2x run to run for the allocation-heavy reference kernel —
+    so it is sampled three times (three fresh processes) and summarised
+    by its median; steady-state rounds come from the one 3-round child.
+    """
+    results = {}
+    for kernel in ("reference", "blocked", "batched"):
+        res = _full_child(kernel, 3)
+        res["cold_samples"] = [res["round_seconds"][0]] + [
+            _full_child(kernel, 1)["round_seconds"][0] for _ in range(2)
+        ]
+        results[kernel] = res
+    return results
+
+
+def _median3(xs):
+    return sorted(xs)[1]
+
+
 def test_kernel_microbench(benchmark, emit):
     n_patterns, variants = benchmark.pedantic(run_microbench, rounds=1, iterations=1)
+    full = run_full_bench() if os.environ.get("REPRO_BENCH_FULL") == "1" else None
 
+    # -- record first, assert second ---------------------------------------
     lnls = {name: lnl for name, (lnl, _, _) in variants.items()}
-    # Bit-identical log-likelihoods across cache, backend, and sharding.
-    assert len(set(lnls.values())) == 1, lnls
-
     scratch = variants["reference-scratch"][1]
     planned = variants["reference-planned"][1]
+    doc = {
+        "n_patterns": n_patterns,
+        "spr_params": {"radius": PARAMS.radius, "min_improvement": PARAMS.min_improvement},
+        "loglikelihood": lnls["reference-scratch"],
+        "clv_update_savings": 1.0 - planned["clv_updates"] / scratch["clv_updates"],
+        "kernels": sorted(available_kernels()),
+        "variants": {
+            name: {"lnl": lnl, "wall_seconds": secs, **snapshot}
+            for name, (lnl, snapshot, secs) in variants.items()
+        },
+    }
+    if full is not None:
+        ref = full["reference"]
+        doc["spr_round_19436"] = {
+            "n_patterns": ref["n_patterns"],
+            "spr_params": {"radius": 2, "min_improvement": 0.01,
+                           "max_prune_candidates": 8},
+            "protocol": "per kernel: one fresh 3-round subprocess (steady "
+                        "rounds) plus two fresh 1-round subprocesses; the "
+                        "cold-round speedup is a ratio of medians over the "
+                        "three cold (first-round-of-a-fresh-process) samples",
+            "kernels": full,
+            "cold_round_speedup": {
+                k: _median3(ref["cold_samples"]) / _median3(v["cold_samples"])
+                for k, v in full.items()
+            },
+            "steady_round_speedup": {
+                k: min(ref["round_seconds"][1:]) / min(v["round_seconds"][1:])
+                for k, v in full.items()
+            },
+        }
+    out_path = OUTPUT_DIR / "BENCH_kernels.json"
+    if full is None:
+        # Smoke mode refreshes only its own section: the full-leg record
+        # is measured on a quiet dedicated host (REPRO_BENCH_FULL=1) and
+        # must survive intervening smoke runs.
+        try:
+            doc["spr_round_19436"] = json.loads(out_path.read_text())["spr_round_19436"]
+        except (OSError, KeyError, ValueError):
+            pass
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    # -- small leg: exact claims -------------------------------------------
+    # Bit-identical log-likelihoods across cache, backend, and sharding.
+    assert len(set(lnls.values())) == 1, lnls
     # The planner must save CLV work on a real search round.
     assert planned["clv_updates"] < scratch["clv_updates"]
     assert planned["pattern_ops"] < scratch["pattern_ops"]
@@ -80,21 +220,9 @@ def test_kernel_microbench(benchmark, emit):
     assert planned["edge_evals"] == scratch["edge_evals"]
     assert planned["sumtables"] == scratch["sumtables"]
     assert planned["deriv_evals"] == scratch["deriv_evals"]
-
-    doc = {
-        "n_patterns": n_patterns,
-        "spr_params": {"radius": PARAMS.radius, "min_improvement": PARAMS.min_improvement},
-        "loglikelihood": lnls["reference-scratch"],
-        "clv_update_savings": 1.0 - planned["clv_updates"] / scratch["clv_updates"],
-        "variants": {
-            name: {"lnl": lnl, "wall_seconds": secs, **snapshot}
-            for name, (lnl, snapshot, secs) in variants.items()
-        },
-    }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_kernels.json").write_text(
-        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
-    )
+    # Every planned backend charges exactly the reference op totals.
+    for name in ("blocked-planned", "batched-planned", "batched-threaded4"):
+        assert variants[name][1] == planned, name
 
     rows = [
         (name, snapshot["clv_updates"], snapshot["edge_evals"],
@@ -112,3 +240,42 @@ def test_kernel_microbench(benchmark, emit):
             ),
         ),
     )
+    if full is None:
+        return
+
+    # -- full leg: wall-clock claims ---------------------------------------
+    big = doc["spr_round_19436"]
+    emit(
+        "kernel_microbench_19436",
+        format_table(
+            ["Kernel", "Cold samples (s)", "Round 2", "Round 3",
+             "Cold speedup", "Steady speedup"],
+            [
+                (k, "/".join(f"{s:.1f}" for s in sorted(v["cold_samples"])),
+                 *(f"{s:.2f}" for s in v["round_seconds"][1:]),
+                 f"{big['cold_round_speedup'][k]:.2f}x",
+                 f"{big['steady_round_speedup'][k]:.2f}x")
+                for k, v in full.items()
+            ],
+            title=f"SPR-ROUND MICROBENCH ({big['n_patterns']} patterns, "
+                  "fresh subprocess per kernel)",
+        ),
+    )
+    # Same search, same bits, same accounted work — for every kernel.
+    assert len({json.dumps(v["lnls"]) for v in full.values()}) == 1
+    assert len({json.dumps(v["ops"]) for v in full.values()}) == 1
+    # The tentpole claim: the batched backend wins both regimes — the
+    # cold round (the fused block pipeline allocates no full-pattern
+    # temporaries, so it commissions ~3x less memory; observed median
+    # speedup 1.3-3.4x depending on how expensive the host makes page
+    # faults that day) and steady state (cache-hot block pipeline;
+    # observed 1.5-1.7x).  BENCH_kernels.json records the measured
+    # ratios and all three cold samples per kernel; the assert floors
+    # are regression *canaries* set below the observed ranges — a real
+    # collapse (batched losing a regime) fails, a slow-host rerun does
+    # not.
+    assert big["cold_round_speedup"]["batched"] >= 1.1, big["cold_round_speedup"]
+    assert big["steady_round_speedup"]["batched"] >= 1.2, big["steady_round_speedup"]
+    # No registered kernel regresses vs reference at steady state.
+    for k, v in big["steady_round_speedup"].items():
+        assert v >= 1.0 / NO_REGRESSION_TOLERANCE, (k, big["steady_round_speedup"])

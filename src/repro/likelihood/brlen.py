@@ -21,6 +21,7 @@ def newton_branch_length(
     t0: float,
     max_iter: int = 30,
     tol: float = 1e-6,
+    first_eval: tuple[float, float, float] | None = None,
 ) -> tuple[float, float]:
     """Maximise the single-edge likelihood; returns ``(t_opt, lnl_opt)``.
 
@@ -28,10 +29,18 @@ def newton_branch_length(
     does not increase the likelihood it is halved (backtracking); if the
     curvature is non-negative the step falls back to a scaled gradient
     direction.
+
+    ``first_eval`` optionally supplies the ``(lnl, g, h)`` evaluation at
+    the (clamped) starting length — callers using the engine's fused
+    sumtable-plus-derivatives path obtain it together with the
+    coefficient table and skip the separate initial evaluation here.
     """
     lo, hi = MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH
     t = min(max(t0, lo), hi)
-    lnl, g, h = engine.edge_lnl_and_derivatives(coef, exps, logscale, t)
+    if first_eval is None:
+        lnl, g, h = engine.edge_lnl_and_derivatives(coef, exps, logscale, t)
+    else:
+        lnl, g, h = first_eval
     for _ in range(max_iter):
         if h < 0:
             step = -g / h
@@ -79,10 +88,13 @@ def optimize_edge(
         down = engine.compute_down_partials(tree)
     if up is None:
         up = engine.compute_up_partials(tree, down)
-    coef, exps, logscale = engine.edge_coefficients(
-        engine.partial_for(down, edge_child), engine.partial_for(up, edge_child)
+    t0 = min(max(edge_child.length, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+    coef, exps, logscale, first = engine.edge_coefficients_and_derivatives(
+        engine.partial_for(down, edge_child), engine.partial_for(up, edge_child), t0
     )
-    t_opt, _ = newton_branch_length(engine, coef, exps, logscale, edge_child.length)
+    t_opt, _ = newton_branch_length(
+        engine, coef, exps, logscale, t0, first_eval=first
+    )
     edge_child.length = t_opt
     return t_opt
 
@@ -109,12 +121,14 @@ def optimize_branch_lengths(
         down = engine.compute_down_partials(tree)
         up = engine.compute_up_partials(tree, down)
         for edge_child in tree.edges():
-            coef, exps, logscale = engine.edge_coefficients(
+            t0 = min(max(edge_child.length, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+            coef, exps, logscale, first = engine.edge_coefficients_and_derivatives(
                 engine.partial_for(down, edge_child),
                 engine.partial_for(up, edge_child),
+                t0,
             )
             t_opt, _ = newton_branch_length(
-                engine, coef, exps, logscale, edge_child.length
+                engine, coef, exps, logscale, t0, first_eval=first
             )
             edge_child.length = t_opt
         lnl = engine.loglikelihood(tree)

@@ -38,7 +38,12 @@ import numpy as np
 from repro.likelihood.gtr import GTRModel
 from repro.likelihood.kernels import get_kernel
 from repro.likelihood.kernels.base import OpCounter, Partial
-from repro.likelihood.plan import CLVCache, plan_traversal, subtree_postorder
+from repro.likelihood.plan import (
+    CLVCache,
+    plan_traversal,
+    subtree_postorder,
+    subtree_signatures,
+)
 from repro.likelihood.rates import RateModel, subset_rate_model
 from repro.obs.recorder import current as _obs_current
 from repro.seq.encoding import state_likelihood_rows
@@ -133,6 +138,12 @@ class LikelihoodEngine:
         else:
             self.clv_cache = CLVCache() if clv_cache else None
         self._tip_rows = state_likelihood_rows()
+        # Level-batched backends reuse tip partials across traversals (a
+        # tip's down partial depends only on its alignment row); the
+        # shared zero log-scaler is what the reference path also produces.
+        self._tip_parts: dict[int, Partial] = {}
+        self._zero_logscale = np.zeros(pal.n_patterns)
+        self._zero_logscale.setflags(write=False)
         # "+I" support: the invariant-site likelihood of each pattern is
         # sum_s pi_s over the states every taxon is compatible with —
         # non-zero only for constant-compatible columns, tree-independent.
@@ -198,7 +209,15 @@ class LikelihoodEngine:
         return self._tip_rows[masks]
 
     def _pmatrices(self, t: float) -> np.ndarray:
-        """P(t·r_c) for all categories; shape (k, 4, 4)."""
+        """P(t·r_c) for all categories; shape (k, 4, 4).
+
+        Backends that memoise transition matrices (the level-batched
+        kernel keys them by the exact bits of ``t``) serve them here, so
+        every engine entry point shares the memo.
+        """
+        memo = getattr(self.kernel, "pmatrices", None)
+        if memo is not None:
+            return memo(t)
         return self.model.transition_matrices(t, self.rate_model.rates)
 
     def _propagate_tip(self, pmats: np.ndarray, masks: np.ndarray) -> np.ndarray:
@@ -279,15 +298,28 @@ class LikelihoodEngine:
         partial is independent of the rest of the tree.
         """
         plan = plan_traversal(tree, self.clv_cache, subtree)
-        down: dict[int, Partial] = {}
-        m = self.n_patterns
-        executed = 0
         rec = _obs_current()
         if rec is not None:
             rec.count("clv.plan_traversals")
             rec.count("clv.plan_tips", plan.n_tip)
             rec.count("clv.cache_hits", plan.n_cached)
             rec.count("clv.cache_misses", plan.n_inner)
+        if self.kernel.supports_levels:
+            down, executed = self._execute_plan_leveled(plan)
+        else:
+            down, executed = self._execute_plan(plan)
+        # One simulated region per executed inner-node CLV update (at least
+        # one: even an all-cached traversal synchronises the workers once).
+        if rec is not None:
+            rec.count("clv.inner_executed", executed)
+        self._charge_regions(max(executed, 1))
+        return down
+
+    def _execute_plan(self, plan) -> tuple[dict[int, Partial], int]:
+        """Reference op-by-op plan execution (postorder)."""
+        down: dict[int, Partial] = {}
+        m = self.n_patterns
+        executed = 0
         for op in plan.ops:
             node = op.node
             if op.kind == "tip":
@@ -295,19 +327,76 @@ class LikelihoodEngine:
                 continue
             part: Partial | None = None
             if op.kind == "cached":
-                part = self.clv_cache.get(op.signature)
+                part = self.clv_cache.get(op.signature, planned=True)
             if part is None:  # "inner", or a hit evicted since planning
                 part = self._inner_partial(node, down)
                 executed += 1
                 if self.clv_cache is not None:
                     self.clv_cache.put(op.signature, part)
             down[id(node)] = part
-        # One simulated region per executed inner-node CLV update (at least
-        # one: even an all-cached traversal synchronises the workers once).
-        if rec is not None:
-            rec.count("clv.inner_executed", executed)
-        self._charge_regions(max(executed, 1))
-        return down
+        return down, executed
+
+    def _tip_partial(self, leaf_index: int) -> Partial:
+        part = self._tip_parts.get(leaf_index)
+        if part is None:
+            clv = self.tip_clv(leaf_index)
+            clv.setflags(write=False)
+            part = Partial(clv, self._zero_logscale)
+            self._tip_parts[leaf_index] = part
+        return part
+
+    def _leaf_spec(self, sigs: dict[int, int], child: Node):
+        return (sigs[id(child)], child.length, self.pal.patterns[child.leaf_index])
+
+    def _execute_plan_leveled(self, plan) -> tuple[dict[int, Partial], int]:
+        """Level-wise plan execution for ``supports_levels`` backends.
+
+        Each dependency level resolves cache hits first, then hands every
+        remaining op — its child edge specs plus inner-child log-scalers
+        — to the kernel in one ``level_partials`` batch (the kernel picks
+        the stacked-contraction or fused-block regime).  Cache semantics
+        match the reference executor: planned hits are re-fetched (and
+        recomputed if evicted since planning) and every computed partial
+        is put back.
+        """
+        kern = self.kernel
+        cache = self.clv_cache
+        sigs = plan.signatures
+        down: dict[int, Partial] = {}
+        executed = 0
+        for level in plan.levels():
+            pending = []
+            for op in level:
+                if op.kind == "tip":
+                    down[id(op.node)] = self._tip_partial(op.node.leaf_index)
+                    continue
+                if op.kind == "cached":
+                    part = cache.get(op.signature, planned=True)
+                    if part is not None:
+                        down[id(op.node)] = part
+                        continue
+                pending.append(op)
+            if not pending:
+                continue
+            node_specs = []
+            for op in pending:
+                specs = [
+                    self._leaf_spec(sigs, child) if child.is_leaf
+                    else (sigs[id(child)], child.length, down[id(child)].clv)
+                    for child in op.node.children
+                ]
+                inner_ls = [
+                    down[id(c)].logscale
+                    for c in op.node.children
+                    if not c.is_leaf
+                ]
+                node_specs.append((specs, inner_ls))
+            for op, part in zip(pending, kern.level_partials(node_specs)):
+                executed += 1
+                if cache is not None:
+                    cache.put(op.signature, part)
+                down[id(op.node)] = part
+        return down, executed
 
     @staticmethod
     def _subtree_postorder(node: Node):
@@ -324,6 +413,12 @@ class LikelihoodEngine:
         Together with ``down[v]`` this evaluates the likelihood of the edge
         above ``v`` in O(1) kernel calls (RAxML's "makenewz" setting).
         """
+        if self.kernel.supports_levels:
+            up = self._up_partials_leveled(tree, down)
+            self._charge_regions(
+                sum(len(n.children) for n in tree.postorder() if not n.is_leaf)
+            )
+            return up
         m = self.n_patterns
         up: dict[int, Partial] = {}
         for node in tree.preorder():
@@ -368,6 +463,55 @@ class LikelihoodEngine:
         self._charge_regions(
             sum(len(n.children) for n in tree.postorder() if not n.is_leaf)
         )
+        return up
+
+    def _up_partials_leveled(
+        self, tree: Tree, down: dict[int, Partial]
+    ) -> dict[int, Partial]:
+        """Level-wise up-partial sweep for ``supports_levels`` backends.
+
+        Internal nodes are grouped by depth (parents strictly before
+        children, so each node's own up partial exists when its level
+        runs) and each level is handed to the kernel in one
+        ``up_level_partials`` batch: every node's parent-side partial
+        (for the kernel to transport across the node's own edge), its
+        child edge specs, and the children's down log-scalers, all in
+        child order.  The kernel picks the stacked-contribution or
+        fused-block regime; products and rescales follow the reference
+        order exactly — siblings in child order, the transported
+        parent-side partial last.
+        """
+        kern = self.kernel
+        sigs = subtree_signatures(tree.postorder())
+        up: dict[int, Partial] = {}
+        levels: list[list[Node]] = []
+        frontier = [tree.root]
+        while frontier:
+            levels.append(frontier)
+            frontier = [
+                ch for node in frontier for ch in node.children if not ch.is_leaf
+            ]
+        for level in levels:
+            node_specs = []
+            for node in level:
+                if node is tree.root:
+                    above = None
+                else:
+                    raw = up[id(node)]
+                    above = (node.length, raw.clv, raw.logscale)
+                specs = [
+                    self._leaf_spec(sigs, child) if child.is_leaf
+                    else (sigs[id(child)], child.length, down[id(child)].clv)
+                    for child in node.children
+                ]
+                inner_ls = [
+                    None if child.is_leaf else down[id(child)].logscale
+                    for child in node.children
+                ]
+                node_specs.append((above, specs, inner_ls))
+            for node, parts in zip(level, kern.up_level_partials(node_specs)):
+                for child, part in zip(node.children, parts):
+                    up[id(child)] = part
         return up
 
     # -- likelihood ---------------------------------------------------------------
@@ -480,10 +624,36 @@ class LikelihoodEngine:
         logscale = down_v.logscale + up_v.logscale
         return coef, exps, logscale
 
+    def edge_coefficients_and_derivatives(self, down_v: Partial, up_v: Partial, t: float):
+        """Sumtable build plus the Newton evaluation at ``t`` in one call.
+
+        Returns ``(coef, exps, logscale, (lnl, g, h))``.  Backends that
+        provide a fused ``sumtable_with_derivatives`` evaluate each
+        coefficient span while it is cache-hot; others fall back to the
+        separate :meth:`edge_coefficients` + :meth:`edge_lnl_and_derivatives`
+        calls.  Results, op charges, and region charges are identical
+        either way.
+        """
+        fused = getattr(self.kernel, "sumtable_with_derivatives", None)
+        if fused is None:
+            coef, exps, logscale = self.edge_coefficients(down_v, up_v)
+            first = self.edge_lnl_and_derivatives(coef, exps, logscale, t)
+            return coef, exps, logscale, first
+        coef, exps, site, d1, d2 = fused(
+            self._as_full(up_v.clv), self._as_full(down_v.clv), t
+        )
+        self._charge_regions(2)  # the sumtable sweep + the derivative sweep
+        logscale = down_v.logscale + up_v.logscale
+        return coef, exps, logscale, self._finish_derivatives(site, d1, d2, logscale)
+
     def edge_lnl_and_derivatives(self, coef, exps, logscale, t: float):
         """(lnL, dlnL/dt, d²lnL/dt²) of the edge function at ``t``."""
         site, d1, d2 = self.kernel.derivatives(coef, exps, t)
         self._charge_regions(1)
+        return self._finish_derivatives(site, d1, d2, logscale)
+
+    def _finish_derivatives(self, site, d1, d2, logscale):
+        """Reduce per-pattern (site, d1, d2) to (lnL, dlnL/dt, d²lnL/dt²)."""
         site = np.maximum(site, _TINY)
         p = self.rate_model.p_invariant
         if p > 0.0:

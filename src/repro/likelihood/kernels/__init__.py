@@ -1,9 +1,13 @@
 """Pluggable likelihood kernel backends.
 
 A backend implements every pattern-axis computation the engine issues
-(see :class:`~repro.likelihood.kernels.base.KernelBackend`).  Backends
-are registered by name and selected via ``LikelihoodEngine(kernel=...)``
-or the ``--kernel`` CLI flag:
+(see :class:`~repro.likelihood.kernels.base.KernelBackend`).  Three ship
+by default: ``reference`` (the plain per-node NumPy math), ``blocked``
+(cache-tiled spans), and ``batched`` (level-batched tensor contractions
+with contribution memoisation — see
+:class:`~repro.likelihood.kernels.batched.BatchedKernel`).  Backends are
+registered by name and selected via ``LikelihoodEngine(kernel=...)`` or
+the ``--kernel`` CLI flag:
 
 >>> from repro.likelihood.kernels import register_kernel, get_kernel
 >>> class MyKernel(ReferenceKernel):
@@ -22,6 +26,7 @@ keeps serial, threaded, and cached op totals comparable.
 from __future__ import annotations
 
 from repro.likelihood.kernels.base import KernelBackend, OpCounter, Partial
+from repro.likelihood.kernels.batched import BatchedKernel
 from repro.likelihood.kernels.blocked import BlockedKernel
 from repro.likelihood.kernels.reference import ReferenceKernel
 
@@ -51,6 +56,7 @@ def available_kernels() -> list[str]:
 
 register_kernel(ReferenceKernel)
 register_kernel(BlockedKernel)
+register_kernel(BatchedKernel)
 
 __all__ = [
     "KernelBackend",
@@ -58,6 +64,7 @@ __all__ = [
     "Partial",
     "ReferenceKernel",
     "BlockedKernel",
+    "BatchedKernel",
     "register_kernel",
     "get_kernel",
     "available_kernels",

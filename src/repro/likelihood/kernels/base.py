@@ -52,6 +52,11 @@ class OpCounter:
     likelihood evaluations, ``sumtables`` Newton coefficient-table builds,
     and ``deriv_evals`` (lnL, d1, d2) evaluations on a sumtable.  All four
     feed ``pattern_ops``.
+
+    ``n`` batches a charge: a kernel that executes a whole traversal
+    level as one tensor contraction charges ``n`` logical operations in
+    one call, so op totals stay *exactly* equal to the per-node reference
+    — batching (like sharding) is an execution detail, not less work.
     """
 
     pattern_ops: int = 0
@@ -60,21 +65,21 @@ class OpCounter:
     sumtables: int = 0
     deriv_evals: int = 0
 
-    def charge_clv(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.clv_updates += 1
+    def charge_clv(self, n_patterns: int, n_cats: int, n: int = 1) -> None:
+        self.pattern_ops += n * n_patterns * n_cats
+        self.clv_updates += n
 
-    def charge_edge(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.edge_evals += 1
+    def charge_edge(self, n_patterns: int, n_cats: int, n: int = 1) -> None:
+        self.pattern_ops += n * n_patterns * n_cats
+        self.edge_evals += n
 
-    def charge_sumtable(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.sumtables += 1
+    def charge_sumtable(self, n_patterns: int, n_cats: int, n: int = 1) -> None:
+        self.pattern_ops += n * n_patterns * n_cats
+        self.sumtables += n
 
-    def charge_deriv(self, n_patterns: int, n_cats: int) -> None:
-        self.pattern_ops += n_patterns * n_cats
-        self.deriv_evals += 1
+    def charge_deriv(self, n_patterns: int, n_cats: int, n: int = 1) -> None:
+        self.pattern_ops += n * n_patterns * n_cats
+        self.deriv_evals += n
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -111,6 +116,21 @@ class KernelBackend:
     #: bypass the engine's partial bookkeeping set this False so the CLI
     #: can reject a ``--clv-cache`` request that would silently do nothing.
     uses_clv_cache = True
+    #: Level-batched execution contract.  A backend that sets this True
+    #: must additionally provide ``pmatrices(t)`` (memoised transition
+    #: matrices), ``level_partials(nodes)`` (down partials for a whole
+    #: traversal level, charging one CLV update per child edge),
+    #: ``level_contribs(specs)`` (propagate one traversal level's child
+    #: contributions in a batch, charging one CLV update per spec),
+    #: ``combine(contribs, logscales)`` (product + rescale into a
+    #: :class:`Partial`), and ``up_level_partials(nodes)`` (one preorder
+    #: level of up partials — per node: transport the parent-side
+    #: partial across the node's edge, then one combined partial per
+    #: child — charging one CLV update per child edge plus one per
+    #: transported partial).  The engine then dispatches
+    #: ``compute_down_partials``/``compute_up_partials`` level-wise
+    #: instead of op-by-op; results must stay bit-identical.
+    supports_levels = False
 
     def __init__(
         self,

@@ -1,0 +1,771 @@
+"""Level-batched tensor kernel backend.
+
+Where the reference backend answers one ``propagate`` call per child
+edge, this backend executes whole *traversal levels*
+(:meth:`repro.likelihood.plan.TraversalPlan.levels`): every child
+contribution a level needs is requested in one
+:meth:`~BatchedKernel.level_contribs` call, which
+
+* serves repeated subtrees from a **contribution LRU** keyed by
+  ``(subtree signature, branch-length bits)`` — across the repeated
+  up-partial sweeps of an SPR round most child edges are unchanged, so
+  their propagated contributions are literally the same float64 arrays
+  and are reused instead of recomputed;
+* stacks the remaining propagations of a level into a single
+  ``(nodes, patterns, rates, states)`` einsum when the stacked operands
+  stay cache-resident (small pattern counts, where per-call dispatch
+  overhead dominates);
+* switches to a **fused block pipeline** at large pattern counts
+  (:meth:`~BatchedKernel.level_partials`): each node's child
+  propagations, product, and rescale run block-by-block so every
+  intermediate stays L2-resident instead of streaming full-pattern
+  temporaries through memory three times — the likelihood loops are
+  bandwidth-bound there, and this roughly halves the traffic;
+* memoises transition matrices and propagated tip tables by the exact
+  float64 bit pattern of the branch length.
+
+Bit-identity with the reference backend is preserved the same way the
+thread sharding argument works: every reused array was produced by the
+reference arithmetic for identical operands, the stacked contraction and
+the block-wise ``matmul`` both dispatch to the same per-matrix BLAS
+products as the per-node einsum (property-tested), blocking the pattern
+axis cannot change any bits because every per-pattern value depends only
+on that pattern's operands, and the fused product/rescale paths perform
+the same operations in the same order with preallocated outputs.  Op accounting
+is *charge-neutral*: a contribution served from the LRU still charges a
+CLV update — reuse is a wall-clock optimisation, not less logical work —
+so :class:`~repro.likelihood.kernels.base.OpCounter` snapshots are
+exactly equal to the reference backend's on any call sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.likelihood.gtr import GTRModel
+from repro.likelihood.kernels.base import KernelBackend, OpCounter, Partial
+from repro.likelihood.rates import RateModel
+
+#: Smallest rescale divisor (mirrors the engine's underflow guard).
+_TINY = 1e-300
+
+#: One level spec: ``(subtree signature, branch length, payload)`` where
+#: the payload is a leaf's pattern-mask row (1-D) or a child CLV.
+LevelSpec = tuple[int, float, np.ndarray]
+
+
+def _bits(t: float) -> int:
+    """The exact float64 bit pattern of a branch length — the same key
+    the traversal planner hashes, so cache granularity matches plans."""
+    return int(np.float64(t).view(np.uint64))
+
+
+class BatchedKernel(KernelBackend):
+    """Level-batched backend with contribution/P-matrix memoisation."""
+
+    name = "batched"
+    supports_levels = True
+
+    #: LRU capacity for transition matrices and tip tables (per branch
+    #: length); entries are a few hundred bytes each.
+    pmat_entries = 512
+    #: Byte budget for the contribution LRU.  Entries are full-pattern
+    #: CLVs (``m·k·4`` float64), so the capacity adapts to the pattern
+    #: count; the floor keeps small test alignments from thrashing.
+    contrib_budget_bytes = 1 << 30
+    #: Stack a level's propagations into one tensor contraction only
+    #: while operands + output fit in cache; beyond this the per-node
+    #: BLAS batches win and the stack copy is pure overhead.
+    stack_budget_bytes = 1 << 22
+    #: Pattern-block length of the fused per-node pipeline: the
+    #: propagated child blocks plus the accumulator (3 · B·k·4 doubles ≈
+    #: 1.5 MiB at B=4096, k=4) stay cache-resident across the whole
+    #: propagate→product→rescale chain.  Profiled best at 4096 on the
+    #: 19.4k-pattern up-sweep (~10% over 2048 — fewer ufunc dispatches
+    #: per sweep; 8192+ starts spilling the accumulator out of L2).
+    fuse_block = 4096
+    #: Run the fused pipeline only above this many patterns (gamma
+    #: mode); smaller alignments fit in cache anyway and the stacked
+    #: level contraction amortises dispatch overhead better.
+    fuse_min_patterns = 4096
+
+    def __init__(
+        self,
+        model: GTRModel,
+        rate_model: RateModel,
+        shards: list[slice],
+        ops: OpCounter,
+        n_patterns: int,
+    ) -> None:
+        super().__init__(model, rate_model, shards, ops, n_patterns)
+        self._pmat_lru: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._tip_lru: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._tip_cats_lru: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._contrib_lru: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        entry = n_patterns * (4 if self.is_cat else self.n_categories * 4) * 8
+        self.contrib_entries = max(16, self.contrib_budget_bytes // max(entry, 1))
+        self._ins_memo: tuple | None = None
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    # -- memoised per-branch tables -------------------------------------------
+
+    def pmatrices(self, t: float) -> np.ndarray:
+        """P(t·r_c) for all categories, memoised by the bits of ``t``."""
+        key = _bits(t)
+        pm = self._pmat_lru.get(key)
+        if pm is None:
+            pm = self.model.transition_matrices(t, self.rate_model.rates)
+            pm.setflags(write=False)
+            self._pmat_lru[key] = pm
+            if len(self._pmat_lru) > self.pmat_entries:
+                self._pmat_lru.popitem(last=False)
+        else:
+            self._pmat_lru.move_to_end(key)
+        return pm
+
+    def _tip_table(self, t: float) -> np.ndarray:
+        """The propagated CLV of each of the 16 IUPAC masks for ``t``.
+
+        Stored ``(16, k, 4)`` in gamma mode so the per-pattern gather
+        ``table[masks]`` is one contiguous fancy index — the same values
+        (hence the same bits) as the reference's transpose-and-copy
+        gather.  CAT mode keeps the reference ``(k, 16, 4)`` layout.
+        """
+        key = _bits(t)
+        table = self._tip_lru.get(key)
+        if table is None:
+            raw = np.einsum(
+                "kab,sb->ksa", self.pmatrices(t), self.tip_rows, optimize=True
+            )
+            table = raw if self.is_cat else np.ascontiguousarray(
+                raw.transpose(1, 0, 2)
+            )
+            table.setflags(write=False)
+            self._tip_lru[key] = table
+            if len(self._tip_lru) > self.pmat_entries:
+                self._tip_lru.popitem(last=False)
+        else:
+            self._tip_lru.move_to_end(key)
+        return table
+
+    def _tip_table_cats(self, t: float) -> np.ndarray:
+        """The gamma tip table in category-major ``(k, 16, 4)`` layout,
+        so the fused pipeline can gather each category's rows into a
+        contiguous block with :func:`np.take` (a strided gather view as
+        a multiply operand costs ~6x a contiguous one)."""
+        key = _bits(t)
+        table = self._tip_cats_lru.get(key)
+        if table is None:
+            table = np.ascontiguousarray(
+                self._tip_table(t).transpose(1, 0, 2)
+            )
+            table.setflags(write=False)
+            self._tip_cats_lru[key] = table
+            if len(self._tip_cats_lru) > self.pmat_entries:
+                self._tip_cats_lru.popitem(last=False)
+        else:
+            self._tip_cats_lru.move_to_end(key)
+        return table
+
+    # -- scratch management ---------------------------------------------------
+
+    def _buffer(self, shape: tuple[int, ...], tag: str = "") -> np.ndarray:
+        """A reusable scratch array; never escapes a public call.
+
+        ``tag`` distinguishes buffers that must coexist within one call
+        despite sharing a shape (e.g. the fused pipeline's per-child
+        propagation blocks)."""
+        key = (tag, *shape)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape)
+            self._buffers[key] = buf
+        return buf
+
+    def _remember(self, key: tuple[int, int], contrib: np.ndarray) -> np.ndarray:
+        contrib.setflags(write=False)
+        self._contrib_lru[key] = contrib
+        if len(self._contrib_lru) > self.contrib_entries:
+            self._contrib_lru.popitem(last=False)
+        return contrib
+
+    # -- level execution ------------------------------------------------------
+
+    def level_contribs(self, specs: list[LevelSpec]) -> list[np.ndarray]:
+        """Propagated child contributions for one traversal level.
+
+        Each spec is one child edge: the child's subtree signature, the
+        branch length, and either the leaf's pattern masks or the
+        child's down CLV.  Repeats are served from the contribution LRU;
+        the rest run batched (see the module docstring).  Charges one
+        CLV update per spec *regardless of cache hits* — accounted work
+        must match what the reference backend would do.
+        """
+        out: list[np.ndarray | None] = [None] * len(specs)
+        tips: list[int] = []
+        inner: list[int] = []
+        for i, (sig, t, payload) in enumerate(specs):
+            hit = self._contrib_lru.get((sig, _bits(t)))
+            if hit is not None:
+                self._contrib_lru.move_to_end((sig, _bits(t)))
+                out[i] = hit
+            elif payload.ndim == 1:
+                tips.append(i)
+            else:
+                inner.append(i)
+        for i in tips:
+            sig, t, masks = specs[i]
+            out[i] = self._remember((sig, _bits(t)), self._tip_contrib(t, masks))
+        if inner:
+            self._inner_contribs(specs, inner, out)
+        self.ops.charge_clv(self.n_patterns, self.n_categories, n=len(specs))
+        return out
+
+    def _tip_contrib(self, t: float, masks: np.ndarray) -> np.ndarray:
+        table = self._tip_table(t)
+        out = self._clv_out()
+        for sl, p2c in self._spans():
+            out[sl] = table[p2c, masks[sl]] if self.is_cat else table[masks[sl]]
+        return out
+
+    def _inner_contribs(
+        self, specs: list[LevelSpec], idxs: list[int], out: list
+    ) -> None:
+        m, k = self.n_patterns, self.n_categories
+        q = len(idxs)
+        stacked = 2 * q * m * k * 4 * 8
+        if self.is_cat or q < 2 or stacked > self.stack_budget_bytes:
+            for i in idxs:
+                sig, t, clv = specs[i]
+                contrib = self._clv_out()
+                for sl, p2c in self._spans():
+                    contrib[sl] = self._propagate_span(
+                        self.pmatrices(t), clv[sl], p2c
+                    )
+                out[i] = self._remember((sig, _bits(t)), contrib)
+            return
+        # One (nodes, patterns, rates, states) contraction per shard.
+        # The batched einsum dispatches to the same per-matrix BLAS
+        # products as the per-node form, so the result bits are equal
+        # (property-tested in the parity suite).
+        pstack = np.stack([self.pmatrices(specs[i][1]) for i in idxs])
+        cstack = np.stack([specs[i][2] for i in idxs])
+        res = np.empty((q, m, k, 4))
+        for sl, _ in self._spans():
+            res[:, sl] = np.einsum(
+                "qkab,qmkb->qmka", pstack, cstack[:, sl], optimize=True
+            )
+        for j, i in enumerate(idxs):
+            sig, t, _ = specs[i]
+            out[i] = self._remember((sig, _bits(t)), res[j])
+
+    def level_partials(
+        self, nodes: list[tuple[list[LevelSpec], list[np.ndarray]]]
+    ) -> list[Partial]:
+        """Down partials for every pending op of one traversal level.
+
+        Each entry is ``(child edge specs, inner-child log-scalers)`` for
+        one inner node.  Two regimes, chosen by pattern count:
+
+        * small alignments (or CAT mode) route through
+          :meth:`level_contribs` — the stacked level contraction — and
+          :meth:`combine`, exactly as before;
+        * large gamma alignments run the fused block pipeline
+          (:meth:`_fused_partial`): per 512-pattern block, propagate
+          each child (``matmul`` on the category-major view — the same
+          BLAS products the reference einsum dispatches to), multiply,
+          rescale, and write out, so no full-pattern temporary is ever
+          materialised.  Contribution-LRU hits are folded in as ready
+          arrays; fresh propagations are not memoised here, since
+          materialising them would re-spend the memory traffic the
+          fusion exists to avoid.
+
+        Charges one CLV update per child edge either way — identical
+        totals to the reference backend's per-child ``propagate`` calls.
+        """
+        if self.is_cat or self.n_patterns < self.fuse_min_patterns:
+            flat = [s for specs, _ in nodes for s in specs]
+            contribs = self.level_contribs(flat)
+            out: list[Partial] = []
+            pos = 0
+            for specs, inner_ls in nodes:
+                cs = contribs[pos:pos + len(specs)]
+                pos += len(specs)
+                out.append(self.combine(cs, inner_ls))
+            return out
+        parts = [self._fused_partial(specs, ls) for specs, ls in nodes]
+        self.ops.charge_clv(
+            self.n_patterns, self.n_categories,
+            n=sum(len(specs) for specs, _ in nodes),
+        )
+        return parts
+
+    def _fused_partial(
+        self, specs: list[LevelSpec], inner_logscales: list[np.ndarray]
+    ) -> Partial:
+        """One node's down partial via the fused block pipeline (gamma).
+
+        Bit-identity: ``matmul`` on the ``(k, n, 4)`` transposed views
+        issues the same per-category BLAS products as the reference
+        einsum; the product multiplies in child order per element; the
+        per-pattern max is exact under any reduction order; divide and
+        log are the same ufuncs on the same values.  Blocking the
+        pattern axis is invisible to all of them.
+        """
+        m, k = self.n_patterns, self.n_categories
+        B = self.fuse_block
+        inputs: list[tuple[str, np.ndarray, np.ndarray | None]] = []
+        for sig, t, payload in specs:
+            key = (sig, _bits(t))
+            hit = self._contrib_lru.get(key)
+            if hit is not None:
+                self._contrib_lru.move_to_end(key)
+                inputs.append(("ready", hit, None))
+            elif payload.ndim == 1:
+                inputs.append(("tip", self._tip_table_cats(t), payload))
+            else:
+                pmt = np.ascontiguousarray(self.pmatrices(t).transpose(0, 2, 1))
+                inputs.append(("edge", pmt, payload))
+        clv = np.empty((m, k, 4))
+        logmx = np.empty(m)
+        s4 = self._buffer((B, 4), "fuse")
+        s2 = self._buffer((B, 2), "fuse")
+        mxb = self._buffer((B,), "fuse")
+        for sl, _ in self._spans():
+            for lo in range(sl.start, sl.stop, B):
+                hi = min(lo + B, sl.stop)
+                n = hi - lo
+                blks = self._input_blocks(inputs, lo, hi)
+                acc = self._buffer((k, B, 4), "fuse-acc")[:, :n]
+                if len(blks) == 1:
+                    np.copyto(acc, blks[0])
+                else:
+                    np.multiply(blks[0], blks[1], out=acc)
+                    for extra in blks[2:]:
+                        np.multiply(acc, extra, out=acc)
+                mx = mxb[:n]
+                np.fmax.reduce(acc, axis=0, out=s4[:n])
+                np.fmax(s4[:n, :2], s4[:n, 2:], out=s2[:n])
+                np.fmax(s2[:n, 0], s2[:n, 1], out=mx)
+                np.maximum(mx, _TINY, out=mx)
+                # The divide reads the L2-resident accumulator through a
+                # transposed view and writes the cold output contiguously
+                # (pattern-major): same quotients, and each output cache
+                # line is touched exactly once instead of once per
+                # category.
+                np.divide(
+                    acc.transpose(1, 0, 2), mx[:, None, None], out=clv[lo:hi]
+                )
+                np.log(mx, out=logmx[lo:hi])
+        if inner_logscales:
+            logscale = inner_logscales[0].copy()
+            for extra in inner_logscales[1:]:
+                logscale += extra
+            logscale += logmx
+        else:
+            logscale = logmx
+        return Partial(clv, logscale)
+
+    def _input_blocks(
+        self,
+        inputs: list[tuple[str, np.ndarray, np.ndarray | None]],
+        lo: int,
+        hi: int,
+    ) -> list[np.ndarray]:
+        """One pattern block of every fused-pipeline input, in child
+        order: memoised contributions as transposed views, tip gathers
+        and edge propagations into contiguous ``(k, n, 4)`` scratch (a
+        strided view as a multiply operand costs several times a
+        contiguous block; ``matmul`` on the transposed view issues the
+        reference einsum's per-category BLAS products)."""
+        k = self.n_categories
+        B = self.fuse_block
+        n = hi - lo
+        blks: list[np.ndarray] = []
+        for i, (kind, table, payload) in enumerate(inputs):
+            if kind == "ready":
+                blks.append(table[lo:hi].transpose(1, 0, 2))
+            elif kind == "tip":
+                buf = self._buffer((k, B, 4), f"fuse-edge{i}")[:, :n]
+                idx = payload[lo:hi]
+                for j in range(k):
+                    np.take(table[j], idx, axis=0, out=buf[j])
+                blks.append(buf)
+            else:
+                buf = self._buffer((k, B, 4), f"fuse-edge{i}")[:, :n]
+                np.matmul(payload[lo:hi].transpose(1, 0, 2), table, out=buf)
+                blks.append(buf)
+        return blks
+
+    def up_level_partials(
+        self,
+        nodes: list[
+            tuple[
+                tuple[float, np.ndarray, np.ndarray] | None,
+                list[LevelSpec],
+                list[np.ndarray | None],
+            ]
+        ],
+    ) -> list[list[Partial]]:
+        """Up partials for every node of one preorder level.
+
+        Each entry describes one internal node: the parent-side partial
+        to transport across the node's own edge (``(t, clv, logscale)``,
+        or ``None`` at the root), the node's child edge specs, and the
+        children's down log-scalers (``None`` for leaves), all in child
+        order.  Returns one :class:`Partial` per child per node — the
+        rest-of-tree partial at the node, seen from that child.
+
+        Small alignments (and CAT mode) replay the engine's former
+        sequence exactly: transported partials via :meth:`propagate`,
+        one :meth:`level_contribs` batch for the level, then
+        :meth:`combine` per child.  Large gamma alignments run
+        :meth:`_fused_up_node` instead: per pattern block, the node
+        transports the parent-side partial and every child's down CLV
+        once, then forms *all* children's products and rescales from
+        those same resident blocks — the transported block is read from
+        cache for every child instead of streaming a full-pattern
+        ``moved`` temporary per node, and no contribution temporaries
+        are materialised at all.  Charges one CLV update per child edge
+        plus one per transported partial — identical totals to the
+        reference sweep.
+        """
+        if self.is_cat or self.n_patterns < self.fuse_min_patterns:
+            return self._up_level_stacked(nodes)
+        out = [
+            self._fused_up_node(above, specs, inner_ls)
+            for above, specs, inner_ls in nodes
+        ]
+        n = sum(len(specs) for _, specs, _ in nodes)
+        n += sum(1 for above, _, _ in nodes if above is not None)
+        self.ops.charge_clv(self.n_patterns, self.n_categories, n=n)
+        return out
+
+    def _up_level_stacked(self, nodes) -> list[list[Partial]]:
+        aboves: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for above, _, _ in nodes:
+            if above is None:
+                aboves.append(None)
+            else:
+                t, clv, ls = above
+                aboves.append((self.propagate(self.pmatrices(t), clv), ls))
+        flat = [s for _, specs, _ in nodes for s in specs]
+        contribs = self.level_contribs(flat)
+        out: list[list[Partial]] = []
+        pos = 0
+        for (above, specs, inner_ls), moved in zip(nodes, aboves):
+            cs = contribs[pos:pos + len(specs)]
+            pos += len(specs)
+            node_out = []
+            for i in range(len(specs)):
+                parts = [cs[j] for j in range(len(specs)) if j != i]
+                lss = [
+                    inner_ls[j]
+                    for j in range(len(specs))
+                    if j != i and inner_ls[j] is not None
+                ]
+                if moved is not None:
+                    parts.append(moved[0])
+                    lss.append(moved[1])
+                node_out.append(self.combine(parts, lss))
+            out.append(node_out)
+        return out
+
+    def _fused_up_node(
+        self,
+        above: tuple[float, np.ndarray, np.ndarray] | None,
+        specs: list[LevelSpec],
+        inner_ls: list[np.ndarray | None],
+    ) -> list[Partial]:
+        """All of one node's child up-partials in one fused block sweep.
+
+        The bit-identity argument is :meth:`_fused_partial`'s — the
+        transported partial's blocked ``matmul`` issues the reference
+        einsum's per-category BLAS products, each child's product
+        multiplies siblings in child order with the transported partial
+        last, and max/divide/log are order-exact — applied per child
+        from the same resident blocks.
+        """
+        m, k = self.n_patterns, self.n_categories
+        B = self.fuse_block
+        inputs: list[tuple[str, np.ndarray, np.ndarray | None]] = []
+        for sig, t, payload in specs:
+            key = (sig, _bits(t))
+            hit = self._contrib_lru.get(key)
+            if hit is not None:
+                self._contrib_lru.move_to_end(key)
+                inputs.append(("ready", hit, None))
+            elif payload.ndim == 1:
+                inputs.append(("tip", self._tip_table_cats(t), payload))
+            else:
+                pmt = np.ascontiguousarray(self.pmatrices(t).transpose(0, 2, 1))
+                inputs.append(("edge", pmt, payload))
+        if above is not None:
+            t_up, aclv, als = above
+            apmt = np.ascontiguousarray(self.pmatrices(t_up).transpose(0, 2, 1))
+        nc = len(specs)
+        clvs = [np.empty((m, k, 4)) for _ in range(nc)]
+        logmxs = [np.empty(m) for _ in range(nc)]
+        s4 = self._buffer((B, 4), "fuse")
+        s2 = self._buffer((B, 2), "fuse")
+        mxb = self._buffer((B,), "fuse")
+        for sl, _ in self._spans():
+            for lo in range(sl.start, sl.stop, B):
+                hi = min(lo + B, sl.stop)
+                n = hi - lo
+                blks = self._input_blocks(inputs, lo, hi)
+                if above is not None:
+                    mv = self._buffer((k, B, 4), "fuse-mv")[:, :n]
+                    np.matmul(aclv[lo:hi].transpose(1, 0, 2), apmt, out=mv)
+                acc = self._buffer((k, B, 4), "fuse-acc")[:, :n]
+                mx = mxb[:n]
+                for i in range(nc):
+                    parts = [blks[j] for j in range(nc) if j != i]
+                    if above is not None:
+                        parts.append(mv)
+                    if len(parts) == 1:
+                        np.copyto(acc, parts[0])
+                    else:
+                        np.multiply(parts[0], parts[1], out=acc)
+                        for extra in parts[2:]:
+                            np.multiply(acc, extra, out=acc)
+                    np.fmax.reduce(acc, axis=0, out=s4[:n])
+                    np.fmax(s4[:n, :2], s4[:n, 2:], out=s2[:n])
+                    np.fmax(s2[:n, 0], s2[:n, 1], out=mx)
+                    np.maximum(mx, _TINY, out=mx)
+                    np.divide(
+                        acc.transpose(1, 0, 2),
+                        mx[:, None, None],
+                        out=clvs[i][lo:hi],
+                    )
+                    np.log(mx, out=logmxs[i][lo:hi])
+        out: list[Partial] = []
+        for i in range(nc):
+            lss = [
+                inner_ls[j]
+                for j in range(nc)
+                if j != i and inner_ls[j] is not None
+            ]
+            if above is not None:
+                lss.append(als)
+            if lss:
+                logscale = lss[0].copy()
+                for extra in lss[1:]:
+                    logscale += extra
+                logscale += logmxs[i]
+            else:
+                logscale = logmxs[i]
+            out.append(Partial(clvs[i], logscale))
+        return out
+
+    def combine(
+        self, contribs: list[np.ndarray], logscales: list[np.ndarray]
+    ) -> Partial:
+        """Product of child contributions, rescaled into a fresh partial.
+
+        Replicates the engine's reference arithmetic bit-for-bit: the
+        product multiplies in list order (into scratch, since cached
+        contributions are read-only), the per-pattern max is exact under
+        any reduction order, and the divide/log/add steps are the same
+        ufuncs in the same order.  ``logscales`` carries the inner-child
+        (and up-pass parent) log-scalers in reference order; tip
+        children contribute exact zeros and are omitted.
+
+        Above :attr:`fuse_min_patterns` the product and rescale run
+        block-by-block (same elementwise operations, same order, so the
+        same bits) to keep the accumulator cache-resident instead of
+        streaming three full-pattern temporaries through memory.
+        """
+        m = contribs[0].shape[0]
+        if m >= self.fuse_min_patterns and contribs[0].ndim == 3:
+            clv, mx = self._product_rescale_blocked(contribs)
+        else:
+            acc = contribs[0]
+            if len(contribs) > 1:
+                buf = self._buffer(acc.shape)
+                np.multiply(contribs[0], contribs[1], out=buf)
+                for extra in contribs[2:]:
+                    np.multiply(buf, extra, out=buf)
+                acc = buf
+            mx = self._row_max(acc.reshape(m, -1))
+            np.maximum(mx, _TINY, out=mx)
+            clv = np.empty_like(acc)
+            np.divide(acc, mx.reshape((m,) + (1,) * (acc.ndim - 1)), out=clv)
+        if logscales:
+            logscale = logscales[0].copy()
+            for extra in logscales[1:]:
+                logscale += extra
+            np.log(mx, out=mx)
+            logscale += mx
+        else:
+            logscale = np.log(mx)
+        return Partial(clv, logscale)
+
+    def _product_rescale_blocked(
+        self, contribs: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Blocked product + rescale over materialised contributions.
+
+        Same per-element multiply order, max, and divide as the in-core
+        path — blocking the pattern axis cannot change any bits — but
+        each block's intermediates stay in L2.  Returns ``(clv, mx)``
+        with the per-pattern divisors *not yet logged* (the caller
+        shares the logscale arithmetic between both paths).
+        """
+        m, k = contribs[0].shape[0], contribs[0].shape[1]
+        B = self.fuse_block
+        clv = np.empty_like(contribs[0])
+        mxs = np.empty(m)
+        for sl, _ in self._spans():
+            for lo in range(sl.start, sl.stop, B):
+                hi = min(lo + B, sl.stop)
+                n = hi - lo
+                acc = self._buffer((B, k, 4), "fuse-prod")[:n]
+                if len(contribs) == 1:
+                    np.copyto(acc, contribs[0][lo:hi])
+                else:
+                    np.multiply(contribs[0][lo:hi], contribs[1][lo:hi], out=acc)
+                    for extra in contribs[2:]:
+                        np.multiply(acc, extra[lo:hi], out=acc)
+                flat = acc.reshape(n, -1)
+                w = flat.shape[1]
+                cur = flat
+                while w > 1 and w % 2 == 0:
+                    half = w // 2
+                    buf = self._buffer((B, half), "fuse-fold")[:n]
+                    np.fmax(cur[:, :half], cur[:, half:w], out=buf)
+                    cur, w = buf, half
+                mx = mxs[lo:hi]
+                if w > 1:
+                    np.fmax.reduce(cur[:, :w], axis=1, out=mx)
+                else:
+                    mx[:] = cur[:, 0]
+                np.maximum(mx, _TINY, out=mx)
+                np.divide(acc, mx[:, None, None], out=clv[lo:hi])
+        return clv, mxs
+
+    def _row_max(self, flat: np.ndarray) -> np.ndarray:
+        """Per-row max of a 2-D view by halving folds (exact, and ~40%
+        faster than ``ufunc.reduce`` along the short axis)."""
+        cur = flat
+        w = flat.shape[1]
+        while w > 1 and w % 2 == 0:
+            half = w // 2
+            buf = self._buffer((flat.shape[0], half))
+            np.fmax(cur[:, :half], cur[:, half:], out=buf)
+            cur, w = buf, half
+        if w > 1:
+            return np.fmax.reduce(cur, axis=1)
+        return cur[:, 0]
+
+    # -- lazy-SPR insertion ---------------------------------------------------
+
+    def insertion_site(
+        self,
+        dclv: np.ndarray,
+        uclv: np.ndarray,
+        sclv: np.ndarray,
+        pmats_half: np.ndarray,
+        pmats_sub: np.ndarray,
+    ) -> np.ndarray:
+        """Reference insertion scoring with one memo: the pruned subtree's
+        transport ``P(t_sub)·sclv`` is identical for every candidate edge
+        of one SPR step, so it is computed once per ``(sclv, pmats_sub)``
+        pair and reused while the engine scans candidates.  Charges are
+        unchanged (two CLV updates plus one edge evaluation per call)."""
+        c3 = self._insertion_transport(sclv, pmats_sub)
+        out = np.empty(self.n_patterns)
+        for sl, p2c in self._spans():
+            c1 = self._propagate_span(pmats_half, dclv[sl], p2c)
+            c2 = self._propagate_span(pmats_half, uclv[sl], p2c)
+            np.multiply(c1, c2, out=c1)
+            np.multiply(c1, c3[sl], out=c1)
+            out[sl] = self._root_site_span(c1)
+        self.ops.charge_clv(self.n_patterns, self.n_categories, n=2)
+        self.ops.charge_edge(self.n_patterns, self.n_categories)
+        return out
+
+    def _insertion_transport(
+        self, sclv: np.ndarray, pmats_sub: np.ndarray
+    ) -> np.ndarray:
+        # Identity is judged by data pointer + shape; the memo holds
+        # strong references to both operands, so neither address can be
+        # recycled by a different array while the memo is alive (the
+        # engine re-broadcasts the same subtree CLV per candidate, which
+        # changes the view object but not the underlying buffer).
+        key = (
+            sclv.__array_interface__["data"][0],
+            sclv.shape,
+            pmats_sub.__array_interface__["data"][0],
+        )
+        memo = self._ins_memo
+        if memo is not None and memo[0] == key:
+            return memo[2]
+        c3 = self._clv_out()
+        for sl, p2c in self._spans():
+            c3[sl] = self._propagate_span(pmats_sub, sclv[sl], p2c)
+        self._ins_memo = (key, (sclv, pmats_sub), c3)
+        return c3
+
+    # -- Newton machinery -----------------------------------------------------
+
+    def sumtable_with_derivatives(
+        self, uclv: np.ndarray, dclv: np.ndarray, t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused sumtable build + the first Newton evaluation at ``t``.
+
+        The reference flow builds the coefficient table, returns to the
+        engine, and re-reads the whole table for the derivative sweep at
+        the starting branch length; fusing evaluates each span while its
+        coefficients are cache-hot.  Returns
+        ``(coef, exps, site, d1, d2)`` — the same arrays the separate
+        :meth:`sumtable` and :meth:`derivatives` calls produce, charged
+        as one sumtable plus one derivative evaluation.
+        """
+        m, k = self.n_patterns, self.n_categories
+        site, d1, d2 = np.empty(m), np.empty(m), np.empty(m)
+        if self.is_cat:
+            coef = np.empty((m, 4))
+            exps = np.empty((m, 4))
+            for sl, p2c in self._spans():
+                coef[sl], exps[sl] = self._sumtable_span(uclv[sl], dclv[sl], p2c)
+                e = np.exp(exps[sl] * t)
+                site[sl], d1[sl], d2[sl] = self._derivatives_span(
+                    coef[sl], e, exps[sl]
+                )
+        else:
+            coef = np.empty((m, k, 4))
+            exps = np.outer(self.rate_model.rates, self.model._spectral[0])
+            e_gamma = np.exp(exps * t)
+            for sl, p2c in self._spans():
+                coef[sl], _ = self._sumtable_span(uclv[sl], dclv[sl], p2c)
+                site[sl], d1[sl], d2[sl] = self._derivatives_span(
+                    coef[sl], e_gamma, exps
+                )
+        self.ops.charge_sumtable(m, self.n_categories)
+        self.ops.charge_deriv(m, self.n_categories)
+        return coef, exps, site, d1, d2
+
+    def _derivatives_span(
+        self, coef: np.ndarray, e: np.ndarray, exps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference derivative math with the shared ``term·exps`` factor
+        squared in place: ``(term·exps)·exps`` is the same left-to-right
+        product the reference evaluates, minus two temporaries."""
+        if self.is_cat:
+            term = coef * e
+            site = term.sum(axis=1)
+            np.multiply(term, exps, out=term)
+            d1 = term.sum(axis=1)
+            np.multiply(term, exps, out=term)
+            d2 = term.sum(axis=1)
+        else:
+            term = coef * e[None, :, :]
+            site = term.sum(axis=(1, 2))
+            np.multiply(term, exps[None], out=term)
+            d1 = term.sum(axis=(1, 2))
+            np.multiply(term, exps[None], out=term)
+            d2 = term.sum(axis=(1, 2))
+        return site, d1, d2

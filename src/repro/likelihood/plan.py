@@ -116,11 +116,45 @@ class TraversalPlan:
     n_tip: int = 0
     n_inner: int = 0
     n_cached: int = 0
+    _levels: list[list[CLVOp]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_internal(self) -> int:
         """Internal nodes covered, computed or cached."""
         return self.n_inner + self.n_cached
+
+    def levels(self) -> list[list[CLVOp]]:
+        """Dependency levels of the plan: a topological schedule by depth.
+
+        Level ``d`` holds every op whose children all sit in levels
+        ``< d`` — level 0 is exactly the tip ops, and an op's children
+        always appear in strictly earlier levels, so each level can be
+        executed as one batch (the level-batched kernel stacks a level's
+        propagations into a single ``(nodes, patterns, rates, states)``
+        contraction).  ``cached`` ops keep their structural depth: an
+        executor that must recompute one (evicted since planning) still
+        finds its children ready.  No level is ever empty — a node at
+        depth ``d`` has a child at depth ``d - 1``, and the plan covers
+        every node of its (sub)tree — including the single-op plan of a
+        lone leaf, which yields ``[[tip]]``.
+        """
+        if self._levels is None:
+            depth: dict[int, int] = {}
+            levels: list[list[CLVOp]] = []
+            for op in self.ops:
+                node = op.node
+                if node.is_leaf:
+                    d = 0
+                else:
+                    d = 1 + max(depth[id(ch)] for ch in node.children)
+                depth[id(node)] = d
+                while len(levels) <= d:
+                    levels.append([])
+                levels[d].append(op)
+            self._levels = levels
+        return self._levels
 
 
 class CLVCache:
@@ -129,12 +163,14 @@ class CLVCache:
     Invalidation is implicit: an edit changes the signatures on the path
     to the root, so stale entries are simply never looked up again and
     age out of the LRU.  ``max_entries`` bounds memory (each entry holds
-    one CLV + log-scaler for the full pattern axis).
+    one CLV + log-scaler for the full pattern axis); ``max_entries=0``
+    disables the cache — every probe misses and puts are dropped — so a
+    zero budget degrades to from-scratch traversals instead of erroring.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be positive")
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
         self._store: OrderedDict[int, Partial] = OrderedDict()
         self.hits = 0
@@ -152,19 +188,27 @@ class CLVCache:
         self.misses += 1
         return False
 
-    def get(self, signature: int) -> Partial | None:
-        """Executor-side fetch (refreshes LRU order, no stat counting).
+    def get(self, signature: int, planned: bool = False) -> Partial | None:
+        """Executor-side fetch (refreshes LRU order).
 
         May return ``None`` even after a successful probe: entries planned
         as hits can be evicted by inserts earlier in the same execution.
-        The executor falls back to recomputing.
+        The executor falls back to recomputing; it passes ``planned=True``
+        so that the already-counted probe hit is reclassified as a miss —
+        ``stats()`` then reflects what the execution actually got, and
+        ``hits + misses`` stays equal to the number of planner probes.
         """
         part = self._store.get(signature)
         if part is not None:
             self._store.move_to_end(signature)
+        elif planned:
+            self.hits -= 1
+            self.misses += 1
         return part
 
     def put(self, signature: int, partial: Partial) -> None:
+        if self.max_entries == 0:
+            return
         self._store[signature] = partial
         self._store.move_to_end(signature)
         while len(self._store) > self.max_entries:

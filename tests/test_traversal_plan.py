@@ -20,6 +20,7 @@ from repro.likelihood.engine import (
 )
 from repro.likelihood.gtr import GTRModel
 from repro.likelihood.kernels import (
+    BatchedKernel,
     BlockedKernel,
     ReferenceKernel,
     available_kernels,
@@ -202,9 +203,10 @@ class TestCLVCache:
 
 class TestKernelBackends:
     def test_registry(self):
-        assert set(available_kernels()) >= {"reference", "blocked"}
+        assert set(available_kernels()) >= {"reference", "blocked", "batched"}
         assert get_kernel("reference") is ReferenceKernel
         assert get_kernel("blocked") is BlockedKernel
+        assert get_kernel("batched") is BatchedKernel
         with pytest.raises(ValueError):
             get_kernel("no-such-backend")
 
