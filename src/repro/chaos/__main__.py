@@ -29,6 +29,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay-schedule", default="static",
                         choices=["static", "work-steal"])
     parser.add_argument("--replay-np", type=int, default=2)
+    parser.add_argument("--ranks-per-node", dest="ranks_per_node", type=int,
+                        default=None, metavar="R",
+                        help="sweep every scenario under the hierarchical "
+                             "communication model (R ranks per node) while "
+                             "the baselines stay flat — a cross-model "
+                             "bit-identity check (default: flat)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-scenario progress lines")
     return parser
@@ -38,7 +44,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.replay is not None:
         record = replay_scenario(args.replay, args.seed,
-                                 args.replay_schedule, args.replay_np)
+                                 args.replay_schedule, args.replay_np,
+                                 ranks_per_node=args.ranks_per_node)
         import json
 
         print(json.dumps(record, indent=1, sort_keys=True))
@@ -55,7 +62,8 @@ def main(argv=None) -> int:
             print(f"         violation: {v}", flush=True)
 
     report = run_campaign(n_scenarios=args.scenarios, seed=args.seed,
-                          out=args.out, progress=progress)
+                          out=args.out, progress=progress,
+                          ranks_per_node=args.ranks_per_node)
     print(f"chaos campaign: {report['n_records']} records, "
           f"{report['n_violations']} violations, "
           f"{report['elapsed_seconds']:.1f}s -> {args.out}")

@@ -107,6 +107,7 @@ def _run(pal, cc, spec: ScenarioSpec, *, plan=None, checkpoint_dir=None,
         resume=resume,
         quorum=quorum,
         timeout_policy=CHAOS_TIMEOUTS,
+        ranks_per_node=spec.ranks_per_node,
     )
     return run_hybrid_analysis(pal, config)
 
@@ -213,17 +214,105 @@ def run_degradation_probes(pal, cc) -> list[dict]:
     return probes
 
 
+def run_leader_death_probes(pal, cc, workdir: Path | None = None) -> list[dict]:
+    """Node-leader deaths mid-collective under the hierarchical model.
+
+    A p=4 world packed 2 ranks/node has node leaders {node 0: rank 0,
+    node 1: rank 2}.  Each probe kills one or both leaders (at a
+    collective call index or a stage boundary) under both schedules; the
+    survivors must re-elect deterministically — the new leader is simply
+    the smallest live rank of the node — and reproduce the *flat-model*
+    fault-free baseline bit for bit, so leader death can never leak into
+    analysis results.  The both-leaders probe additionally runs
+    checkpointed and resumed when ``workdir`` is given.
+    """
+    from repro.mpi.faults import FaultPlan, KillSpec
+
+    flat_base = ScenarioSpec(index=-1, schedule="static", n_processes=4,
+                             plan=None, equality="baseline", deaths=())
+    baseline = _capture(_run(pal, cc, flat_base, plan=None))
+    plans = {
+        "leader-node0-collective": FaultPlan(
+            kills=(KillSpec(rank=0, collective=1),)),
+        "leader-node1-stage": FaultPlan(
+            kills=(KillSpec(rank=2, stage="fast"),)),
+        "both-leaders-collective": FaultPlan(
+            kills=(KillSpec(rank=0, collective=1),
+                   KillSpec(rank=2, collective=2))),
+    }
+    probes = []
+    for schedule in SCHEDULES:
+        for name, plan in plans.items():
+            spec = ScenarioSpec(
+                index=-2, schedule=schedule, n_processes=4, plan=plan,
+                equality="leader-death",
+                deaths=tuple(sorted(k.rank for k in plan.kills)),
+                ranks_per_node=2,
+            )
+            record = spec.as_doc()
+            record["probe"] = name
+            record["checks"] = ["leader-death"]
+            violations: list[str] = []
+            t0 = time.perf_counter()
+            check_resume = (
+                workdir is not None and name == "both-leaders-collective"
+            )
+            ckpt = (
+                Path(workdir) / f"ckpt-leader-{schedule}"
+                if check_resume else None
+            )
+            try:
+                result = _run(pal, cc, spec,
+                              checkpoint_dir=str(ckpt) if ckpt else None)
+            except BaseException as exc:
+                violations.append(
+                    f"leader-death: {type(exc).__name__}: {exc}")
+            else:
+                got = _capture(result)
+                for key, want in baseline.items():
+                    if got[key] != want:
+                        violations.append(
+                            f"leader-death: {key} differs from flat baseline")
+                if check_resume and not violations:
+                    record["checks"].append("resume")
+                    try:
+                        resumed = _run(
+                            pal, cc, spec, plan=strip_for_resume(spec.plan),
+                            checkpoint_dir=str(ckpt), resume=True,
+                        )
+                    except BaseException as exc:
+                        violations.append(
+                            f"leader-death resume: {type(exc).__name__}: {exc}")
+                    else:
+                        got = _capture(resumed)
+                        for key, want in baseline.items():
+                            if got[key] != want:
+                                violations.append(
+                                    f"leader-death resume: {key} differs "
+                                    "from flat baseline")
+            record["violations"] = violations
+            record["elapsed_seconds"] = round(time.perf_counter() - t0, 3)
+            probes.append(record)
+    return probes
+
+
 def run_campaign(n_scenarios: int = 200, seed: int = 20260808,
                  out: str | Path | None = None,
                  workdir: str | Path | None = None,
-                 progress=None) -> dict:
+                 progress=None, ranks_per_node: int | None = None) -> dict:
     """Run the full campaign and return (and optionally write) its report.
 
-    ``n_scenarios`` counts generated fault scenarios; the two degradation
-    probes and the cached fault-free baselines ride on top.  ``workdir``
-    holds the checkpoint directories of the resume checks (a temporary
-    directory when None).  ``progress`` is an optional callable invoked
-    with each finished scenario record.
+    ``n_scenarios`` counts generated fault scenarios; the degradation and
+    leader-death probes and the cached fault-free baselines ride on top.
+    ``workdir`` holds the checkpoint directories of the resume checks (a
+    temporary directory when None).  ``progress`` is an optional callable
+    invoked with each finished scenario record.
+
+    ``ranks_per_node`` sweeps every generated scenario under the
+    hierarchical communication model while the cached baselines stay
+    *flat* — so the whole campaign doubles as a cross-model bit-identity
+    check: faults, joins and leader deaths under two-phase collectives
+    must reproduce exactly what the flat world computes.
     """
     import tempfile
 
@@ -245,12 +334,14 @@ def run_campaign(n_scenarios: int = 200, seed: int = 20260808,
                     plan=None, equality="baseline", deaths=(),
                 )
                 baselines[key] = _capture(_run(pal, cc, base_spec, plan=None))
-            spec = generate_scenario(i, seed, schedule, p)
+            spec = generate_scenario(i, seed, schedule, p,
+                                     ranks_per_node=ranks_per_node)
             record = run_scenario(pal, cc, spec, baselines[key], root)
             records.append(record)
             if progress is not None:
                 progress(record)
         records.extend(run_degradation_probes(pal, cc))
+        records.extend(run_leader_death_probes(pal, cc, workdir=root))
 
     violations = [
         {"index": r["index"], "schedule": r["schedule"], "violations": v}
@@ -261,6 +352,7 @@ def run_campaign(n_scenarios: int = 200, seed: int = 20260808,
         "campaign": "repro.chaos",
         "seed": seed,
         "n_scenarios": n_scenarios,
+        "ranks_per_node": ranks_per_node,
         "n_records": len(records),
         "n_violations": len(violations),
         "violations": violations,
@@ -294,12 +386,14 @@ def run_campaign(n_scenarios: int = 200, seed: int = 20260808,
 
 
 def replay_scenario(index: int, seed: int, schedule: str,
-                    n_processes: int) -> dict:
+                    n_processes: int,
+                    ranks_per_node: int | None = None) -> dict:
     """Re-run one scenario from a campaign report, in isolation."""
     pal, cc = _make_inputs()
     base_spec = ScenarioSpec(index=-1, schedule=schedule,
                              n_processes=n_processes, plan=None,
                              equality="baseline", deaths=())
     baseline = _capture(_run(pal, cc, base_spec, plan=None))
-    spec = generate_scenario(index, seed, schedule, n_processes)
+    spec = generate_scenario(index, seed, schedule, n_processes,
+                             ranks_per_node=ranks_per_node)
     return run_scenario(pal, cc, spec, baseline, None)

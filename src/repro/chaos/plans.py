@@ -52,6 +52,10 @@ class ScenarioSpec:
     plan: FaultPlan
     equality: str
     deaths: tuple[int, ...]
+    #: Node packing for the run (``None``: the flat communication model).
+    #: Orthogonal to the fault plan — results must be bit-identical either
+    #: way, so any scenario can be swept under either model.
+    ranks_per_node: int | None = None
 
     def as_doc(self) -> dict:
         """JSON-serialisable record (enough to replay the scenario)."""
@@ -59,6 +63,7 @@ class ScenarioSpec:
             "index": self.index,
             "schedule": self.schedule,
             "n_processes": self.n_processes,
+            "ranks_per_node": self.ranks_per_node,
             "equality": self.equality,
             "deaths": list(self.deaths),
             "kills": [
@@ -95,6 +100,7 @@ def generate_scenario(
     schedule: str,
     n_processes: int,
     max_replicate: int = 2,
+    ranks_per_node: int | None = None,
 ) -> ScenarioSpec:
     """Generate the ``index``-th scenario of a campaign, deterministically.
 
@@ -102,7 +108,10 @@ def generate_scenario(
     (fail-stop kills plus ``hang`` glitches, which peers convert into
     deaths via their collective deadline) never exceeds
     ``n_processes - 1``, and kills/glitches only target original ranks —
-    joiners enter clean.
+    joiners enter clean.  ``ranks_per_node`` is carried through to the
+    spec verbatim; it does not participate in plan generation, so the
+    same (seed, schedule, index) yields the same faults under either
+    communication model.
     """
     rng = random.Random(f"chaos:{seed}:{schedule}:{index}")
     p = n_processes
@@ -160,6 +169,7 @@ def generate_scenario(
         plan=plan,
         equality=_classify(schedule, plan.kills, plan.glitches),
         deaths=tuple(sorted(doomed)),
+        ranks_per_node=ranks_per_node,
     )
 
 

@@ -65,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of (simulated) MPI processes")
     parser.add_argument("--machine", default="dash",
                         help="machine timing model: abe|dash|ranger|triton")
+    parser.add_argument("--ranks-per-node", dest="ranks_per_node", type=int,
+                        default=None, metavar="R",
+                        help="pack R MPI ranks per node and price collectives "
+                             "with the machine's two-tier (shared-memory vs "
+                             "interconnect) topology model; results are "
+                             "bit-identical to the default flat model — only "
+                             "modelled communication time changes")
+    parser.add_argument("--comm-channels", dest="comm_channels", type=int,
+                        default=None, metavar="C",
+                        help="per-rank virtual communication channels for "
+                             "thread-lane reduction posts (default: lane "
+                             "posts are free, the historical model)")
     from repro.likelihood.kernels import available_kernels
 
     parser.add_argument("--kernel", default="reference",
@@ -157,6 +169,8 @@ def validate_args(args) -> None:
                 ("--metrics-out", args.metrics_out is not None),
                 ("-J", args.consensus is not None),
                 ("--schedule", args.schedule != "static"),
+                ("--ranks-per-node", args.ranks_per_node is not None),
+                ("--comm-channels", args.comm_channels is not None),
             )
             if on
         ]
@@ -292,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         clv_cache=args.clv_cache,
         collect_trace=args.trace is not None,
         collect_metrics=args.metrics_out is not None,
+        ranks_per_node=args.ranks_per_node,
+        comm_channels=args.comm_channels,
     )
 
     print(f"repro-raxml: {pal.n_taxa} taxa, {pal.n_sites} sites, "
@@ -299,6 +315,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  comprehensive analysis: N={args.bootstraps} bootstraps, "
           f"p={args.processes} processes x T={args.threads} threads "
           f"on {args.machine}")
+    topo = config.topology()
+    if topo is not None:
+        print(f"  topology: {topo.n_nodes} nodes x {topo.ranks_per_node} "
+              "ranks/node (hierarchical collectives)")
     result = run_hybrid_analysis(pal, config)
 
     outdir = Path(args.outdir)
@@ -377,6 +397,12 @@ def main(argv: list[str] | None = None) -> int:
     for stage, seconds in result.stage_seconds.items():
         print(f"  {stage:10s} {seconds:12.4f} s")
     print(f"  {'total':10s} {result.total_seconds:12.4f} s")
+    if topo is not None and result.ranks:
+        comm = max(r.comm_seconds for r in result.ranks)
+        intra = max(r.comm_intra_seconds for r in result.ranks)
+        inter = max(r.comm_inter_seconds for r in result.ranks)
+        print(f"Communication (worst rank): {comm:.6f} s "
+              f"(intra-node {intra:.6f} s, inter-node {inter:.6f} s)")
     if result.sched is not None:
         attempts = result.sched.get("steal_attempts", 0)
         grants = result.sched.get("steal_grants", 0)

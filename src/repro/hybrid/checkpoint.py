@@ -58,11 +58,20 @@ def fingerprint_doc(obj) -> dict:
     field becomes one document entry, nested dataclass values (e.g.
     ``stage_params``) as plain dicts.  Adding a result-affecting knob to
     a config means adding its name to that tuple — nothing here changes.
+
+    Fields named in an optional ``fingerprint_optional_fields`` tuple
+    enter the document only when set (not ``None``): their default means
+    "legacy behaviour", and legacy checkpoints must keep the fingerprint
+    they were written with.
     """
     doc = {}
     for name in obj.fingerprint_fields:
         value = getattr(obj, name)
         doc[name] = asdict(value) if is_dataclass(value) else value
+    for name in getattr(obj, "fingerprint_optional_fields", ()):
+        value = getattr(obj, name)
+        if value is not None:
+            doc[name] = asdict(value) if is_dataclass(value) else value
     return doc
 
 

@@ -96,6 +96,17 @@ class HybridConfig:
     #: deterministic cross-rank stealing (:mod:`repro.sched`) —
     #: bit-identical results, smaller idle tails.
     schedule: str = "static"
+    #: Ranks packed per node (``--ranks-per-node``): switches the
+    #: communication model to the topology-aware two-phase collectives
+    #: of :mod:`repro.mpi.topology`.  ``None`` keeps the historical flat
+    #: model byte-for-byte.  Results are bit-identical either way — only
+    #: modelled communication time changes.
+    ranks_per_node: int | None = None
+    #: Per-lane virtual channels (``--comm-channels``): each rank's
+    #: vthread lanes post region reductions over this many independent
+    #: channels (:mod:`repro.mpi.vci`) instead of one implicit endpoint.
+    #: ``None`` charges no lane-post cost at all (historical behaviour).
+    comm_channels: int | None = None
 
     #: Fields that enter the checkpoint fingerprint (see
     #: :func:`repro.hybrid.checkpoint.fingerprint_doc`).  The schedule
@@ -110,6 +121,14 @@ class HybridConfig:
         "schedule", "n_processes", "n_threads", "machine",
         "seconds_per_pattern_unit", "bootstopping", "bootstop_step",
         "bootstop_max", "kernel", "clv_cache",
+    )
+    #: Topology knobs enter the fingerprint only when set: they change
+    #: every virtual timestamp (comm costs), so checkpoints from
+    #: different topologies must not mix — but their ``None`` defaults
+    #: mean "legacy flat world", and legacy checkpoints must keep their
+    #: historical fingerprints byte-for-byte.
+    fingerprint_optional_fields: ClassVar[tuple[str, ...]] = (
+        "ranks_per_node", "comm_channels",
     )
 
     def __post_init__(self) -> None:
@@ -134,6 +153,16 @@ class HybridConfig:
             )
         if not (0.0 <= self.quorum <= 1.0):
             raise ValueError(f"quorum must be in [0, 1], got {self.quorum}")
+        if self.ranks_per_node is not None:
+            check_min("ranks_per_node", self.ranks_per_node, 1)
+            if self.ranks_per_node * self.n_threads > machine.cores_per_node:
+                raise ValueError(
+                    f"{machine.name} has {machine.cores_per_node} cores per "
+                    f"node; {self.ranks_per_node} ranks x {self.n_threads} "
+                    "threads cannot be packed onto one node"
+                )
+        if self.comm_channels is not None:
+            check_min("comm_channels", self.comm_channels, 1)
         if (
             self.bootstopping
             and self.fault_plan is not None
@@ -145,6 +174,34 @@ class HybridConfig:
                 "does not define those boundaries — use joins without "
                 "bootstopping"
             )
+
+    def topology(self):
+        """The run's node topology, or ``None`` for the flat world."""
+        if self.ranks_per_node is None:
+            return None
+        from repro.mpi.topology import Topology
+
+        return Topology(self.n_processes, self.ranks_per_node)
+
+    def comm_timing(self):
+        """The communication cost model this config asks for.
+
+        ``None`` ranks-per-node returns the pinned flat
+        :class:`~repro.mpi.comm.CommTiming` — byte-for-byte the
+        historical costs.  Otherwise the machine's two-tier model over
+        the node topology (which itself degenerates to flat constants
+        when the topology is trivial).
+        """
+        topo = self.topology()
+        if topo is None:
+            from repro.mpi.comm import CommTiming
+
+            return CommTiming()
+        from repro.mpi.topology import HierarchicalCommTiming
+
+        return HierarchicalCommTiming.for_machine(
+            machine_by_name(self.machine), topo
+        )
 
 
 def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridResult:
@@ -160,6 +217,7 @@ def run_hybrid_analysis(pal: PatternAlignment, config: HybridConfig) -> HybridRe
     raw = run_spmd(
         lambda comm: run_rank(comm, pal, config, board),
         config.n_processes,
+        comm_timing=config.comm_timing(),
         timeout=config.spmd_timeout,
         fault_plan=config.fault_plan,
         retry_policy=config.retry_policy,

@@ -29,6 +29,12 @@ class RankReport:
     n_slow: int
     finish_time: float  # rank virtual clock at completion
     comm_seconds: float = 0.0  # virtual time spent communicating/waiting
+    #: Modelled intra-node / inter-node shares of ``comm_seconds`` —
+    #: both 0.0 under the flat communication model.
+    comm_intra_seconds: float = 0.0
+    comm_inter_seconds: float = 0.0
+    #: Per-channel VCI traffic document, or None without --comm-channels.
+    comm_channels: dict | None = None
     n_retries: int = 0  # transiently-failed collectives retried (with backoff)
     recovered_for: tuple[int, ...] = ()  # dead ranks whose work this rank replayed
     backoff_seconds: float = 0.0  # virtual time charged to retry backoff
@@ -126,22 +132,33 @@ class HybridResult:
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,
             "wc_trace": [list(t) for t in self.wc_trace],
-            "ranks": [
-                {
-                    "rank": r.rank,
-                    "stage_seconds": dict(r.stage_seconds),
-                    "stage_pattern_ops": dict(r.stage_ops),
-                    "thorough_lnl": r.local_best_lnl,
-                    "n_bootstraps": r.n_bootstraps,
-                    "n_fast": r.n_fast,
-                    "n_slow": r.n_slow,
-                    "finish_time": r.finish_time,
-                    "n_retries": r.n_retries,
-                    "recovered_for": list(r.recovered_for),
-                }
-                for r in self.ranks
-            ],
+            "ranks": [self._rank_row(r) for r in self.ranks],
         }
+
+    @staticmethod
+    def _rank_row(r: RankReport) -> dict:
+        row = {
+            "rank": r.rank,
+            "stage_seconds": dict(r.stage_seconds),
+            "stage_pattern_ops": dict(r.stage_ops),
+            "thorough_lnl": r.local_best_lnl,
+            "n_bootstraps": r.n_bootstraps,
+            "n_fast": r.n_fast,
+            "n_slow": r.n_slow,
+            "finish_time": r.finish_time,
+            "n_retries": r.n_retries,
+            "recovered_for": list(r.recovered_for),
+        }
+        # Comm attribution is emitted only under the topology-aware model.
+        # Flat rows stay exactly what they always were: the raw comm
+        # counter is not checkpointed, so it is not resume-stable and must
+        # not enter reports that pin fresh == resumed byte-for-byte.
+        if r.comm_intra_seconds or r.comm_inter_seconds or r.comm_channels:
+            row["comm_seconds"] = r.comm_seconds
+            row["comm_intra_seconds"] = r.comm_intra_seconds
+            row["comm_inter_seconds"] = r.comm_inter_seconds
+            row["comm_channels"] = r.comm_channels
+        return row
 
 
 def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
@@ -180,6 +197,9 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
             n_slow=r["n_slow"],
             finish_time=r["finish_time"],
             comm_seconds=r["comm_seconds"],
+            comm_intra_seconds=r.get("comm_intra_seconds", 0.0),
+            comm_inter_seconds=r.get("comm_inter_seconds", 0.0),
+            comm_channels=r.get("comm_channels"),
             n_retries=r["n_retries"],
             recovered_for=tuple(r["recovered_for"]),
             backoff_seconds=r.get("backoff_seconds", 0.0),
@@ -265,6 +285,9 @@ def assemble_hybrid_result(pal, config, raw, board=None) -> HybridResult:
             "report": run_report(
                 [r.stage_seconds for r in ranks],
                 comm_seconds=[r.comm_seconds for r in ranks],
+                comm_intra_seconds=[r.comm_intra_seconds for r in ranks],
+                comm_inter_seconds=[r.comm_inter_seconds for r in ranks],
+                comm_channel_seconds=[r.comm_channels for r in ranks],
                 n_processes=config.n_processes,
                 n_threads=config.n_threads,
                 sched=sched_doc,

@@ -10,7 +10,13 @@ Virtual time: each rank owns a clock; a collective advances every
 participant to ``max(entry clocks) + cost(p, payload)``.  The cost model
 (:class:`CommTiming`) defaults to realistic-but-small cluster constants —
 the paper stresses that "a fast and expensive interconnect is not
-required" because communication is negligible.
+required" because communication is negligible.  Attach a
+:class:`~repro.mpi.topology.HierarchicalCommTiming` instead and costs
+become topology-aware: collectives are priced as two-phase operations
+(node-local at shared-memory cost, one leader per node over the
+network), sends are priced per hop, and the intra/inter split is
+recorded — while the data plane (exchange, reduction order, death
+sets, epochs) is untouched, keeping results bit-identical to flat.
 
 Fault tolerance: when a :class:`~repro.mpi.faults.FaultPlan` is attached
 the world runs in *resilient* mode.  Every collective carries a per-call
@@ -120,7 +126,30 @@ MAX_RETRIES = 8
 
 @dataclass(frozen=True)
 class CommTiming:
-    """Virtual-time costs of communication operations (seconds)."""
+    """Virtual-time costs of communication operations (seconds).
+
+    This is the *flat* model: every hop costs the same, regardless of
+    where the two ranks live.  Costs scale with a **log tree**, not
+    linearly — a collective over ``p`` ranks is modelled as a binomial
+    tree of ``ceil(log2(p))`` rounds, each round shipping the full
+    payload once, never as ``p`` sequential messages.
+
+    Hand-trace (defaults: latency 5e-6 s, byte_time 1e-9 s/B,
+    barrier_base 1e-5 s)::
+
+        message_seconds(1000)       = 5e-6 + 1000*1e-9     = 6.0e-6
+        collective_seconds(8, 1000) = ceil(log2(8)) * 6e-6 = 1.8e-5
+        collective_seconds(9, 1000) = ceil(log2(9)) * 6e-6 = 2.4e-5
+        barrier_seconds(8)          = 1e-5 * 3             = 3.0e-5
+        barrier_seconds(1)          = 0.0   (nobody to sync with)
+
+    Doubling ``p`` therefore adds *one round* (+6e-6 above), where a
+    linear model would double the cost — the distinction the scaling
+    curves past 32 ranks hinge on.  These numbers are pinned
+    byte-for-byte by the regression tests; the topology-aware model
+    (:class:`repro.mpi.topology.HierarchicalCommTiming`) must reproduce
+    them exactly whenever the topology is trivial.
+    """
 
     latency: float = 5e-6  # per point-to-point message
     byte_time: float = 1e-9  # per payload byte (~1 GB/s interconnect)
@@ -130,12 +159,15 @@ class CommTiming:
         return self.latency + self.byte_time * n_bytes
 
     def barrier_seconds(self, size: int) -> float:
+        """Tree barrier: ``barrier_base`` per round, ``ceil(log2(p))``
+        rounds; 0.0 for a single rank (log-tree, not linear-in-p)."""
         if size <= 1:
             return 0.0
         return self.barrier_base * ceil(log2(size))
 
     def collective_seconds(self, size: int, n_bytes: int) -> float:
-        """Tree-structured collective: log2(p) message rounds."""
+        """Tree-structured collective: ``ceil(log2(p))`` full-payload
+        message rounds; 0.0 for a single rank (log-tree, not linear)."""
         if size <= 1:
             return 0.0
         return ceil(log2(size)) * self.message_seconds(n_bytes)
@@ -151,13 +183,21 @@ def _payload_bytes(obj) -> int:
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One recorded communication operation (for the per-rank trace)."""
+    """One recorded communication operation (for the per-rank trace).
+
+    ``intra_seconds``/``inter_seconds`` split the *modelled transfer
+    cost* by tier when the world runs a topology-aware timing model;
+    both stay 0.0 under the flat model.  ``seconds`` additionally
+    includes straggler wait, so ``intra + inter <= seconds``.
+    """
 
     op: str
     rank: int
     seconds: float  # virtual time spent in the operation
     payload_bytes: int
     started_at: float
+    intra_seconds: float = 0.0  # modelled intra-node share
+    inter_seconds: float = 0.0  # modelled inter-node share
 
 
 class _World:
@@ -358,8 +398,15 @@ class SimComm:
         self.backoff_seconds = 0.0
         #: Per-rank record of every communication operation.
         self.trace: list[CommEvent] = []
+        #: True when the world's timing model carries a node topology
+        #: (duck-typed: it offers ``collective_phases``).  Flat worlds
+        #: must stay byte-identical, so every topology-only behaviour —
+        #: split recording, per-hop send costs, re-election charges —
+        #: is gated on this flag.
+        self._topology_aware = hasattr(world.timing, "collective_phases")
 
-    def _record(self, op: str, started_at: float, payload: int) -> None:
+    def _record(self, op: str, started_at: float, payload: int,
+                intra: float = 0.0, inter: float = 0.0) -> None:
         seconds = self.clock.now - started_at
         self.trace.append(
             CommEvent(
@@ -368,6 +415,8 @@ class SimComm:
                 seconds=seconds,
                 payload_bytes=payload,
                 started_at=started_at,
+                intra_seconds=intra,
+                inter_seconds=inter,
             )
         )
         rec = _obs_current()
@@ -380,11 +429,52 @@ class SimComm:
             rec.count(f"comm.bytes.{op}", payload)
             rec.count(f"comm.seconds.{op}", seconds)
             rec.observe("comm.payload_bytes", payload)
+            if self._topology_aware:
+                rec.count("comm.seconds.intra", intra)
+                rec.count("comm.seconds.inter", inter)
+
+    def _collective_cost(self, op: str, payload: int) -> tuple[float, float, float]:
+        """Modelled transfer cost of one collective: (total, intra, inter).
+
+        Topology-aware worlds split the cost over the two phases of the
+        hierarchical design (node-local at shared-memory cost, leaders
+        over the network) and price the *alive member set*; the flat
+        path keeps the historical size-based formulas byte-for-byte.
+        """
+        timing = self._world.timing
+        if self._topology_aware:
+            phases = timing.collective_phases(op, self.known_alive, payload)
+            return phases.total, phases.intra, phases.inter
+        if op == "barrier":
+            return timing.barrier_seconds(self.size), 0.0, 0.0
+        return timing.collective_seconds(self.size, payload), 0.0, 0.0
 
     def comm_seconds(self) -> float:
         """Total virtual time this rank spent communicating (including
         barrier wait — i.e. time attributable to synchronisation)."""
         return sum(e.seconds for e in self.trace)
+
+    def comm_intra_seconds(self) -> float:
+        """Modelled intra-node share of this rank's communication time
+        (0.0 in a flat world)."""
+        return sum(e.intra_seconds for e in self.trace)
+
+    def comm_inter_seconds(self) -> float:
+        """Modelled inter-node share of this rank's communication time
+        (0.0 in a flat world)."""
+        return sum(e.inter_seconds for e in self.trace)
+
+    def node_leaders(self) -> dict[int, int]:
+        """Current node → leader map (smallest alive rank per node).
+
+        Empty for flat or trivial-topology worlds.  Recomputed from
+        :attr:`known_alive` on every call — this *is* the deterministic
+        re-election rule: a dead leader is replaced by the next alive
+        rank of its node the instant the death set is agreed."""
+        topo = getattr(self._world.timing, "topology", None)
+        if topo is None or topo.is_trivial:
+            return {}
+        return topo.leaders(self.known_alive)
 
     def alive_ranks(self) -> list[int]:
         """Ranks this communicator believes alive (sorted)."""
@@ -440,10 +530,17 @@ class SimComm:
             raise ValueError("send to self would deadlock a blocking recv")
         t0 = self.clock.now
         payload = _payload_bytes(obj)
-        cost = self._world.timing.message_seconds(payload)
+        timing = self._world.timing
+        if self._topology_aware:
+            cost = timing.message_seconds(payload, src=self.rank, dst=dest)
+            intra_hop = timing.topology.same_node(self.rank, dest)
+            intra, inter = (cost, 0.0) if intra_hop else (0.0, cost)
+        else:
+            cost = timing.message_seconds(payload)
+            intra = inter = 0.0
         self.clock.advance(cost)
         self._world.mailbox(self.rank, dest, tag).put((obj, self.clock.now))
-        self._record("send", t0, payload)
+        self._record("send", t0, payload, intra=intra, inter=inter)
 
     def recv(self, source: int, tag: int = 0):
         if not (0 <= source < self.size):
@@ -656,6 +753,10 @@ class SimComm:
         self._last_entry_max = max(t for _, t in result.values())
         newly_dead = sorted(self.known_alive - outcome)
         if newly_dead:
+            # Leader set *before* the deaths are applied: any of these
+            # leaders in the death set triggers deterministic
+            # re-election (the map is a pure function of the alive set).
+            old_leaders = self.node_leaders()
             self.known_alive.difference_update(newly_dead)
             # The failure detector's round-trip cost (0.0 by default).
             self.clock.advance(world.timeout_policy.suspicion_charge_seconds)
@@ -669,6 +770,31 @@ class SimComm:
                     args={"op": op, "dead": newly_dead,
                           "known_dead": self.known_dead},
                 )
+            dead_set = set(newly_dead)
+            dead_leaders = sorted(
+                r for r in old_leaders.values() if r in dead_set
+            )
+            if dead_leaders:
+                # Leader hand-off: the successor (next alive rank of the
+                # node) inherits mid-collective; each survivor charges
+                # the modelled hand-off cost once per lost leader.
+                self.clock.advance(
+                    world.timeout_policy.reelection_charge_seconds
+                    * len(dead_leaders)
+                )
+                if rec is not None:
+                    rec.count("comm.leader_reelections", len(dead_leaders))
+                    rec.instant(
+                        "leader-reelection", "fault",
+                        args={
+                            "op": op,
+                            "dead_leaders": dead_leaders,
+                            "leaders": {
+                                str(n): r
+                                for n, r in sorted(self.node_leaders().items())
+                            },
+                        },
+                    )
             raise RankFailure(newly_dead, op=op)
         return result
 
@@ -771,8 +897,9 @@ class SimComm:
         """Synchronise all ranks (the paper's post-bootstrap barrier)."""
         t0 = self.clock.now
         board = self._exchange(None, op="barrier")
-        self._sync_clocks(board, self._world.timing.barrier_seconds(self.size))
-        self._record("barrier", t0, 0)
+        total, intra, inter = self._collective_cost("barrier", 0)
+        self._sync_clocks(board, total)
+        self._record("barrier", t0, 0, intra=intra, inter=inter)
 
     def bcast(self, obj, root: int = 0):
         """Broadcast from ``root`` (the paper's final best-solution bcast)."""
@@ -791,9 +918,9 @@ class SimComm:
             raise SPMDError(f"bcast root {root} is dead")
         value = board[root][0]
         payload = _payload_bytes(value)
-        cost = self._world.timing.collective_seconds(self.size, payload)
-        self._sync_clocks(board, cost)
-        self._record("bcast", t0, payload)
+        total, intra, inter = self._collective_cost("bcast", payload)
+        self._sync_clocks(board, total)
+        self._record("bcast", t0, payload, intra=intra, inter=inter)
         return value
 
     def gather(self, obj, root: int = 0):
@@ -803,9 +930,9 @@ class SimComm:
         board = self._exchange(obj, op="gather")
         values = [board[r][0] if r in board else None for r in range(self.size)]
         payload = max(_payload_bytes(v) for v in values)
-        cost = self._world.timing.collective_seconds(self.size, payload)
-        self._sync_clocks(board, cost)
-        self._record("gather", t0, payload)
+        total, intra, inter = self._collective_cost("gather", payload)
+        self._sync_clocks(board, total)
+        self._record("gather", t0, payload, intra=intra, inter=inter)
         return values if self.rank == root else None
 
     def allgather(self, obj) -> list:
@@ -816,9 +943,9 @@ class SimComm:
         board = self._exchange(obj, op="allgather")
         values = [board[r][0] if r in board else None for r in range(self.size)]
         payload = max(_payload_bytes(v) for v in values)
-        cost = self._world.timing.collective_seconds(self.size, payload)
-        self._sync_clocks(board, cost)
-        self._record("allgather", t0, payload)
+        total, intra, inter = self._collective_cost("allgather", payload)
+        self._sync_clocks(board, total)
+        self._record("allgather", t0, payload, intra=intra, inter=inter)
         return values
 
     def allreduce(self, obj, op=None):
@@ -842,9 +969,9 @@ class SimComm:
                 "value (every participant is dead); nothing to reduce"
             )
         payload = max(_payload_bytes(v) for v in alive)
-        cost = self._world.timing.collective_seconds(self.size, payload)
-        self._sync_clocks(board, cost)
-        self._record("allreduce", t0, payload)
+        total, intra, inter = self._collective_cost("allreduce", payload)
+        self._sync_clocks(board, total)
+        self._record("allreduce", t0, payload, intra=intra, inter=inter)
         acc = alive[0]
         for v in alive[1:]:
             acc = acc + v if op is None else op(acc, v)

@@ -1,4 +1,10 @@
-"""SPMD launcher: run one function across p simulated MPI ranks."""
+"""SPMD launcher: run one function across p simulated MPI ranks.
+
+``comm_timing`` accepts either the flat :class:`~repro.mpi.comm.CommTiming`
+or a topology-aware :class:`~repro.mpi.topology.HierarchicalCommTiming` —
+the world and communicator duck-type on it, so hierarchical collectives
+need no launcher changes beyond passing the richer timing object.
+"""
 
 from __future__ import annotations
 

@@ -63,6 +63,19 @@ class MembershipView:
         blob = json.dumps(doc, sort_keys=True).encode("ascii")
         return hashlib.sha256(blob).hexdigest()[:16]
 
+    def node_leaders(self, topology) -> dict[int, int]:
+        """Node → leader rank among this view's live set.
+
+        The leader of a node is the smallest live rank mapped to it by
+        ``topology`` (see :meth:`repro.mpi.topology.Topology.leaders`) —
+        re-election after a leader death is therefore a pure function of
+        the view, needing no extra protocol.  Empty for a trivial (or
+        ``None``) topology: the flat world has no leaders.
+        """
+        if topology is None or topology.is_trivial:
+            return {}
+        return topology.leaders(self.live)
+
     def as_doc(self) -> dict:
         return {
             "epoch": self.epoch,

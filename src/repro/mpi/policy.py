@@ -69,11 +69,19 @@ class TimeoutPolicy:
     pays when it declares a peer dead (models the failure-detector
     round-trip).  Defaults to 0.0, which preserves the historical
     timing behaviour exactly.
+
+    ``reelection_charge_seconds`` — additional virtual-clock cost per
+    *node leader* among the newly dead, paid by every survivor of a
+    topology-aware run (the leader hand-off: the successor must learn
+    the in-flight leader state).  Leaders are recomputed from the alive
+    set, so re-election itself needs no protocol — this charge is its
+    modelled cost.  Defaults to 0.0; flat runs never pay it.
     """
 
     collective_seconds: float = 600.0
     world_seconds: float = 600.0
     suspicion_charge_seconds: float = 0.0
+    reelection_charge_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.collective_seconds <= 0:
@@ -86,6 +94,11 @@ class TimeoutPolicy:
             raise ValueError(
                 "suspicion_charge_seconds must be >= 0, "
                 f"got {self.suspicion_charge_seconds}"
+            )
+        if self.reelection_charge_seconds < 0:
+            raise ValueError(
+                "reelection_charge_seconds must be >= 0, "
+                f"got {self.reelection_charge_seconds}"
             )
 
     @classmethod

@@ -1,0 +1,117 @@
+"""Virtual communication channels (VCIs) for threaded lanes.
+
+"Frustrated with MPI+Threads? Try MPI×Threads!" observes that a hybrid
+code whose threads all funnel through their rank's single MPI endpoint
+serialises on it; giving each thread (or small groups of threads) an
+independent *virtual communication interface* removes that serialisation
+without changing program semantics.
+
+Here the serialisation point is the per-region reduction: after every
+likelihood region the rank's vthread lanes post their partial results to
+the rank mailbox.  A :class:`ChannelSet` models ``C`` independent
+channels over ``T`` lanes: the ``T`` simultaneous posts are round-robined
+over the channels, so the makespan is ``ceil(T/C)`` *serialized rounds*
+of one post each — ``C = 1`` is the fully-serialised legacy endpoint,
+``C = T`` posts everything in parallel.  Posts are always intra-node
+(lanes share their rank's memory), so the per-post cost comes from the
+machine's intra-node constants regardless of the network topology.
+
+The steal board gets its own dedicated channel: steal requests are rare,
+asynchronous, and must never queue behind a burst of lane posts.  Its
+cost is charged by the scheduler (the board's commit rule); the channel
+records the traffic for the per-channel observability split.
+
+Everything is opt-in: a rank without a :class:`ChannelSet` charges no
+post cost at all, which is the historical (pre-VCI) behaviour, pinned by
+the golden parity suite.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Callable
+
+
+def channel_rounds(n_posts: int, n_channels: int) -> int:
+    """Serialized rounds needed to drain ``n_posts`` over ``n_channels``."""
+    if n_posts <= 0:
+        return 0
+    if n_channels < 1:
+        raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+    return ceil(n_posts / n_channels)
+
+
+class ChannelStats:
+    """Traffic counters of one virtual channel."""
+
+    __slots__ = ("posts", "bytes", "seconds")
+
+    def __init__(self) -> None:
+        self.posts = 0
+        self.bytes = 0
+        self.seconds = 0.0
+
+    def note(self, n_posts: int, n_bytes: int, seconds: float) -> None:
+        self.posts += n_posts
+        self.bytes += n_bytes * n_posts
+        self.seconds += seconds
+
+    def as_doc(self) -> dict:
+        return {"posts": self.posts, "bytes": self.bytes,
+                "seconds": self.seconds}
+
+
+class ChannelSet:
+    """``n_channels`` lane channels plus the dedicated steal channel.
+
+    ``post_seconds(n_bytes)`` prices one lane post (an intra-node hop:
+    the lanes live inside one rank).  All accounting is deterministic —
+    lane ``i`` always posts on channel ``i % n_channels``.
+    """
+
+    STEAL = "steal"
+
+    def __init__(self, n_channels: int,
+                 post_seconds: Callable[[int], float]) -> None:
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+        self.n_channels = n_channels
+        self.post_seconds = post_seconds
+        self._lanes = [ChannelStats() for _ in range(n_channels)]
+        self._steal = ChannelStats()
+
+    def lane_post_makespan(self, n_posts: int, n_bytes: int,
+                           repeats: int = 1) -> float:
+        """Virtual seconds until ``n_posts`` simultaneous lane posts have
+        drained, repeated ``repeats`` times (e.g. once per region).
+
+        Updates the per-channel counters: post ``i`` of each repeat goes
+        to channel ``i % n_channels``, so with ``C < T`` the first
+        channels carry one extra post per round.
+        """
+        if n_posts <= 0 or repeats <= 0:
+            return 0.0
+        per_post = self.post_seconds(n_bytes)
+        rounds = channel_rounds(n_posts, self.n_channels)
+        for c in range(self.n_channels):
+            on_c = len(range(c, n_posts, self.n_channels)) * repeats
+            if on_c:
+                self._lanes[c].note(on_c, n_bytes, on_c * per_post)
+        return rounds * per_post * repeats
+
+    def note_steal(self, n_bytes: int, seconds: float) -> None:
+        """Account one steal-board message on the dedicated channel (the
+        time itself is charged by the scheduler's commit rule)."""
+        self._steal.note(1, n_bytes, seconds)
+
+    def seconds_by_channel(self) -> dict[str, float]:
+        doc = {f"lane{c}": s.seconds for c, s in enumerate(self._lanes)}
+        doc[self.STEAL] = self._steal.seconds
+        return doc
+
+    def as_doc(self) -> dict:
+        return {
+            "n_channels": self.n_channels,
+            "lanes": [s.as_doc() for s in self._lanes],
+            "steal": self._steal.as_doc(),
+        }

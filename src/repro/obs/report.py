@@ -84,6 +84,9 @@ def format_stage_report(rows: Sequence[Mapping], title: str | None = None) -> st
 def run_report(
     per_rank: Sequence[Mapping[str, float]],
     comm_seconds: Sequence[float] | None = None,
+    comm_intra_seconds: Sequence[float] | None = None,
+    comm_inter_seconds: Sequence[float] | None = None,
+    comm_channel_seconds: Sequence[Mapping | None] | None = None,
     n_processes: int | None = None,
     n_threads: int | None = None,
     sched: Mapping | None = None,
@@ -98,6 +101,14 @@ def run_report(
     attempts/grants, per-stage queue stats, per-rank idle tails) is
     embedded verbatim under ``"sched"`` so the Fig. 3–4 stage report
     carries the idle-tail deltas dynamic scheduling achieved.
+
+    Under the topology-aware communication model the per-rank
+    intra-node/inter-node shares (and, with virtual channels enabled,
+    each rank's per-channel traffic) arrive through
+    ``comm_intra_seconds``/``comm_inter_seconds``/``comm_channel_seconds``
+    and are emitted as a ``"comm_split"`` block.  The block is omitted
+    whenever every value is zero/None — flat-model reports stay
+    byte-for-byte what they always were.
 
     ``recovery`` is each rank's replay time bucketed by the pipeline
     stage whose boundary triggered it; when any rank recovered, the
@@ -121,6 +132,21 @@ def run_report(
         doc["comm_fraction"] = [
             (c / t) if t > 0 else 0.0 for c, t in zip(comm_seconds, totals)
         ]
+    split_live = any(comm_intra_seconds or ()) or any(comm_inter_seconds or ())
+    channels_live = any(c for c in (comm_channel_seconds or ()))
+    if split_live or channels_live:
+        split: dict = {
+            "intra_seconds": [float(v) for v in (comm_intra_seconds or ())],
+            "inter_seconds": [float(v) for v in (comm_inter_seconds or ())],
+            "intra_max": max(comm_intra_seconds or (0.0,)),
+            "inter_max": max(comm_inter_seconds or (0.0,)),
+        }
+        if channels_live:
+            split["channels"] = [
+                dict(c) if c is not None else None
+                for c in comm_channel_seconds
+            ]
+        doc["comm_split"] = split
     if sched is not None:
         doc["sched"] = dict(sched)
     if recovery is not None and any(recovery):

@@ -58,6 +58,7 @@ def predict_schedule_modes(
     n_processes: int,
     n_threads: int,
     seed: int = 12345,
+    topology=None,
 ) -> dict[str, dict[str, float]]:
     """Static vs. work-steal stage-pool predictions for one layout.
 
@@ -67,6 +68,11 @@ def predict_schedule_modes(
     using the profile's ``jitter_cv`` — the same jitter the coarse model's
     ``imbalance_factor`` summarises analytically.  Both modes see
     identical costs, so the difference is purely scheduling.
+
+    ``topology`` (a :class:`~repro.mpi.topology.Topology`) prices steals
+    per hop — an on-node steal as a shared-memory round-trip, a
+    cross-node one at interconnect cost — via the machine's two-tier
+    model, matching the work-steal backend's charging rule.
 
     Returns ``{"static": {...}, "work-steal": {...}}`` where each entry
     has ``makespan`` (summed stage makespans, seconds), ``idle_tail``
@@ -84,6 +90,15 @@ def predict_schedule_modes(
     dag = build_dag(sched, cfg, n_processes)
     hints = stage_cost_hints(profile, machine, n_threads)
     members = tuple(range(n_processes))
+    steal_seconds = 1.05e-5
+    if topology is not None and not topology.is_trivial:
+        from repro.mpi.topology import HierarchicalCommTiming
+
+        timing = HierarchicalCommTiming.for_machine(machine, topology)
+
+        def steal_seconds(thief, victim):  # noqa: F811 - hop-aware override
+            return 2.0 * timing.message_seconds(256, src=thief, dst=victim)
+
     out = {m: {"makespan": 0.0, "idle_tail": 0.0, "steal_grants": 0.0}
            for m in ("static", "work-steal")}
     for si, stage in enumerate(("bootstrap", "fast", "slow", "thorough")):
@@ -99,13 +114,78 @@ def predict_schedule_modes(
         for mode in ("static", "work-steal"):
             res = simulate(
                 tasks, assignment, costs, members, mode=mode,
-                steal_seed=seed, pre_completed=pre,
+                steal_seed=seed, steal_seconds=steal_seconds,
+                pre_completed=pre,
             )
             out[mode]["makespan"] += res["makespan"]
             tails = res["idle_tail"]
             out[mode]["idle_tail"] += sum(tails.values()) / max(len(tails), 1)
             out[mode]["steal_grants"] += res["steal_grants"]
     return out
+
+
+def compare_layouts(
+    profile: StageProfile,
+    machine: MachineSpec,
+    n_bootstraps: int,
+    layouts,
+    seed: int = 12345,
+) -> dict:
+    """Answer "8×4 or 4×8?" with the topology-aware model.
+
+    ``layouts`` is a sequence of ``(n_processes, n_threads)`` pairs using
+    the same core budget (they need not — each is modelled on its own).
+    For each layout the node packing is implied by the machine:
+    ``ranks_per_node = cores_per_node // n_threads`` (at least 1), so a
+    thread-heavy layout spreads ranks across more nodes and pays
+    interconnect prices for more of its collectives and steals, while a
+    process-heavy layout keeps collectives on shared memory but spends
+    more time in imbalanced stage tails.  The verdict combines the coarse
+    analytic model (compute + hierarchical communication) with the
+    scheduler DES replay under hop-priced steals.
+
+    Returns ``{"layouts": [...], "best": {...}}`` where each layout entry
+    carries ``n_processes``/``n_threads``/``ranks_per_node``/``n_nodes``,
+    the coarse stage times (``predicted_seconds``, ``comm_seconds``) and
+    the DES schedule-mode predictions; ``best`` is the entry with the
+    smallest ``predicted_seconds``.
+    """
+    from repro.mpi.topology import Topology
+
+    entries = []
+    for p, t in layouts:
+        if t > machine.cores_per_node:
+            raise ValueError(
+                f"{machine.name} has {machine.cores_per_node} cores/node; "
+                f"T={t} is impossible"
+            )
+        rpn = max(1, machine.cores_per_node // t)
+        topo = Topology(p, rpn)
+        times = analysis_time(
+            profile, machine, n_bootstraps, p, t, topology=topo
+        )
+        modes = (
+            predict_schedule_modes(
+                profile, machine, n_bootstraps, p, t,
+                seed=seed, topology=topo,
+            )
+            if p > 1 else None
+        )
+        entries.append({
+            "n_processes": p,
+            "n_threads": t,
+            "cores": p * t,
+            "ranks_per_node": rpn,
+            "n_nodes": topo.n_nodes,
+            "predicted_seconds": times.total,
+            "comm_seconds": times.comm,
+            "stage_seconds": times.as_dict(),
+            "schedule_modes": modes,
+        })
+    if not entries:
+        raise ValueError("compare_layouts needs at least one layout")
+    best = min(entries, key=lambda e: e["predicted_seconds"])
+    return {"layouts": entries, "best": best}
 
 
 def recommend_layout(

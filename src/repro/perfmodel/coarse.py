@@ -117,8 +117,14 @@ def analysis_time(
     n_processes: int,
     n_threads: int,
     comm_timing: CommTiming | None = None,
+    topology=None,
 ) -> StageTimes:
     """Modelled stage times of one hybrid run (p processes × T threads).
+
+    ``topology`` (a :class:`~repro.mpi.topology.Topology`) switches the
+    communication term to the machine's two-tier hierarchical model —
+    compute terms are unchanged, exactly as in the simulator.  An
+    explicit ``comm_timing`` wins over ``topology``.
 
     Raises if ``n_threads`` exceeds the machine's cores per node (the
     paper: threads are "limited to the number of cores per node").
@@ -128,6 +134,10 @@ def analysis_time(
             f"{machine.name} has {machine.cores_per_node} cores/node; "
             f"T={n_threads} is impossible"
         )
+    if comm_timing is None and topology is not None:
+        from repro.mpi.topology import HierarchicalCommTiming
+
+        comm_timing = HierarchicalCommTiming.for_machine(machine, topology)
     if n_processes == 1 and n_threads == 1:
         # The serial code path (no MPI/Pthreads overhead), as benchmarked.
         scale0 = _machine_scale(profile, machine)

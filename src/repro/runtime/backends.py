@@ -175,6 +175,11 @@ class StaticBackend:
             "n_slow": len(ctx.state["slow_results"]),
             "finish_time": comm.clock.now,
             "comm_seconds": comm.comm_seconds(),
+            "comm_intra_seconds": comm.comm_intra_seconds(),
+            "comm_inter_seconds": comm.comm_inter_seconds(),
+            "comm_channels": (
+                ctx.channels.as_doc() if ctx.channels is not None else None
+            ),
             "pattern_ops": ctx.ops.pattern_ops,
             "n_retries": comm.n_retries,
             "backoff_seconds": comm.backoff_seconds,
@@ -361,6 +366,11 @@ class StaticBackend:
             "n_slow": 0,
             "finish_time": comm.clock.now,
             "comm_seconds": comm.comm_seconds(),
+            "comm_intra_seconds": comm.comm_intra_seconds(),
+            "comm_inter_seconds": comm.comm_inter_seconds(),
+            "comm_channels": (
+                ctx.channels.as_doc() if ctx.channels is not None else None
+            ),
             "pattern_ops": ctx.ops.pattern_ops,
             "n_retries": comm.n_retries,
             "backoff_seconds": comm.backoff_seconds,
@@ -396,12 +406,22 @@ class WorkStealBackend:
 
     @staticmethod
     def make_shared(config):
+        timing = config.comm_timing()
+        if hasattr(timing, "collective_phases"):
+            # Topology-aware: a steal crossing nodes pays the
+            # interconnect round-trip, an on-node steal the
+            # shared-memory one.  The victim is fixed at commit time,
+            # so the per-hop cost is deterministic.
+            def steal_seconds(thief, victim):
+                return 2 * timing.message_seconds(256, src=thief, dst=victim)
+        else:
+            # A steal is one request/grant message pair over the virtual
+            # interconnect, charged to the thief.
+            steal_seconds = 2 * CommTiming().message_seconds(256)
         return StealBoard(
             config.n_processes,
             steal_seed=config.comprehensive.seed_p,
-            # A steal is one request/grant message pair over the virtual
-            # interconnect, charged to the thief.
-            steal_seconds=2 * CommTiming().message_seconds(256),
+            steal_seconds=steal_seconds,
             timeout=config.spmd_timeout,
         )
 
@@ -527,14 +547,23 @@ class WorkStealBackend:
                 pre_completed=pre, status_of=status_of, epoch=comm.epoch,
             )
             ctx.begin_stage()
+
+            def on_start(task, action):
+                ctx.emit("on_task_start", task, action)
+                if action.kind == "steal" and ctx.channels is not None:
+                    # The steal's cost was charged by the board's commit
+                    # rule; the dedicated steal channel records the
+                    # traffic for the per-channel observability split.
+                    ctx.channels.note_steal(
+                        256, board.steal_cost(rank, action.victim)
+                    )
+
             out = run_rank_pool(
                 board, rank, comm.clock,
                 lambda task: execute_task(task, task_ctx, board.result),
                 status_of=status_of,
                 journal=journal if stage.name != "setup" else None,
-                on_start=lambda task, action: ctx.emit(
-                    "on_task_start", task, action
-                ),
+                on_start=on_start,
             )
             ctx.end_stage(stage.name, save=False)
             if not out.executed and stage.name in restored_stage_seconds:
@@ -665,6 +694,11 @@ class WorkStealBackend:
             "n_slow": len(outcomes["slow"].executed) if "slow" in outcomes else 0,
             "finish_time": comm.clock.now,
             "comm_seconds": comm.comm_seconds(),
+            "comm_intra_seconds": comm.comm_intra_seconds(),
+            "comm_inter_seconds": comm.comm_inter_seconds(),
+            "comm_channels": (
+                ctx.channels.as_doc() if ctx.channels is not None else None
+            ),
             "pattern_ops": ctx.ops.pattern_ops,
             "n_retries": comm.n_retries,
             "backoff_seconds": comm.backoff_seconds,

@@ -18,6 +18,7 @@ and task boundaries.
 from __future__ import annotations
 
 from repro.likelihood.engine import OpCounter
+from repro.mpi.vci import ChannelSet
 from repro.perfmodel.finegrain import MachineRegionTiming
 from repro.perfmodel.machines import machine_by_name
 from repro.threads.pool import VirtualThreadPool
@@ -55,10 +56,26 @@ class RankContext:
         self.p_rng = RAxMLRandom(rank_seed(self.cfg.seed_p, logical_rank))
         self.x_rng = RAxMLRandom(rank_seed(self.cfg.seed_x, logical_rank))
         machine = machine_by_name(config.machine)
+        #: Per-lane virtual channels (VCIs), opt-in via
+        #: ``--comm-channels``: lane posts are intra-node hops priced by
+        #: the machine's shared-memory constants.  ``None`` charges no
+        #: post cost at all (the historical, parity-pinned behaviour).
+        n_channels = getattr(config, "comm_channels", None)
+        self.channels = (
+            ChannelSet(
+                n_channels,
+                post_seconds=lambda b: (
+                    machine.intra_node_latency
+                    + machine.intra_node_byte_time * b
+                ),
+            )
+            if n_channels is not None else None
+        )
         self.pool = VirtualThreadPool(
             config.n_threads,
             MachineRegionTiming(machine, config.seconds_per_pattern_unit),
             clock=clock,
+            channels=self.channels,
         )
         self.ops = OpCounter()
         self.stage_seconds: dict[str, float] = {}

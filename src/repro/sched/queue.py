@@ -235,12 +235,18 @@ class StealBoard:
         self,
         n_ranks: int,
         steal_seed: int,
-        steal_seconds: float,
+        steal_seconds,
         timeout: float = 600.0,
     ) -> None:
+        """``steal_seconds`` is the modelled round-trip of one steal:
+        either a flat float or, for topology-aware runs, a callable
+        ``(thief, victim) -> float`` so an on-node steal is cheaper than
+        one crossing the interconnect.  The victim is fixed at commit
+        time (the deterministic ``(time, rank)`` frontier), so a per-hop
+        cost never perturbs the commit order's determinism."""
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
-        if steal_seconds < 0:
+        if not callable(steal_seconds) and steal_seconds < 0:
             raise ValueError("steal_seconds must be non-negative")
         self.n_ranks = n_ranks
         self.steal_seed = steal_seed
@@ -276,6 +282,13 @@ class StealBoard:
         so the winner is irrelevant to results."""
         with self._cond:
             self._results.setdefault(tid, result)
+
+    def steal_cost(self, thief: int, victim: int | None) -> float:
+        """The modelled round-trip of one steal attempt (hop-aware when
+        ``steal_seconds`` is a callable)."""
+        if callable(self.steal_seconds):
+            return self.steal_seconds(thief, victim)
+        return self.steal_seconds
 
     def steal_log(self) -> list[dict]:
         with self._cond:
@@ -465,7 +478,8 @@ class StealBoard:
                         self._cond.notify_all()
                     else:
                         t_commit = now + (
-                            self.steal_seconds if decision.kind == "steal" else 0.0
+                            self.steal_cost(rank, decision.victim)
+                            if decision.kind == "steal" else 0.0
                         )
                         self._published[rank] = t_commit
                         del self._intents[rank]

@@ -123,7 +123,7 @@ def simulate(
     members: tuple[int, ...],
     mode: str = "work-steal",
     steal_seed: int = 12345,
-    steal_seconds: float = 1.05e-5,
+    steal_seconds=1.05e-5,
     start: float = 0.0,
     kill_after: dict[int, int] | None = None,
     pre_completed: set[str] | None = None,
@@ -137,6 +137,11 @@ def simulate(
     ``kill_after`` optionally kills a rank partway through its
     ``n``-th started task (0-based count), modelling mid-queue death:
     the doomed task is abandoned at half its cost and re-enqueued.
+
+    ``steal_seconds`` is either a flat float or a callable
+    ``(thief, victim) -> float`` — the topology-aware advisor passes the
+    latter so an on-node steal is priced as a shared-memory hop and a
+    cross-node steal as an interconnect round-trip.
 
     Returns makespan, per-rank busy/finish times, idle fractions and
     steal counters — the quantities ``BENCH_sched.json`` and the
@@ -192,7 +197,12 @@ def simulate(
         elif d.kind == "done":
             finish[r] = t
         else:
-            t_go = t + (steal_seconds if d.kind == "steal" else 0.0)
+            if d.kind == "steal":
+                charge = (steal_seconds(r, d.victim)
+                          if callable(steal_seconds) else steal_seconds)
+            else:
+                charge = 0.0
+            t_go = t + charge
             cost = costs[d.task_id]
             doomed = starts[r] == kill_after.get(r, -1)
             starts[r] += 1

@@ -1,0 +1,128 @@
+"""Chaos checks specific to the topology-aware communication substrate.
+
+The invariant under test everywhere: hierarchical collectives change
+*modelled communication time only* — every analysis output (best lnL,
+best tree, bootstrap multiset) is bit-identical to the flat world, under
+fault-free runs, node-leader deaths mid-collective (both phases, both
+schedules), elastic joins landing on new nodes, and checkpoint → resume.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.campaign import (
+    _capture,
+    _make_inputs,
+    _run,
+    run_leader_death_probes,
+    run_scenario,
+)
+from repro.chaos.plans import ScenarioSpec, generate_scenario
+from repro.mpi.faults import FaultPlan, JoinSpec, KillSpec
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return _make_inputs()
+
+
+@pytest.fixture(scope="module")
+def flat_baselines(inputs):
+    """Fault-free flat-model results per (schedule, p) — the oracle."""
+    pal, cc = inputs
+    out = {}
+    for schedule in ("static", "work-steal"):
+        for p in (2, 4):
+            spec = ScenarioSpec(index=-1, schedule=schedule, n_processes=p,
+                                plan=None, equality="baseline", deaths=())
+            out[(schedule, p)] = _capture(_run(pal, cc, spec, plan=None))
+    return out
+
+
+class TestLeaderDeathProbes:
+    def test_all_probes_clean(self, inputs):
+        pal, cc = inputs
+        with tempfile.TemporaryDirectory() as tmp:
+            probes = run_leader_death_probes(pal, cc, workdir=Path(tmp))
+        assert len(probes) == 6  # 3 plans x 2 schedules
+        for record in probes:
+            assert record["violations"] == [], record
+            assert record["ranks_per_node"] == 2
+        # Both phases were exercised: kills at collective call indices
+        # (mid-collective, inter-phase leaders) and at a stage boundary.
+        kinds = {record["probe"] for record in probes}
+        assert kinds == {"leader-node0-collective", "leader-node1-stage",
+                         "both-leaders-collective"}
+        # The checkpoint -> resume leg ran for both schedules.
+        resumed = [r for r in probes if "resume" in r["checks"]]
+        assert len(resumed) == 2
+
+
+class TestJoinOnNewNode:
+    @pytest.mark.parametrize("schedule", ["static", "work-steal"])
+    def test_joiner_lands_on_fresh_node(self, inputs, flat_baselines, schedule):
+        # p=2 packed 2/node occupies one node; the joiner (rank 2) maps
+        # to node 1, so the collective set grows an inter-node phase
+        # mid-run — results must still match the flat baseline.
+        pal, cc = inputs
+        spec = ScenarioSpec(
+            index=-3, schedule=schedule, n_processes=2,
+            plan=FaultPlan(joins=(JoinSpec(rank=2, stage="fast"),)),
+            equality="full", deaths=(), ranks_per_node=2,
+        )
+        result = _run(pal, cc, spec)
+        assert _capture(result) == flat_baselines[(schedule, 2)]
+
+    def test_join_plus_leader_death_with_resume(self, inputs, flat_baselines):
+        # The hard composition: node 0's leader dies while a joiner
+        # enters on node 1, checkpointed, then resumed (joins kept,
+        # kills stripped — they already happened).
+        pal, cc = inputs
+        spec = ScenarioSpec(
+            index=-3, schedule="static", n_processes=4,
+            plan=FaultPlan(
+                kills=(KillSpec(rank=0, collective=1),),
+                joins=(JoinSpec(rank=4, stage="slow"),),
+            ),
+            equality="full", deaths=(0,), ranks_per_node=2,
+        )
+        baseline = flat_baselines[("static", 4)]
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = str(Path(tmp) / "ckpt")
+            first = _run(pal, cc, spec, checkpoint_dir=ckpt)
+            assert _capture(first) == baseline
+            resumed = _run(pal, cc, spec,
+                           plan=FaultPlan(joins=spec.plan.joins),
+                           checkpoint_dir=ckpt, resume=True)
+            assert _capture(resumed) == baseline
+
+
+class TestHierarchicalScenarioSweep:
+    @pytest.mark.parametrize("index", range(4))
+    def test_generated_scenarios_match_flat_baseline(
+        self, inputs, flat_baselines, index
+    ):
+        # A slice of the campaign generator run under rpn=2: same seeds,
+        # same plans, hierarchical costs — compared against the *flat*
+        # fault-free baseline, which is the cross-model bit-identity
+        # claim the full 50-scenario CI sweep scales up.
+        pal, cc = inputs
+        schedule = ("static", "work-steal")[index % 2]
+        spec = generate_scenario(index, 20260808, schedule, 2,
+                                 ranks_per_node=2)
+        assert spec.ranks_per_node == 2
+        record = run_scenario(pal, cc, spec, flat_baselines[(schedule, 2)],
+                              None)
+        assert record["violations"] == [], record
+        assert record["ranks_per_node"] == 2
+
+    def test_generation_ignores_topology(self):
+        # The same (seed, schedule, index) must yield the same faults
+        # under either communication model — topology never perturbs
+        # plan generation.
+        a = generate_scenario(7, 123, "static", 3)
+        b = generate_scenario(7, 123, "static", 3, ranks_per_node=2)
+        assert a.plan == b.plan
+        assert a.deaths == b.deaths
